@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation study for the reproduction's own design choices
+ * (DESIGN.md §4): how much of the criticality benefit depends on
+ * (a) the paper-era unified transaction queue vs a modern split
+ * write buffer, (b) the steady-state dirtiness of the prewarmed L2
+ * (which sets the writeback share of DRAM traffic), and (c) the
+ * burstiness of the workload models (which sets transient queue
+ * depth). Reported: average Binary and MaxStallTime speedups over
+ * FR-FCFS across the parallel suite for each knob setting.
+ */
+
+#include "bench_util.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+namespace
+{
+
+RunResult
+runWith(const SystemConfig &cfg, const AppParams &app,
+        std::uint64_t quota, double dirtyFrac)
+{
+    System sys(cfg, app);
+    sys.prewarmCaches(0.9, dirtyFrac);
+    sys.run(defaultWarmup(quota), false);
+    sys.resetStatsWindow();
+    sys.run(quota, true);
+    return collect(sys);
+}
+
+struct Knobs
+{
+    bool unifiedQueue = true;
+    double dirtyFrac = 0.12;
+    double burstiness = -1.0; ///< <0 keeps each app's own value
+    AddressMapKind mapKind = AddressMapKind::PageInterleave;
+    bool closedPage = false;
+};
+
+std::pair<double, double>
+averageSpeedups(const Knobs &knobs, std::uint64_t quota)
+{
+    double bin = 0.0, max = 0.0;
+    int count = 0;
+    for (AppParams app : parallelApps()) {
+        if (knobs.burstiness >= 0.0)
+            app.burstiness = knobs.burstiness;
+        SystemConfig base = parallelBase();
+        base.dram.unifiedQueue = knobs.unifiedQueue;
+        base.dram.mapKind = knobs.mapKind;
+        base.dram.closedPage = knobs.closedPage;
+        const RunResult b = runWith(base, app, quota, knobs.dirtyFrac);
+
+        SystemConfig cbin =
+            withPredictor(base, CritPredictor::CbpBinary);
+        SystemConfig cmax =
+            withPredictor(base, CritPredictor::CbpMaxStall);
+        bin += speedup(b, runWith(cbin, app, quota, knobs.dirtyFrac));
+        max += speedup(b, runWith(cmax, app, quota, knobs.dirtyFrac));
+        ++count;
+    }
+    return {bin / count, max / count};
+}
+
+void
+row(const char *label, const Knobs &knobs, std::uint64_t quota)
+{
+    const auto [bin, max] = averageSpeedups(knobs, quota);
+    std::printf("%-34s %10.4f %10.4f\n", label, bin, max);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota(16000);
+    std::printf("# Ablations of reproduction design choices "
+                "(quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+    std::printf("%-34s %10s %10s\n", "configuration", "Binary",
+                "MaxStall");
+
+    row("default (unified queue, d=0.12)", Knobs{}, q);
+
+    Knobs split;
+    split.unifiedQueue = false;
+    row("split write buffer (watermarks)", split, q);
+
+    Knobs clean;
+    clean.dirtyFrac = 0.0;
+    row("clean prewarm (no writebacks)", clean, q);
+
+    Knobs dirty;
+    dirty.dirtyFrac = 0.35;
+    row("heavy dirtiness (d=0.35)", dirty, q);
+
+    Knobs uniform;
+    uniform.burstiness = 0.0;
+    row("uniform traffic (no bursts)", uniform, q);
+
+    Knobs bursty;
+    bursty.burstiness = 1.0;
+    row("fully clustered memory phases", bursty, q);
+
+    Knobs blockMap;
+    blockMap.mapKind = AddressMapKind::BlockInterleave;
+    row("block-interleaved mapping", blockMap, q);
+
+    Knobs closed;
+    closed.closedPage = true;
+    row("closed-page row policy", closed, q);
+
+    std::printf("# The criticality benefit tracks queue pressure: a "
+                "modern split write buffer or fully smooth traffic\n"
+                "# shrinks it, write-heavy unified queues amplify it "
+                "(see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9: sweep over the load queue size {32, 48, 64}, averaged
+ * over the parallel applications, normalized to the 32-entry FR-FCFS
+ * system. Paper reference: 48 entries removes most LQ capacity
+ * stalls, yet Binary still gains 6.4% and MaxStallTime 8.3%; 64
+ * entries changes little beyond 48.
+ */
+
+#include "bench_util.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota();
+    std::printf("# Figure 9: load queue size sweep (quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+    printHeader({"FR-FCFS", "Binary", "MaxStall", "%lqFull"}, "lq");
+
+    auto configured = [&](std::uint32_t lq) {
+        SystemConfig cfg = parallelBase();
+        cfg.core.lqEntries = lq;
+        return cfg;
+    };
+
+    std::vector<RunResult> base32;
+    for (const AppParams &app : parallelApps())
+        base32.push_back(runParallel(configured(32), app, q));
+
+    for (const std::uint32_t lq : {32u, 48u, 64u}) {
+        std::vector<double> sums(4, 0.0);
+        std::size_t appIdx = 0;
+        for (const AppParams &app : parallelApps()) {
+            const SystemConfig frf = configured(lq);
+            const RunResult frfRun = runParallel(frf, app, q);
+            sums[0] += speedup(base32[appIdx], frfRun);
+            sums[1] += speedup(
+                base32[appIdx],
+                runParallel(
+                    withPredictor(frf, CritPredictor::CbpBinary), app,
+                    q));
+            sums[2] += speedup(
+                base32[appIdx],
+                runParallel(
+                    withPredictor(frf, CritPredictor::CbpMaxStall),
+                    app, q));
+            sums[3] += 100.0 * static_cast<double>(frfRun.lqFullCycles) /
+                static_cast<double>(frfRun.coreCycles);
+            ++appIdx;
+        }
+        for (double &sum : sums)
+            sum /= static_cast<double>(appIdx);
+        printRow(std::to_string(lq), sums);
+    }
+    std::printf("# paper: with 48 LQ entries capacity stalls mostly "
+                "vanish but Binary/MaxStall keep 6.4%%/8.3%%\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10: the paper's scheduler against AHB (Hur/Lin), MORSE-P and
+ * Crit-RL (MORSE plus the criticality features of Table 6) on the
+ * parallel applications, all relative to FR-FCFS. Paper reference
+ * averages: MaxStallTime 1.093, AHB 1.016, MORSE-P 1.112, Crit-RL
+ * matching MORSE-P (its features already capture criticality
+ * implicitly).
+ */
+
+#include "bench_util.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota();
+    std::printf("# Figure 10: state-of-the-art scheduler comparison "
+                "(quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+    printHeader({"MaxStall", "AHB", "MORSE-P", "Crit-RL"});
+
+    Averager avg;
+    for (const AppParams &app : parallelApps()) {
+        const RunResult base = runParallel(parallelBase(), app, q);
+        std::vector<double> row;
+        row.push_back(speedup(
+            base,
+            runParallel(withPredictor(parallelBase(),
+                                      CritPredictor::CbpMaxStall),
+                        app, q)));
+
+        SystemConfig ahb = parallelBase();
+        ahb.sched.algo = SchedAlgo::Ahb;
+        row.push_back(speedup(base, runParallel(ahb, app, q)));
+
+        SystemConfig morse = parallelBase();
+        morse.sched.algo = SchedAlgo::Morse;
+        morse.sched.morseMaxCommands = 24;
+        row.push_back(speedup(base, runParallel(morse, app, q)));
+
+        // Crit-RL: the RL scheduler consumes the 64-entry Binary CBP
+        // prediction as an input feature (Table 6).
+        SystemConfig critRl = withPredictor(
+            parallelBase(), CritPredictor::CbpBinary, 64,
+            SchedAlgo::CritRl);
+        critRl.sched.morseMaxCommands = 24;
+        row.push_back(speedup(base, runParallel(critRl, app, q)));
+
+        printRow(app.name, row);
+        avg.add(row);
+    }
+    printRow("Average", avg.average());
+    std::printf("# paper: MaxStall 1.093, AHB 1.016, MORSE-P 1.112, "
+                "Crit-RL ~= MORSE-P\n");
+    return 0;
+}

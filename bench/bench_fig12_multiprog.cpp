@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 12: multiprogrammed weighted speedups over PAR-BS for the
+ * eight Table 4 bundles, on the 4-core / 2-channel system. Columns:
+ * FR-FCFS, TCM, MaxStallTime CBP (64-entry CASRAS-Crit) and the
+ * TCM+MaxStallTime hybrid; plus the max-slowdown change of
+ * MaxStallTime vs TCM. Paper reference: MaxStallTime +6.0% weighted
+ * speedup over PAR-BS (Binary +5.2%), TCM +1.9%, hybrid ~TCM, and
+ * MaxStallTime improving max slowdown by 11.6% over TCM.
+ */
+
+#include "bench_util.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota();
+    std::printf("# Figure 12: multiprogrammed weighted speedup vs "
+                "PAR-BS (quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+    printHeader({"FR-FCFS", "TCM", "MaxStall", "TCM+MaxStall",
+                 "maxSlowdown"},
+                "bundle");
+
+    Averager avg;
+    for (const Bundle &bundle : multiprogBundles()) {
+        // Alone-IPC baselines under the PAR-BS configuration.
+        std::array<double, 4> alone{};
+        for (std::size_t i = 0; i < bundle.apps.size(); ++i) {
+            alone[i] =
+                runAlone(multiprogBase(), appParams(bundle.apps[i]), q);
+        }
+
+        const RunResult parbs = runBundle(multiprogBase(), bundle, q);
+        const double wsParbs = weightedSpeedup(parbs, alone, q);
+
+        auto wsOf = [&](const SystemConfig &cfg, RunResult *out =
+                                                     nullptr) {
+            const RunResult run = runBundle(cfg, bundle, q);
+            if (out)
+                *out = run;
+            return weightedSpeedup(run, alone, q) / wsParbs;
+        };
+
+        SystemConfig frf = multiprogBase();
+        frf.sched.algo = SchedAlgo::FrFcfs;
+
+        SystemConfig tcm = multiprogBase();
+        tcm.sched.algo = SchedAlgo::Tcm;
+        RunResult tcmRun;
+        const double wsTcm = wsOf(tcm, &tcmRun);
+
+        const SystemConfig maxStall = withPredictor(
+            multiprogBase(), CritPredictor::CbpMaxStall, 64,
+            SchedAlgo::CasRasCrit);
+        RunResult maxRun;
+        const double wsMax = wsOf(maxStall, &maxRun);
+
+        const SystemConfig hybrid = withPredictor(
+            multiprogBase(), CritPredictor::CbpMaxStall, 64,
+            SchedAlgo::TcmCrit);
+
+        const double slowdownRatio =
+            maxSlowdown(maxRun, alone, q) /
+            maxSlowdown(tcmRun, alone, q);
+
+        const std::vector<double> row = {
+            wsOf(frf), wsTcm, wsMax, wsOf(hybrid), slowdownRatio};
+        printRow(bundle.name, row);
+        avg.add(row);
+    }
+    printRow("Average", avg.average());
+    std::printf("# paper: MaxStall 1.060, TCM 1.019, hybrid ~TCM; "
+                "MaxStall cuts max slowdown 11.6%% vs TCM\n");
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks backing the paper's
+ * implementability arguments (Sections 3.2 and 5.8.1): the per-cycle
+ * cost of each scheduler's pick() on realistic candidate sets (the
+ * "lean controller" claim — criticality adds a comparator widening,
+ * not a pipeline), plus CBP lookup/update and DRAM/system tick rates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crit/cbp.hh"
+#include "sched/ahb.hh"
+#include "sched/crit_frfcfs.hh"
+#include "sched/frfcfs.hh"
+#include "sched/morse.hh"
+#include "sched/parbs.hh"
+#include "sched/tcm.hh"
+#include "sim/random.hh"
+#include "system/system.hh"
+#include "trace/workloads.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+std::vector<SchedCandidate>
+makeCandidates(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<SchedCandidate> cands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        SchedCandidate &c = cands[i];
+        const std::uint64_t draw = rng.next();
+        c.cmd = static_cast<DramCmd>(draw % 4);
+        c.rowHit = c.cmd == DramCmd::Read || c.cmd == DramCmd::Write;
+        c.isWrite = c.cmd == DramCmd::Write;
+        c.coord.rank = draw % 4;
+        c.coord.bank = (draw >> 8) % 8;
+        c.coord.row = (draw >> 16) % 4096;
+        c.core = (draw >> 3) % 8;
+        c.crit = (draw % 5 == 0) ? (draw % 4000) : 0;
+        c.arrival = 1000 + i;
+        c.seq = i;
+        c.queueIndex = static_cast<std::uint32_t>(i);
+    }
+    return cands;
+}
+
+template <typename Sched>
+void
+pickLoop(benchmark::State &state, Sched &sched)
+{
+    const auto cands =
+        makeCandidates(static_cast<std::size_t>(state.range(0)), 42);
+    DramCycle now = 10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched.pick(0, cands, now));
+        ++now;
+    }
+}
+
+void
+BM_PickFrFcfs(benchmark::State &state)
+{
+    FrFcfsScheduler sched;
+    pickLoop(state, sched);
+}
+
+void
+BM_PickCasRasCrit(benchmark::State &state)
+{
+    CritFrFcfsScheduler sched(CritOrder::CasRasFirst);
+    pickLoop(state, sched);
+}
+
+void
+BM_PickCritCasRas(benchmark::State &state)
+{
+    CritFrFcfsScheduler sched(CritOrder::CritFirst);
+    pickLoop(state, sched);
+}
+
+void
+BM_PickAhb(benchmark::State &state)
+{
+    AhbScheduler sched;
+    pickLoop(state, sched);
+}
+
+void
+BM_PickTcm(benchmark::State &state)
+{
+    SchedConfig cfg;
+    TcmScheduler sched(8, cfg, false, 7);
+    pickLoop(state, sched);
+}
+
+void
+BM_PickParBs(benchmark::State &state)
+{
+    ParBsScheduler sched(4, 8, 8, 5);
+    pickLoop(state, sched);
+}
+
+void
+BM_PickMorse(benchmark::State &state)
+{
+    MorseScheduler sched(4, 8,
+                         static_cast<std::uint32_t>(state.range(0)),
+                         false, 7);
+    pickLoop(state, sched);
+}
+
+void
+BM_CbpPredict(benchmark::State &state)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpMaxStall, 64, 0);
+    for (std::uint64_t pc = 0; pc < 4096; pc += 4)
+        cbp.update(0x400000 + pc, pc % 9000);
+    std::uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cbp.predict(pc));
+        pc += 4;
+    }
+}
+
+void
+BM_CbpUpdate(benchmark::State &state)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpTotalStall, 64, 0);
+    std::uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        cbp.update(pc, 137);
+        pc += 4;
+    }
+}
+
+void
+BM_SystemTick(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.sched.algo = SchedAlgo::CasRasCrit;
+    cfg.crit.predictor = CritPredictor::CbpMaxStall;
+    System sys(cfg, appParams("mg"));
+    sys.prewarmCaches();
+    std::uint64_t quota = 1000;
+    for (auto _ : state) {
+        state.PauseTiming();
+        quota += 200;
+        state.ResumeTiming();
+        sys.run(quota, false, 100000);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_PickFrFcfs)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickCasRasCrit)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickCritCasRas)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickAhb)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickTcm)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickParBs)->Arg(8)->Arg(32);
+BENCHMARK(BM_PickMorse)->Arg(6)->Arg(24);
+BENCHMARK(BM_CbpPredict);
+BENCHMARK(BM_CbpUpdate);
+BENCHMARK(BM_SystemTick)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

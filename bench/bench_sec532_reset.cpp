@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Section 5.3.2: periodic table reset to fight saturation/aliasing.
+ * The paper trains the reset interval on {fft, mg, radix} (100K CPU
+ * cycles wins) and reports the remaining six applications as the test
+ * set: 64-entry Binary improves from 7.5% to 9.0% with the 100K-cycle
+ * reset; MaxStallTime is insensitive; resetting the unlimited table
+ * changes nothing (criticality is long-term-useful information).
+ */
+
+#include "bench_util.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+namespace
+{
+
+const std::vector<std::string> kTrain = {"fft", "mg", "radix"};
+
+bool
+isTrain(const std::string &name)
+{
+    for (const std::string &train : kTrain) {
+        if (train == name)
+            return true;
+    }
+    return false;
+}
+
+double
+avgSpeedup(CritPredictor pred, std::uint32_t entries,
+           std::uint64_t reset, bool train, std::uint64_t q)
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const AppParams &app : parallelApps()) {
+        if (isTrain(app.name) != train)
+            continue;
+        const RunResult base = runParallel(parallelBase(), app, q);
+        SystemConfig cfg =
+            withPredictor(parallelBase(), pred, entries);
+        cfg.crit.resetInterval = reset;
+        sum += speedup(base, runParallel(cfg, app, q));
+        ++count;
+    }
+    return sum / count;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota();
+    std::printf("# Section 5.3.2: table reset interval study "
+                "(quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+
+    const std::vector<std::uint64_t> intervals = {
+        0, 5000, 10000, 50000, 100000, 500000, 1000000};
+
+    std::printf("## training set (fft, mg, radix), 64-entry tables\n");
+    printHeader({"Binary", "MaxStall"}, "interval");
+    for (const std::uint64_t interval : intervals) {
+        printRow(interval == 0 ? "none" : std::to_string(interval),
+                 {avgSpeedup(CritPredictor::CbpBinary, 64, interval,
+                             true, q),
+                  avgSpeedup(CritPredictor::CbpMaxStall, 64, interval,
+                             true, q)});
+    }
+
+    std::printf("## test set (remaining six), 64-entry tables\n");
+    printHeader({"Binary", "MaxStall"}, "interval");
+    for (const std::uint64_t interval : {std::uint64_t{0},
+                                         std::uint64_t{100000}}) {
+        printRow(interval == 0 ? "none" : std::to_string(interval),
+                 {avgSpeedup(CritPredictor::CbpBinary, 64, interval,
+                             false, q),
+                  avgSpeedup(CritPredictor::CbpMaxStall, 64, interval,
+                             false, q)});
+    }
+
+    std::printf("## unlimited table, reset sensitivity (Binary)\n");
+    printHeader({"Binary"}, "interval");
+    for (const std::uint64_t interval : {std::uint64_t{0},
+                                         std::uint64_t{100000}}) {
+        printRow(interval == 0 ? "none" : std::to_string(interval),
+                 {avgSpeedup(CritPredictor::CbpBinary, 0, interval,
+                             false, q)});
+    }
+    std::printf("# paper: Binary test set 1.075 -> 1.090 with the "
+                "100K reset; unlimited table unaffected\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Table 7: the summary comparison matrix. The two numeric rows
+ * (average parallel speedup vs FR-FCFS; average multiprogrammed
+ * weighted speedup vs PAR-BS) are measured; the storage and
+ * qualitative rows reproduce the paper's accounting. Paper reference:
+ * AHB 1.6%/3.1%, TCM 0.6%/1.9%, MORSE-P 11.2%/11.3%, Binary CBP
+ * 6.5%/5.2%, MaxStallTime CBP 9.3%/6.0%; PAR-BS itself loses 6.4% on
+ * parallel workloads vs FR-FCFS.
+ */
+
+#include "bench_util.hh"
+
+#include "crit/overhead.hh"
+
+using namespace critmem;
+using namespace critmem::bench;
+
+namespace
+{
+
+struct Contender
+{
+    const char *name;
+    SchedAlgo algo;
+    CritPredictor pred;
+    const char *storage;
+    const char *procSide;
+    const char *highSpeed;
+    const char *lowContention;
+};
+
+double
+parallelAvg(const Contender &c, std::uint64_t q)
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const AppParams &app : parallelApps()) {
+        const RunResult base = runParallel(parallelBase(), app, q);
+        SystemConfig cfg =
+            withPredictor(parallelBase(), c.pred, 64, c.algo);
+        sum += speedup(base, runParallel(cfg, app, q));
+        ++count;
+    }
+    return sum / static_cast<double>(count);
+}
+
+double
+multiprogAvg(const Contender &c, std::uint64_t q)
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const Bundle &bundle : multiprogBundles()) {
+        std::array<double, 4> alone{};
+        for (std::size_t i = 0; i < bundle.apps.size(); ++i) {
+            alone[i] =
+                runAlone(multiprogBase(), appParams(bundle.apps[i]), q);
+        }
+        const RunResult parbs = runBundle(multiprogBase(), bundle, q);
+        SystemConfig cfg =
+            withPredictor(multiprogBase(), c.pred, 64, c.algo);
+        const RunResult run = runBundle(cfg, bundle, q);
+        sum += weightedSpeedup(run, alone, q) /
+            weightedSpeedup(parbs, alone, q);
+        ++count;
+    }
+    return sum / static_cast<double>(count);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t q = quota(12000);
+    std::printf("# Table 7: scheduler comparison summary "
+                "(quota=%llu/core)\n",
+                static_cast<unsigned long long>(q));
+
+    const std::vector<Contender> contenders = {
+        {"AHB", SchedAlgo::Ahb, CritPredictor::None, "31 B", "No",
+         "Yes", "Yes"},
+        {"TCM", SchedAlgo::Tcm, CritPredictor::None, "4816 B", "No",
+         "Yes", "No"},
+        {"MORSE-P", SchedAlgo::Morse, CritPredictor::None,
+         "128-512 kB", "Yes", "No", "Yes"},
+        {"BinaryCBP", SchedAlgo::CasRasCrit, CritPredictor::CbpBinary,
+         "109-301 B", "Yes", "Yes", "Yes"},
+        {"MaxStallCBP", SchedAlgo::CasRasCrit,
+         CritPredictor::CbpMaxStall, "1357-1805 B", "Yes", "Yes",
+         "Yes"},
+        // Footnote 1 of the paper: PAR-BS on parallel workloads.
+        {"PAR-BS", SchedAlgo::ParBs, CritPredictor::None, "-", "No",
+         "Yes", "No"},
+    };
+
+    std::printf("%-12s %10s %10s %12s %9s %10s %14s\n", "scheduler",
+                "parallel", "multiprog", "storage", "procSide",
+                "highSpeed", "lowContention");
+    for (const Contender &c : contenders) {
+        const double par = parallelAvg(c, q);
+        const double multi = multiprogAvg(c, q);
+        std::printf("%-12s %10.4f %10.4f %12s %9s %10s %14s\n", c.name,
+                    par, multi, c.storage, c.procSide, c.highSpeed,
+                    c.lowContention);
+    }
+
+    // Storage accounting cross-check (Section 5.7 published widths).
+    const SystemConfig dims = SystemConfig::parallelDefault();
+    const OverheadReport binary = storageOverhead(1, 64, dims);
+    const OverheadReport maxStall = storageOverhead(14, 64, dims);
+    std::printf("\n# storage model: Binary %llu-%llu B, MaxStallTime "
+                "%llu-%llu B (paper: 109-301, 1357-1805)\n",
+                static_cast<unsigned long long>(binary.systemMinBytes),
+                static_cast<unsigned long long>(binary.systemMaxBytes),
+                static_cast<unsigned long long>(
+                    maxStall.systemMinBytes),
+                static_cast<unsigned long long>(
+                    maxStall.systemMaxBytes));
+    return 0;
+}

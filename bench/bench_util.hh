@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries: canonical
+ * configurations, quota handling and row formatting. Every bench
+ * prints the same rows/series as the corresponding figure or table of
+ * the paper; CRITMEM_INSTRS (and CRITMEM_WARMUP) scale simulation
+ * length.
+ */
+
+#ifndef CRITMEM_BENCH_BENCH_UTIL_HH
+#define CRITMEM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/log.hh"
+#include "system/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace critmem::bench
+{
+
+/** Default per-core quota for bench runs (scaled by CRITMEM_INSTRS). */
+inline std::uint64_t
+quota(std::uint64_t fallback = 24000)
+{
+    return defaultQuota(fallback);
+}
+
+/** The paper's 8-core baseline: FR-FCFS, no criticality. */
+inline SystemConfig
+parallelBase()
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.sched.algo = SchedAlgo::FrFcfs;
+    cfg.crit.predictor = CritPredictor::None;
+    return cfg;
+}
+
+/** The multiprogrammed baseline (PAR-BS, Section 5.8.2). */
+inline SystemConfig
+multiprogBase()
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    cfg.sched.algo = SchedAlgo::ParBs;
+    cfg.crit.predictor = CritPredictor::None;
+    return cfg;
+}
+
+/** Attach a criticality predictor + scheduler to a configuration. */
+inline SystemConfig
+withPredictor(SystemConfig cfg, CritPredictor pred,
+              std::uint32_t entries = 64,
+              SchedAlgo algo = SchedAlgo::CasRasCrit)
+{
+    cfg.crit.predictor = pred;
+    cfg.crit.tableEntries = entries;
+    cfg.sched.algo = algo;
+    return cfg;
+}
+
+/** Print a row header: app column plus one column per config. */
+inline void
+printHeader(const std::vector<std::string> &columns,
+            const char *first = "app")
+{
+    std::printf("%-10s", first);
+    for (const std::string &col : columns)
+        std::printf(" %12s", col.c_str());
+    std::printf("\n");
+}
+
+/** Print one row of values. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values,
+         const char *fmt = " %12.4f")
+{
+    std::printf("%-10s", label.c_str());
+    for (const double value : values)
+        std::printf(fmt, value);
+    std::printf("\n");
+}
+
+/** Geometric-mean-free average row across previously printed rows. */
+class Averager
+{
+  public:
+    void
+    add(const std::vector<double> &row)
+    {
+        if (sums_.empty())
+            sums_.assign(row.size(), 0.0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            sums_[i] += row[i];
+        ++count_;
+    }
+
+    std::vector<double>
+    average() const
+    {
+        std::vector<double> avg(sums_);
+        for (double &value : avg)
+            value /= count_ ? count_ : 1;
+        return avg;
+    }
+
+  private:
+    std::vector<double> sums_;
+    std::size_t count_ = 0;
+};
+
+} // namespace critmem::bench
+
+#endif // CRITMEM_BENCH_BENCH_UTIL_HH

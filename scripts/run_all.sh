@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate every artifact: build, test suite, all benches.
+# CRITMEM_INSTRS / CRITMEM_WARMUP scale simulation length.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+{
+    for b in $(find ./build/bench -maxdepth 1 -type f -executable | sort); do
+        name=$(basename "$b")
+        echo "=== $name ==="
+        if [ "$name" = "bench_micro" ]; then
+            "$b" --benchmark_min_time=0.05
+        else
+            "$b"
+        fi
+    done
+} | tee bench_output.txt

@@ -1,0 +1,490 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+namespace
+{
+
+/** 8-byte granularity used for store-to-load forwarding matches. */
+Addr
+wordAlign(Addr addr)
+{
+    return addr & ~Addr{7};
+}
+
+} // namespace
+
+Core::Stats::Stats(stats::Group &parent, CoreId id)
+    : group("core" + std::to_string(id), &parent),
+      cycles(group, "cycles", "CPU cycles simulated"),
+      committedOps(group, "committedOps", "micro-ops committed"),
+      committedLoads(group, "committedLoads", "loads committed"),
+      committedStores(group, "committedStores", "stores committed"),
+      committedBranches(group, "committedBranches", "branches committed"),
+      mispredicts(group, "mispredicts", "branches mispredicted"),
+      blockingLoads(group, "blockingLoads",
+                    "committed loads that blocked the ROB head"),
+      robHeadBlockedCycles(group, "robHeadBlockedCycles",
+                           "cycles a load blocked the ROB head"),
+      robFullCycles(group, "robFullCycles",
+                    "dispatch stalls: ROB full"),
+      lqFullCycles(group, "lqFullCycles",
+                   "dispatch stalls: load queue full"),
+      sqFullCycles(group, "sqFullCycles",
+                   "dispatch stalls: store queue full"),
+      iqFullCycles(group, "iqFullCycles",
+                   "dispatch stalls: issue queue full"),
+      branchLimitCycles(group, "branchLimitCycles",
+                        "dispatch stalls: unresolved-branch limit"),
+      loadsIssued(group, "loadsIssued", "loads sent to the hierarchy"),
+      loadsForwarded(group, "loadsForwarded",
+                     "loads satisfied by store forwarding"),
+      critLoadsIssued(group, "critLoadsIssued",
+                      "loads issued with a critical prediction"),
+      loadRetries(group, "loadRetries",
+                  "load issue attempts rejected by the hierarchy"),
+      headStallLength(group, "headStallLength",
+                      "per-blocking-load ROB-head stall, cycles")
+{
+}
+
+Core::Core(const SystemConfig &cfg, CoreId id, TraceGenerator &gen,
+           MemHierarchy &mem, stats::Group &parent)
+    : cfg_(cfg), id_(id), gen_(gen), mem_(mem),
+      rob_(cfg.core.robEntries), stats_(parent, id)
+{
+    const CritConfig &crit = cfg.crit;
+    if (isCbp(crit.predictor)) {
+        cbp_ = std::make_unique<CommitBlockPredictor>(
+            crit.predictor, crit.tableEntries, crit.resetInterval,
+            crit.counterWidth, crit.probShift);
+    } else if (crit.predictor == CritPredictor::ClptBinary ||
+               crit.predictor == CritPredictor::ClptConsumers) {
+        clpt_ = std::make_unique<Clpt>(
+            std::max(crit.tableEntries, 2u), crit.clptThreshold,
+            crit.predictor == CritPredictor::ClptConsumers);
+    }
+}
+
+CritLevel
+Core::criticalityOf(const MicroOp &op) const
+{
+    if (cbp_)
+        return cbp_->predict(op.pc);
+    if (clpt_)
+        return clpt_->predict(op.pc);
+    return 0;
+}
+
+void
+Core::markComplete(RobEntry &entry, Cycle)
+{
+    entry.state = EntryState::Complete;
+    for (const std::uint32_t idx : entry.waiters) {
+        RobEntry &waiter = rob_[idx];
+        if (waiter.state == EntryState::Waiting &&
+            waiter.srcsPending > 0 && --waiter.srcsPending == 0) {
+            waiter.state = EntryState::Ready;
+            readyList_.push_back(idx);
+        }
+    }
+    entry.waiters.clear();
+}
+
+void
+Core::completeStage(Cycle now)
+{
+    while (!fuCompletions_.empty() && fuCompletions_.top().first <= now) {
+        const SeqNum seq = fuCompletions_.top().second;
+        fuCompletions_.pop();
+        RobEntry &entry = entryOf(seq);
+        if (entry.op.cls == OpClass::Branch) {
+            --unresolvedBranches_;
+            if (seq == redirectBranch_) {
+                redirectBranch_ = ~SeqNum{0};
+                fetchResumeAt_ = now + cfg_.core.mispredictPenalty;
+            }
+        }
+        markComplete(entry, now);
+    }
+}
+
+void
+Core::commitStage(Cycle now)
+{
+    for (std::uint32_t n = 0; n < cfg_.core.commitWidth; ++n) {
+        if (robCount_ == 0)
+            return;
+        RobEntry &head = entryOf(headSeq_);
+        if (head.state != EntryState::Complete) {
+            // A completed-but-stalled head never happens; only an
+            // incomplete issued load is "blocking" in the paper's
+            // sense (its miss is what commit waits on).
+            if (head.op.cls == OpClass::Load &&
+                head.state == EntryState::Issued) {
+                if (!head.blocked) {
+                    head.blocked = true;
+                    if (cfg_.crit.predictor ==
+                        CritPredictor::NaiveForward) {
+                        // Section 5.1: tell the controller only now.
+                        mem_.promote(id_, head.op.addr, 1);
+                    }
+                }
+                ++head.stallCycles;
+            }
+            return;
+        }
+
+        // Commit.
+        switch (head.op.cls) {
+          case OpClass::Load:
+            ++stats_.committedLoads;
+            --lqCount_;
+            if (head.blocked) {
+                stats_.headStallLength.sample(head.stallCycles);
+                // Figure 1 counts *long-latency* blocking loads: a
+                // stall that outlasts the uncontended L2 round trip
+                // means commit waited on DRAM.
+                if (head.stallCycles >= cfg_.l2.latency) {
+                    ++stats_.blockingLoads;
+                    stats_.robHeadBlockedCycles += head.stallCycles;
+                }
+                if (cbp_)
+                    cbp_->update(head.op.pc, head.stallCycles);
+            }
+            if (clpt_)
+                clpt_->recordConsumers(head.op.pc, head.consumers);
+            break;
+          case OpClass::Store:
+            ++stats_.committedStores;
+            storeDrain_.push(head.op.addr);
+            break;
+          case OpClass::Branch:
+            ++stats_.committedBranches;
+            if (head.op.mispredict)
+                ++stats_.mispredicts;
+            break;
+          default:
+            break;
+        }
+        ++stats_.committedOps;
+        ++headSeq_;
+        --robCount_;
+        if (finishCycle_ == kNoCycle && quota_ != 0 &&
+            stats_.committedOps.value() >= quota_) {
+            finishCycle_ = now;
+        }
+    }
+}
+
+void
+Core::issueLoad(RobEntry &entry, Cycle now, bool &accepted)
+{
+    // Perfect disambiguation with store-to-load forwarding: a load
+    // whose word matches an in-flight older store gets its value from
+    // the SQ without touching the cache.
+    if (pendingStoreAddrs_.contains(wordAlign(entry.op.addr))) {
+        ++stats_.loadsForwarded;
+        entry.state = EntryState::Issued;
+        fuCompletions_.emplace(now + 1, entry.seq);
+        accepted = true;
+        return;
+    }
+
+    const CritLevel crit = criticalityOf(entry.op);
+    const SeqNum seq = entry.seq;
+    const bool ok = mem_.load(id_, entry.op.addr, crit, [this, seq] {
+        RobEntry &done = entryOf(seq);
+        markComplete(done, now_);
+    });
+    if (!ok) {
+        ++stats_.loadRetries;
+        accepted = false;
+        return;
+    }
+    ++stats_.loadsIssued;
+    if (crit > 0)
+        ++stats_.critLoadsIssued;
+    entry.state = EntryState::Issued;
+    accepted = true;
+}
+
+void
+Core::issueStage(Cycle now)
+{
+    if (readyList_.empty())
+        return;
+    // Oldest-first issue.
+    std::sort(readyList_.begin(), readyList_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return rob_[a].seq < rob_[b].seq;
+              });
+
+    const CoreConfig &c = cfg_.core;
+    std::uint32_t issued = 0;
+    std::uint32_t intAlu = 0, intMul = 0, fpAlu = 0, fpMul = 0;
+    std::uint32_t loads = 0, stores = 0, branches = 0;
+
+    std::vector<std::uint32_t> still;
+    still.reserve(readyList_.size());
+    for (const std::uint32_t idx : readyList_) {
+        RobEntry &entry = rob_[idx];
+        if (entry.state != EntryState::Ready)
+            continue; // defensive: committed/reused slot
+        if (issued >= c.issueWidth) {
+            still.push_back(idx);
+            continue;
+        }
+        bool ok = false;
+        switch (entry.op.cls) {
+          case OpClass::Load:
+            if (loads < c.loadPorts) {
+                bool accepted = false;
+                issueLoad(entry, now, accepted);
+                ++loads; // the port is consumed either way
+                ok = accepted;
+            }
+            break;
+          case OpClass::Store:
+            if (stores < c.storePorts) {
+                ++stores;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+          case OpClass::Branch:
+            if (branches < c.branchUnits) {
+                ++branches;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+          case OpClass::IntAlu:
+            if (intAlu < c.intAlus) {
+                ++intAlu;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+          case OpClass::IntMul:
+            if (intMul < c.intMuls) {
+                ++intMul;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+          case OpClass::FpAlu:
+            if (fpAlu < c.fpAlus) {
+                ++fpAlu;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+          case OpClass::FpMul:
+            if (fpMul < c.fpMuls) {
+                ++fpMul;
+                entry.state = EntryState::Issued;
+                fuCompletions_.emplace(now + entry.op.latency,
+                                       entry.seq);
+                ok = true;
+            }
+            break;
+        }
+        if (ok) {
+            ++issued;
+            if (entry.isFp)
+                --fpIqCount_;
+            else
+                --intIqCount_;
+        } else {
+            still.push_back(idx);
+        }
+    }
+    readyList_.swap(still);
+}
+
+void
+Core::drainStores(Cycle now)
+{
+    (void)now;
+    std::uint32_t drained = 0;
+    while (!storeDrain_.empty() && drained < cfg_.core.storePorts) {
+        const Addr addr = storeDrain_.front();
+        const bool ok = mem_.store(id_, addr, [this, addr] {
+            --sqCount_;
+            const auto it = pendingStoreAddrs_.find(wordAlign(addr));
+            if (it != pendingStoreAddrs_.end() && --it->second == 0)
+                pendingStoreAddrs_.erase(it);
+        });
+        if (!ok)
+            return;
+        storeDrain_.pop();
+        ++drained;
+    }
+}
+
+void
+Core::dispatchStage(Cycle now)
+{
+    const CoreConfig &c = cfg_.core;
+    if (stopAtQuota_ && quota_ != 0 && fetched_ >= quota_ &&
+        !hasPendingOp_) {
+        return; // quota reached and no buffered op left to dispatch
+    }
+    if (now < fetchResumeAt_ || fetchBlockedOnIcache_)
+        return;
+    if (redirectBranch_ != ~SeqNum{0})
+        return; // waiting on an unresolved mispredicted branch
+
+    for (std::uint32_t n = 0; n < c.fetchWidth; ++n) {
+        if (robCount_ >= rob_.size()) {
+            ++stats_.robFullCycles;
+            return;
+        }
+        if (!hasPendingOp_) {
+            if (stopAtQuota_ && quota_ != 0 && fetched_ >= quota_)
+                return; // quota reached: no new fetches
+            gen_.next(pendingOp_);
+            hasPendingOp_ = true;
+            ++fetched_;
+        }
+        const MicroOp &op = pendingOp_;
+
+        // Front end: make sure the instruction's block is in the iL1.
+        // Sequential hits are pipelined (free); only misses stall.
+        const Addr block = op.pc & ~Addr{cfg_.il1.blockBytes - 1};
+        if (block != fetchedBlock_) {
+            if (mem_.fetchProbe(id_, op.pc)) {
+                fetchedBlock_ = block;
+            } else {
+                if (mem_.fetch(id_, op.pc, [this, block] {
+                        fetchBlockedOnIcache_ = false;
+                        fetchedBlock_ = block;
+                    })) {
+                    fetchBlockedOnIcache_ = true;
+                }
+                return; // miss (or iL1 MSHRs full): retry later
+            }
+        }
+
+        // Structural resources.
+        const bool isFp =
+            op.cls == OpClass::FpAlu || op.cls == OpClass::FpMul;
+        if (isFp ? fpIqCount_ >= c.fpIqEntries
+                 : intIqCount_ >= c.intIqEntries) {
+            ++stats_.iqFullCycles;
+            return;
+        }
+        if (op.cls == OpClass::Load && lqCount_ >= c.lqEntries) {
+            ++stats_.lqFullCycles;
+            return;
+        }
+        if (op.cls == OpClass::Store && sqCount_ >= c.sqEntries) {
+            ++stats_.sqFullCycles;
+            return;
+        }
+        if (op.cls == OpClass::Branch &&
+            unresolvedBranches_ >= c.maxUnresolvedBranches) {
+            ++stats_.branchLimitCycles;
+            return;
+        }
+
+        // Allocate the ROB entry.
+        const SeqNum seq = nextSeq_++;
+        RobEntry &entry = entryOf(seq);
+        entry.op = op;
+        entry.seq = seq;
+        entry.state = EntryState::Waiting;
+        entry.srcsPending = 0;
+        entry.isFp = isFp;
+        entry.blocked = false;
+        entry.stallCycles = 0;
+        entry.consumers = 0;
+        entry.waiters.clear();
+        ++robCount_;
+        hasPendingOp_ = false;
+
+        // Resolve dependences against the ROB.
+        const auto addDep = [&](std::uint16_t dist) {
+            if (dist == 0 || dist > seq)
+                return;
+            const SeqNum producerSeq = seq - dist;
+            if (producerSeq < headSeq_)
+                return; // producer already committed
+            RobEntry &producer = entryOf(producerSeq);
+            if (producer.op.cls == OpClass::Load)
+                ++producer.consumers;
+            if (producer.state != EntryState::Complete) {
+                ++entry.srcsPending;
+                producer.waiters.push_back(robIndex(seq));
+            }
+        };
+        addDep(op.dep1);
+        addDep(op.dep2);
+
+        if (isFp)
+            ++fpIqCount_;
+        else
+            ++intIqCount_;
+        switch (op.cls) {
+          case OpClass::Load:
+            ++lqCount_;
+            break;
+          case OpClass::Store:
+            ++sqCount_;
+            ++pendingStoreAddrs_[wordAlign(op.addr)];
+            break;
+          case OpClass::Branch:
+            ++unresolvedBranches_;
+            break;
+          default:
+            break;
+        }
+
+        if (entry.srcsPending == 0) {
+            entry.state = EntryState::Ready;
+            readyList_.push_back(robIndex(seq));
+        }
+
+        if (op.cls == OpClass::Branch && op.mispredict) {
+            // Stop dispatching until the branch resolves; the redirect
+            // penalty is charged at resolution (completeStage).
+            redirectBranch_ = seq;
+            return;
+        }
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    if (!active_)
+        return;
+    now_ = now;
+    ++stats_.cycles;
+    if (cbp_)
+        cbp_->maybeReset(now);
+
+    completeStage(now);
+    commitStage(now);
+    issueStage(now);
+    drainStores(now);
+    dispatchStage(now);
+}
+
+} // namespace critmem

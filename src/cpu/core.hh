@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Cycle-level simplified out-of-order core (Table 1).
+ *
+ * The core consumes a TraceGenerator's dependence-annotated micro-op
+ * stream and models the structures that matter to the paper's
+ * mechanism: a finite ROB with in-order dispatch/commit, issue queues
+ * and a functional-unit pool, load/store queues with store-to-load
+ * forwarding (perfect disambiguation, per Table 1), a bounded number
+ * of unresolved branches with a fixed misprediction redirect penalty,
+ * and — crucially — detection and timing of loads that block the ROB
+ * head, feeding the Commit Block Predictor.
+ *
+ * Deliberate simplifications (documented in DESIGN.md): wrong-path
+ * instructions are not fetched (a mispredicted branch instead blocks
+ * the front end until it resolves plus the redirect penalty), and
+ * register renaming is abstracted by the generator's dependence
+ * distances.
+ */
+
+#ifndef CRITMEM_CPU_CORE_HH
+#define CRITMEM_CPU_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "crit/cbp.hh"
+#include "crit/clpt.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "trace/generator.hh"
+
+namespace critmem
+{
+
+/** One out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param cfg Whole-system configuration (core + crit sections).
+     * @param id This core's id.
+     * @param gen Micro-op source; must outlive the core.
+     * @param mem Shared memory hierarchy; must outlive the core.
+     * @param parent Statistics parent.
+     */
+    Core(const SystemConfig &cfg, CoreId id, TraceGenerator &gen,
+         MemHierarchy &mem, stats::Group &parent);
+
+    /** Stop fetching new micro-ops after this many commits. */
+    void setQuota(std::uint64_t instructions) { quota_ = instructions; }
+
+    /**
+     * When false, the core keeps executing past its quota (the
+     * multiprogrammed methodology: the bundle runs until every
+     * application has committed its measurement window, but each
+     * application's IPC uses only its own first-quota instructions).
+     */
+    void setStopAtQuota(bool stop) { stopAtQuota_ = stop; }
+
+    /** Advance one CPU cycle. */
+    void tick(Cycle now);
+
+    /** Committed instruction count. */
+    std::uint64_t committed() const { return stats_.committedOps.value(); }
+
+    /**
+     * Deactivate the core entirely (used to run an application
+     * "alone" for weighted-speedup baselining). An inactive core
+     * never ticks and always reports finished.
+     */
+    void setActive(bool active) { active_ = active; }
+
+    bool active() const { return active_; }
+
+    /** @return true once the commit quota has been reached. */
+    bool
+    finished() const
+    {
+        return !active_ || (quota_ != 0 && committed() >= quota_);
+    }
+
+    /** Cycle at which the quota was reached (kNoCycle if not yet). */
+    Cycle finishCycle() const { return finishCycle_; }
+
+    /**
+     * Start a fresh measurement window after a warmup run: the commit
+     * quota counts from zero again (statistics are reset separately
+     * via the stats tree). Predictor state is deliberately kept warm.
+     */
+    void
+    resetWindow()
+    {
+        fetched_ = 0;
+        finishCycle_ = kNoCycle;
+    }
+
+    /** @return true when no instruction is in flight. */
+    bool drained() const { return robCount_ == 0 && storeDrain_.empty(); }
+
+    /** Per-core statistics. */
+    struct Stats
+    {
+        Stats(stats::Group &parent, CoreId id);
+
+        stats::Group group;
+        stats::Scalar cycles;
+        stats::Scalar committedOps;
+        stats::Scalar committedLoads;
+        stats::Scalar committedStores;
+        stats::Scalar committedBranches;
+        stats::Scalar mispredicts;
+        stats::Scalar blockingLoads;
+        stats::Scalar robHeadBlockedCycles;
+        stats::Scalar robFullCycles;
+        stats::Scalar lqFullCycles;
+        stats::Scalar sqFullCycles;
+        stats::Scalar iqFullCycles;
+        stats::Scalar branchLimitCycles;
+        stats::Scalar loadsIssued;
+        stats::Scalar loadsForwarded;
+        stats::Scalar critLoadsIssued;
+        stats::Scalar loadRetries;
+        stats::Histogram headStallLength;
+    };
+
+    const Stats &coreStats() const { return stats_; }
+
+    /** The core's commit block predictor (null unless configured). */
+    const CommitBlockPredictor *cbp() const { return cbp_.get(); }
+
+    /** The core's CLPT (null unless configured). */
+    const Clpt *clpt() const { return clpt_.get(); }
+
+  private:
+    enum class EntryState : std::uint8_t
+    {
+        Waiting,  ///< operands outstanding
+        Ready,    ///< may issue when an FU/port is free
+        Issued,   ///< executing / memory access in flight
+        Complete, ///< may commit when it reaches the head
+    };
+
+    struct RobEntry
+    {
+        MicroOp op;
+        SeqNum seq = 0;
+        EntryState state = EntryState::Waiting;
+        std::uint8_t srcsPending = 0;
+        bool isFp = false;
+        bool blocked = false;       ///< has blocked the ROB head
+        std::uint64_t stallCycles = 0;
+        std::uint32_t consumers = 0; ///< direct consumers (CLPT)
+        std::vector<std::uint32_t> waiters; ///< ROB indices to wake
+    };
+
+    std::uint32_t robIndex(SeqNum seq) const
+    {
+        return static_cast<std::uint32_t>(seq % rob_.size());
+    }
+
+    RobEntry &entryOf(SeqNum seq) { return rob_[robIndex(seq)]; }
+
+    void commitStage(Cycle now);
+    void completeStage(Cycle now);
+    void issueStage(Cycle now);
+    void drainStores(Cycle now);
+    void dispatchStage(Cycle now);
+
+    void markComplete(RobEntry &entry, Cycle now);
+    void issueLoad(RobEntry &entry, Cycle now, bool &portUsed);
+    CritLevel criticalityOf(const MicroOp &op) const;
+
+    SystemConfig cfg_;
+    const CoreId id_;
+    TraceGenerator &gen_;
+    MemHierarchy &mem_;
+
+    std::vector<RobEntry> rob_;
+    SeqNum headSeq_ = 0;
+    SeqNum nextSeq_ = 0;
+    std::uint32_t robCount_ = 0;
+
+    std::uint32_t intIqCount_ = 0;
+    std::uint32_t fpIqCount_ = 0;
+    std::uint32_t lqCount_ = 0;
+    std::uint32_t sqCount_ = 0;
+    std::uint32_t unresolvedBranches_ = 0;
+
+    /** Committed stores awaiting their dL1 write. */
+    std::queue<Addr> storeDrain_;
+    std::uint32_t storeDrainInFlight_ = 0;
+    /** Store addresses (8B-aligned) visible for forwarding. */
+    std::unordered_map<Addr, std::uint32_t> pendingStoreAddrs_;
+
+    /** Non-memory completion times. */
+    std::priority_queue<std::pair<Cycle, SeqNum>,
+                        std::vector<std::pair<Cycle, SeqNum>>,
+                        std::greater<>> fuCompletions_;
+
+    std::vector<std::uint32_t> readyList_;
+
+    /** Front-end state. */
+    Cycle fetchResumeAt_ = 0;
+    SeqNum redirectBranch_ = ~SeqNum{0}; ///< unresolved mispredict
+    bool fetchBlockedOnIcache_ = false;
+    Addr fetchedBlock_ = kNoAddr;
+    MicroOp pendingOp_;
+    bool hasPendingOp_ = false;
+
+    /** Head-block tracking (the CBP counter logic of Fig. 2). */
+    SeqNum trackedHead_ = ~SeqNum{0};
+
+    std::uint64_t quota_ = 0;
+    std::uint64_t fetched_ = 0;
+    bool stopAtQuota_ = true;
+    bool active_ = true;
+    Cycle finishCycle_ = kNoCycle;
+    Cycle now_ = 0;
+
+    std::unique_ptr<CommitBlockPredictor> cbp_;
+    std::unique_ptr<Clpt> clpt_;
+
+    Stats stats_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_CPU_CORE_HH

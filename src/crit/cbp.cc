@@ -1,0 +1,118 @@
+#include "cbp.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+CommitBlockPredictor::CommitBlockPredictor(CritPredictor kind,
+                                           std::uint32_t entries,
+                                           std::uint64_t resetInterval,
+                                           std::uint32_t counterWidth,
+                                           std::uint32_t probShift)
+    : kind_(kind), entries_(entries), resetInterval_(resetInterval),
+      saturation_(counterWidth == 0 || counterWidth >= 64
+                      ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << counterWidth) - 1),
+      probShift_(probShift), rng_(0x5a17u + entries * 131),
+      nextReset_(resetInterval ? resetInterval : kNoCycle)
+{
+    if (!isCbp(kind))
+        fatal("CommitBlockPredictor built with non-CBP kind '",
+              toString(kind), "'");
+    if (entries_ != 0) {
+        if (!std::has_single_bit(entries_))
+            fatal("CBP entry count must be a power of two or 0");
+        table_.assign(entries_, 0);
+    }
+}
+
+std::uint64_t
+CommitBlockPredictor::index(std::uint64_t pc) const
+{
+    // Loads are word-spaced; drop the low bits before slicing the
+    // index substring, as a branch-predictor-style table would.
+    return (pc >> 2) & (entries_ - 1);
+}
+
+CritLevel
+CommitBlockPredictor::predict(std::uint64_t pc) const
+{
+    std::uint64_t value = 0;
+    if (entries_ == 0) {
+        const auto it = unlimited_.find(pc);
+        value = it == unlimited_.end() ? 0 : it->second;
+    } else {
+        value = table_[index(pc)];
+    }
+    // The scheduler comparators carry a bounded magnitude; clamp the
+    // (potentially 27-bit-plus) raw counter into CritLevel.
+    return static_cast<CritLevel>(
+        std::min<std::uint64_t>(value, 0xffffffffull));
+}
+
+void
+CommitBlockPredictor::update(std::uint64_t pc, std::uint64_t stallCycles)
+{
+    std::uint64_t &slot = entries_ == 0 ? unlimited_[pc]
+                                        : table_[index(pc)];
+    // Probabilistic accumulation (Riley & Zilles [21]): apply an
+    // accumulating update with probability 2^-probShift and scale it
+    // by 2^probShift -- unbiased, and a narrow counter advances in
+    // coarse steps instead of overflowing.
+    const bool accumulating = kind_ == CritPredictor::CbpBlockCount ||
+        kind_ == CritPredictor::CbpTotalStall;
+    std::uint64_t scale = 1;
+    if (probShift_ > 0 && accumulating) {
+        if (rng_.below(std::uint64_t{1} << probShift_) != 0)
+            return; // update dropped this time
+        scale = std::uint64_t{1} << probShift_;
+    }
+    switch (kind_) {
+      case CritPredictor::CbpBinary:
+        slot = 1;
+        break;
+      case CritPredictor::CbpBlockCount:
+        slot += scale;
+        break;
+      case CritPredictor::CbpLastStall:
+        slot = stallCycles;
+        break;
+      case CritPredictor::CbpMaxStall:
+        slot = std::max(slot, stallCycles);
+        break;
+      case CritPredictor::CbpTotalStall:
+        slot += stallCycles * scale;
+        break;
+      default:
+        panic("unreachable CBP kind");
+    }
+    slot = std::min(slot, saturation_);
+    maxObserved_ = std::max(maxObserved_, slot);
+}
+
+void
+CommitBlockPredictor::maybeReset(Cycle now)
+{
+    if (now < nextReset_)
+        return;
+    nextReset_ = now + resetInterval_;
+    std::fill(table_.begin(), table_.end(), 0);
+    unlimited_.clear();
+}
+
+std::uint64_t
+CommitBlockPredictor::populatedEntries() const
+{
+    if (entries_ == 0)
+        return unlimited_.size();
+    std::uint64_t count = 0;
+    for (const std::uint64_t value : table_)
+        count += value != 0;
+    return count;
+}
+
+} // namespace critmem

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Commit Block Predictor (CBP) — the paper's Section 3 proposal.
+ *
+ * A small, tagless, direct-mapped SRAM indexed by a substring of the
+ * load PC. When a load that blocked the head of the ROB commits, the
+ * table entry is annotated with one of five metrics (Section 3.1):
+ * a saturating bit (Binary), the number of blocking episodes
+ * (BlockCount), the most recent stall length (LastStallTime), the
+ * largest observed stall (MaxStallTime), or the accumulated stall
+ * cycles (TotalStallTime). Future dynamic instances of any load
+ * aliasing to that entry are flagged critical at issue, and the read
+ * magnitude is piggybacked to the memory scheduler.
+ *
+ * An entry count of zero selects the paper's "unlimited" reference
+ * configuration: a fully-associative, unaliased table. An optional
+ * periodic full reset (Section 5.3.2) limits table saturation.
+ */
+
+#ifndef CRITMEM_CRIT_CBP_HH
+#define CRITMEM_CRIT_CBP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** The per-core commit block predictor. */
+class CommitBlockPredictor
+{
+  public:
+    /**
+     * @param kind One of the five CBP annotations.
+     * @param entries Table entries (power of two), or 0 = unlimited.
+     * @param resetInterval Full-reset period in CPU cycles; 0 = never.
+     * @param counterWidth Saturating width in bits; 0 = unbounded.
+     * @param probShift Probabilistic-update shift (Riley & Zilles
+     *        [21]) for the accumulating annotations; 0 = exact.
+     */
+    CommitBlockPredictor(CritPredictor kind, std::uint32_t entries,
+                         std::uint64_t resetInterval,
+                         std::uint32_t counterWidth = 0,
+                         std::uint32_t probShift = 0);
+
+    /**
+     * Table lookup at load issue.
+     * @return the criticality magnitude (0 = predicted non-critical).
+     */
+    CritLevel predict(std::uint64_t pc) const;
+
+    /**
+     * Annotate the table when a load that blocked the ROB head
+     * commits.
+     * @param stallCycles Length of the ROB-head stall it caused.
+     */
+    void update(std::uint64_t pc, std::uint64_t stallCycles);
+
+    /** Apply the periodic reset if the interval elapsed. */
+    void maybeReset(Cycle now);
+
+    /** Largest raw value ever written (Table 5's "Max Obs. Value"). */
+    std::uint64_t maxObserved() const { return maxObserved_; }
+
+    /** Entries currently flagged critical (saturation studies). */
+    std::uint64_t populatedEntries() const;
+
+    CritPredictor kind() const { return kind_; }
+    std::uint32_t entries() const { return entries_; }
+
+  private:
+    std::uint64_t index(std::uint64_t pc) const;
+
+    CritPredictor kind_;
+    std::uint32_t entries_;
+    std::uint64_t resetInterval_;
+    std::uint64_t saturation_;
+    std::uint32_t probShift_;
+    Rng rng_;
+    Cycle nextReset_;
+    std::vector<std::uint64_t> table_;
+    std::unordered_map<std::uint64_t, std::uint64_t> unlimited_;
+    std::uint64_t maxObserved_ = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_CRIT_CBP_HH

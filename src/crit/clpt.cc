@@ -1,0 +1,34 @@
+#include "clpt.hh"
+
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+Clpt::Clpt(std::uint32_t entries, std::uint32_t threshold,
+           bool magnitudeMode)
+    : table_(entries, 0), threshold_(threshold),
+      magnitudeMode_(magnitudeMode)
+{
+    if (entries == 0 || !std::has_single_bit(entries))
+        fatal("CLPT entry count must be a nonzero power of two");
+}
+
+CritLevel
+Clpt::predict(std::uint64_t pc) const
+{
+    const std::uint32_t count = table_[index(pc)];
+    if (count < threshold_)
+        return 0;
+    return magnitudeMode_ ? count : 1;
+}
+
+void
+Clpt::recordConsumers(std::uint64_t pc, std::uint32_t consumers)
+{
+    table_[index(pc)] = consumers;
+}
+
+} // namespace critmem

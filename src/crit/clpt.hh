@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Critical Load Prediction Table of Subramaniam et al. [29],
+ * reproduced as a comparison point (Section 2 / 5.3.3).
+ *
+ * ROB-side counters track each load's *direct* consumers as they
+ * rename; the count is stored in this PC-indexed table when the load
+ * commits. A later dynamic instance is marked critical when its
+ * stored count reaches the threshold (3 in the paper's main
+ * configuration; 2 in the sensitivity rerun). The Consumers variant
+ * forwards the stored count itself as the criticality magnitude.
+ */
+
+#ifndef CRITMEM_CRIT_CLPT_HH
+#define CRITMEM_CRIT_CLPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Per-core critical load prediction table. */
+class Clpt
+{
+  public:
+    /**
+     * @param entries Table entries (power of two).
+     * @param threshold Consumers required to mark a load critical.
+     * @param magnitudeMode True = CLPT-Consumers (forward the count),
+     *        false = CLPT-Binary.
+     */
+    Clpt(std::uint32_t entries, std::uint32_t threshold,
+         bool magnitudeMode);
+
+    /** Lookup at load issue; 0 = non-critical. */
+    CritLevel predict(std::uint64_t pc) const;
+
+    /** Store the consumer count observed when a load commits. */
+    void recordConsumers(std::uint64_t pc, std::uint32_t consumers);
+
+  private:
+    std::uint64_t
+    index(std::uint64_t pc) const
+    {
+        return (pc >> 2) & (table_.size() - 1);
+    }
+
+    std::vector<std::uint32_t> table_;
+    std::uint32_t threshold_;
+    bool magnitudeMode_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_CRIT_CLPT_HH

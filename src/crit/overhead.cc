@@ -1,0 +1,52 @@
+#include "overhead.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace critmem
+{
+
+std::uint32_t
+counterWidth(std::uint64_t maxValue)
+{
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::bit_width(maxValue)));
+}
+
+OverheadReport
+storageOverhead(std::uint32_t widthBits, std::uint32_t cbpEntries,
+                const SystemConfig &cfg)
+{
+    OverheadReport report;
+    report.widthBits = widthBits;
+
+    const std::uint32_t seqBits = static_cast<std::uint32_t>(
+        std::bit_width(cfg.core.robEntries - 1));
+    const std::uint32_t idxBits = static_cast<std::uint32_t>(
+        std::bit_width(std::max(cbpEntries, 2u) - 1));
+    const std::uint64_t tableBits =
+        static_cast<std::uint64_t>(cbpEntries) * widthBits;
+
+    const std::uint64_t baseBits = seqBits + idxBits + tableBits;
+    // Load-queue expansion options (Section 3.2): lookup-at-issue via
+    // the ROB needs none; storing the decode-time prediction needs
+    // `width` bits per entry; storing the PC substring needs idxBits.
+    const std::uint64_t lqOptionMax =
+        static_cast<std::uint64_t>(cfg.core.lqEntries) *
+        std::max(widthBits, idxBits);
+
+    report.perCoreMinBits = baseBits;
+    report.perCoreMaxBits = baseBits + lqOptionMax;
+    report.perChannelQueueBits =
+        static_cast<std::uint64_t>(cfg.dram.queueEntries) * widthBits;
+
+    const std::uint64_t queueTotal =
+        report.perChannelQueueBits * cfg.dram.channels;
+    report.systemMinBytes =
+        (report.perCoreMinBits * cfg.numCores + queueTotal + 7) / 8;
+    report.systemMaxBytes =
+        (report.perCoreMaxBits * cfg.numCores + queueTotal + 7) / 8;
+    return report;
+}
+
+} // namespace critmem

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic storage-overhead model reproducing the paper's bit
+ * accounting: Table 5 (criticality counter widths) and Section 5.7
+ * (SRAM bytes for the CASRAS-Crit implementation).
+ */
+
+#ifndef CRITMEM_CRIT_OVERHEAD_HH
+#define CRITMEM_CRIT_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+
+namespace critmem
+{
+
+/** Storage accounting for one CBP configuration. */
+struct OverheadReport
+{
+    std::uint32_t widthBits = 0;       ///< counter width per entry
+    std::uint64_t perCoreMinBits = 0;  ///< cheapest lookup option
+    std::uint64_t perCoreMaxBits = 0;  ///< costliest lookup option
+    std::uint64_t perChannelQueueBits = 0;
+    std::uint64_t systemMinBytes = 0;  ///< whole-CMP SRAM, min option
+    std::uint64_t systemMaxBytes = 0;  ///< whole-CMP SRAM, max option
+};
+
+/** @return bits needed to hold @p maxValue (Table 5's Width column). */
+std::uint32_t counterWidth(std::uint64_t maxValue);
+
+/**
+ * Compute the Section 5.7 accounting.
+ *
+ * Per core: a ROB-sequence register, a PC-substring index register,
+ * the tagless CBP table, and — depending on the lookup
+ * implementation — a load-queue expansion of zero bits (lookup via
+ * the ROB), `width` bits (prediction stored at decode), or
+ * `log2(entries)` bits (PC substring stored at issue). Per channel:
+ * one magnitude per transaction-queue entry.
+ *
+ * @param widthBits Counter width (1 for Binary; measured otherwise).
+ * @param cbpEntries CBP table entries.
+ * @param cfg System dimensions (cores, channels, LQ, ROB, queue).
+ */
+OverheadReport storageOverhead(std::uint32_t widthBits,
+                               std::uint32_t cbpEntries,
+                               const SystemConfig &cfg);
+
+} // namespace critmem
+
+#endif // CRITMEM_CRIT_OVERHEAD_HH

@@ -1,0 +1,395 @@
+#include "channel.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+DramChannel::Stats::Stats(stats::Group &parent, std::uint32_t id)
+    : group("channel" + std::to_string(id), &parent),
+      activates(group, "activates", "ACT commands issued"),
+      reads(group, "reads", "column read commands issued"),
+      writes(group, "writes", "column write commands issued"),
+      precharges(group, "precharges", "PRE commands issued"),
+      refreshes(group, "refreshes", "REF commands issued"),
+      rowHits(group, "rowHits", "CAS commands that hit an open row"),
+      rowMisses(group, "rowMisses", "ACTs issued to closed banks"),
+      rowConflicts(group, "rowConflicts",
+                   "PREs closing a row another request had open"),
+      busyDataCycles(group, "busyDataCycles",
+                     "DRAM cycles the data bus carried a burst"),
+      idleNoCandidate(group, "idleNoCandidate",
+                      "cycles queue was nonempty but nothing issuable"),
+      enqueueRejects(group, "enqueueRejects",
+                     "transactions rejected because a queue was full"),
+      autoPrecharges(group, "autoPrecharges",
+                     "closed-page auto-precharges after CAS"),
+      readLatency(group, "readLatency",
+                  "read queueing+service latency, DRAM cycles"),
+      readQueueOcc(group, "readQueueOcc",
+                   "read transaction queue occupancy"),
+      critInQueue(group, "critInQueue",
+                  "critical reads resident in the queue")
+{
+}
+
+DramChannel::DramChannel(const DramConfig &cfg, std::uint32_t id,
+                         Scheduler &sched, stats::Group &parent)
+    : cfg_(cfg), id_(id), sched_(sched),
+      banks_(cfg.ranksPerChannel * cfg.banksPerRank),
+      ranks_(cfg.ranksPerChannel),
+      stats_(parent, id)
+{
+    // Stagger refresh deadlines so the ranks don't refresh in
+    // lock-step and stall the whole channel at once.
+    for (std::uint32_t r = 0; r < cfg_.ranksPerChannel; ++r) {
+        ranks_[r].refreshDue =
+            static_cast<DramCycle>(cfg_.t.tREFI) * (r + 1) /
+            cfg_.ranksPerChannel;
+    }
+}
+
+bool
+DramChannel::enqueue(MemRequest req, const DramCoord &coord,
+                     DramCycle now)
+{
+    auto &queue = req.type == ReqType::Write ? writeQ_ : readQ_;
+    const std::size_t used = cfg_.unifiedQueue
+        ? readQ_.size() + writeQ_.size()
+        : queue.size();
+    if (used >= cfg_.queueEntries) {
+        ++stats_.enqueueRejects;
+        return false;
+    }
+    sched_.onEnqueue(id_, req, coord, now);
+    queue.push_back(Transaction{std::move(req), coord, now});
+    return true;
+}
+
+bool
+DramChannel::promote(Addr addr, CoreId core, CritLevel crit)
+{
+    for (auto &trans : readQ_) {
+        if (trans.req.addr == addr && trans.req.core == core &&
+            trans.req.type == ReqType::Read) {
+            trans.req.crit = std::max(trans.req.crit, crit);
+            return true;
+        }
+    }
+    return false;
+}
+
+DramCycle
+DramChannel::dataBusFreeFor(std::uint32_t rank) const
+{
+    if (busFreeAt_ == 0)
+        return 0;
+    return busFreeAt_ + (rank != lastBusRank_ ? cfg_.t.tRTRS : 0);
+}
+
+void
+DramChannel::popCompletions(DramCycle now)
+{
+    while (!completions_.empty() && completions_.top().at <= now) {
+        // top() only exposes const access; the heap entry is dead after
+        // pop, so moving the request out is safe.
+        auto &entry = const_cast<Completion &>(completions_.top());
+        MemRequest req = std::move(entry.req);
+        const DramCycle arrival = entry.arrival;
+        const DramCycle at = entry.at;
+        completions_.pop();
+        if (req.type != ReqType::Write)
+            stats_.readLatency.sample(at - arrival);
+        sched_.onComplete(id_, req, now);
+        if (req.onComplete)
+            req.onComplete(req);
+    }
+}
+
+bool
+DramChannel::refreshTick(DramCycle now)
+{
+    for (std::uint32_t r = 0; r < cfg_.ranksPerChannel; ++r) {
+        RankState &rank = ranks_[r];
+        if (!rank.refreshPending) {
+            if (now >= rank.refreshDue)
+                rank.refreshPending = true;
+            else
+                continue;
+        }
+        // Close any open bank as soon as its precharge is legal.
+        bool allClosed = true;
+        DramCycle readyRef = 0;
+        for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
+            BankState &bank = this->bank(r, b);
+            if (bank.open) {
+                allClosed = false;
+                if (now >= bank.readyPre) {
+                    bank.open = false;
+                    bank.readyAct =
+                        std::max(bank.readyAct, now + cfg_.t.tRP);
+                    ++stats_.precharges;
+                    return true; // consumed the command bus
+                }
+            } else {
+                readyRef = std::max(readyRef, bank.readyAct);
+            }
+        }
+        if (allClosed && now >= readyRef) {
+            for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b)
+                bank(r, b).readyAct = now + cfg_.t.tRFC;
+            rank.refreshPending = false;
+            rank.refreshDue += cfg_.t.tREFI;
+            ++stats_.refreshes;
+            return true;
+        }
+        // A pending refresh that cannot act yet does not consume the
+        // bus; other ranks may still be scheduled.
+    }
+    return false;
+}
+
+void
+DramChannel::buildCandidates(DramCycle now)
+{
+    cands_.clear();
+
+    bool writesEligible = true;
+    if (!cfg_.unifiedQueue) {
+        // Split-queue mode: drain writes under a high/low watermark
+        // or opportunistically when no read is pending.
+        const std::uint32_t hi = cfg_.queueEntries * 3 / 4;
+        const std::uint32_t lo = cfg_.queueEntries / 4;
+        if (!draining_ && writeQ_.size() >= hi)
+            draining_ = true;
+        else if (draining_ && writeQ_.size() <= lo)
+            draining_ = false;
+        writesEligible =
+            draining_ || (readQ_.empty() && !writeQ_.empty());
+    }
+
+    auto consider = [&](const std::vector<Transaction> &queue,
+                        bool isWrite) {
+        for (std::uint32_t i = 0; i < queue.size(); ++i) {
+            const Transaction &trans = queue[i];
+            const DramCoord &c = trans.coord;
+            if (ranks_[c.rank].refreshPending)
+                continue;
+            const BankState &bank =
+                banks_[c.rank * cfg_.banksPerRank + c.bank];
+
+            SchedCandidate cand;
+            cand.queueIndex = i;
+            cand.coord = c;
+            cand.isWrite = isWrite;
+            cand.isPrefetch = trans.req.type == ReqType::Prefetch;
+            cand.core = trans.req.core;
+            cand.crit = trans.req.crit;
+            cand.arrival = trans.arrival;
+            cand.seq = trans.req.id;
+
+            if (!bank.open) {
+                if (now < bank.readyAct)
+                    continue;
+                cand.cmd = DramCmd::Act;
+            } else if (bank.row == c.row) {
+                if (isWrite) {
+                    if (now < bank.readyWrite ||
+                        now + cfg_.t.tWL < dataBusFreeFor(c.rank))
+                        continue;
+                    cand.cmd = DramCmd::Write;
+                } else {
+                    if (now < bank.readyRead ||
+                        now + cfg_.t.tCL < dataBusFreeFor(c.rank))
+                        continue;
+                    cand.cmd = DramCmd::Read;
+                }
+                cand.rowHit = true;
+            } else {
+                if (now < bank.readyPre)
+                    continue;
+                cand.cmd = DramCmd::Pre;
+            }
+            cands_.push_back(cand);
+        }
+    };
+
+    consider(readQ_, false);
+    if (writesEligible)
+        consider(writeQ_, true);
+}
+
+void
+DramChannel::applyRead(const DramCoord &c, DramCycle now)
+{
+    const DramTiming &t = cfg_.t;
+    BankState &b = bank(c.rank, c.bank);
+    const DramCycle burstEnd = now + t.tCL + t.dataCycles();
+
+    b.readyPre = std::max(b.readyPre, now + t.tRTP);
+    for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
+        BankState &other = bank(c.rank, i);
+        other.readyRead = std::max(other.readyRead, now + t.tCCD);
+        // Read-to-write turnaround: the write burst must start after
+        // the read burst clears the bus plus a rank switch gap.
+        const DramCycle wrCmd = burstEnd + t.tRTRS - t.tWL;
+        other.readyWrite = std::max(other.readyWrite, wrCmd);
+    }
+    busFreeAt_ = burstEnd;
+    lastBusRank_ = c.rank;
+    stats_.busyDataCycles += t.dataCycles();
+}
+
+void
+DramChannel::applyWrite(const DramCoord &c, DramCycle now)
+{
+    const DramTiming &t = cfg_.t;
+    const DramCycle burstEnd = now + t.tWL + t.dataCycles();
+
+    BankState &b = bank(c.rank, c.bank);
+    b.readyPre = std::max(b.readyPre, burstEnd + t.tWR);
+    for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
+        BankState &other = bank(c.rank, i);
+        other.readyWrite = std::max(other.readyWrite, now + t.tCCD);
+        other.readyRead = std::max(other.readyRead, burstEnd + t.tWTR);
+    }
+    busFreeAt_ = burstEnd;
+    lastBusRank_ = c.rank;
+    stats_.busyDataCycles += t.dataCycles();
+}
+
+void
+DramChannel::maybeAutoPrecharge(const DramCoord &coord, DramCycle now)
+{
+    if (!cfg_.closedPage)
+        return;
+    // Keep the row open while any queued transaction still wants it.
+    for (const Transaction &trans : readQ_) {
+        if (trans.coord.rank == coord.rank &&
+            trans.coord.bank == coord.bank &&
+            trans.coord.row == coord.row) {
+            return;
+        }
+    }
+    for (const Transaction &trans : writeQ_) {
+        if (trans.coord.rank == coord.rank &&
+            trans.coord.bank == coord.bank &&
+            trans.coord.row == coord.row) {
+            return;
+        }
+    }
+    // CAS-with-auto-precharge: the bank closes once its restore
+    // window (already folded into readyPre by applyRead/applyWrite)
+    // elapses; model it as an immediate close whose next activate
+    // honors that window plus tRP.
+    BankState &bank = this->bank(coord.rank, coord.bank);
+    bank.open = false;
+    bank.readyAct = std::max(bank.readyAct, bank.readyPre + cfg_.t.tRP);
+    (void)now;
+    ++stats_.autoPrecharges;
+}
+
+void
+DramChannel::issue(const SchedCandidate &cand, DramCycle now)
+{
+    const DramTiming &t = cfg_.t;
+    auto &queue = cand.isWrite ? writeQ_ : readQ_;
+    BankState &b = bank(cand.coord.rank, cand.coord.bank);
+
+    switch (cand.cmd) {
+      case DramCmd::Act:
+        b.open = true;
+        b.row = cand.coord.row;
+        b.readyRead = std::max(b.readyRead, now + t.tRCD);
+        b.readyWrite = std::max(b.readyWrite, now + t.tRCD);
+        b.readyPre = std::max(b.readyPre, now + t.tRAS);
+        b.readyAct = std::max(b.readyAct, now + t.tRC);
+        for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
+            if (i != cand.coord.bank) {
+                BankState &other = bank(cand.coord.rank, i);
+                other.readyAct =
+                    std::max(other.readyAct, now + t.tRRD);
+            }
+        }
+        ++stats_.activates;
+        ++stats_.rowMisses;
+        break;
+
+      case DramCmd::Read: {
+        applyRead(cand.coord, now);
+        ++stats_.reads;
+        ++stats_.rowHits;
+        Transaction trans = std::move(queue[cand.queueIndex]);
+        queue.erase(queue.begin() + cand.queueIndex);
+        completions_.push(Completion{now + t.tCL + t.dataCycles(),
+                                     completionOrder_++,
+                                     std::move(trans.req),
+                                     trans.arrival});
+        maybeAutoPrecharge(cand.coord, now);
+        break;
+      }
+
+      case DramCmd::Write: {
+        applyWrite(cand.coord, now);
+        ++stats_.writes;
+        ++stats_.rowHits;
+        Transaction trans = std::move(queue[cand.queueIndex]);
+        queue.erase(queue.begin() + cand.queueIndex);
+        completions_.push(Completion{now + t.tWL + t.dataCycles(),
+                                     completionOrder_++,
+                                     std::move(trans.req),
+                                     trans.arrival});
+        maybeAutoPrecharge(cand.coord, now);
+        break;
+      }
+
+      case DramCmd::Pre:
+        b.open = false;
+        b.readyAct = std::max(b.readyAct, now + t.tRP);
+        ++stats_.precharges;
+        ++stats_.rowConflicts;
+        break;
+
+      case DramCmd::Ref:
+        panic("refresh is issued by the refresh engine, not pick()");
+    }
+
+    sched_.onIssue(id_, cand, now);
+}
+
+void
+DramChannel::tick(DramCycle now)
+{
+    popCompletions(now);
+
+    stats_.readQueueOcc.sample(static_cast<double>(readQ_.size()));
+    std::uint32_t crit = 0;
+    for (const auto &trans : readQ_)
+        crit += trans.req.crit > 0 ? 1 : 0;
+    stats_.critInQueue.sample(static_cast<double>(crit));
+
+    if (refreshTick(now))
+        return;
+
+    if (readQ_.empty() && writeQ_.empty())
+        return;
+
+    buildCandidates(now);
+    if (cands_.empty()) {
+        ++stats_.idleNoCandidate;
+        return;
+    }
+
+    const int choice =
+        sched_.pick(id_, cands_, now);
+    if (choice < 0)
+        return;
+    if (static_cast<std::size_t>(choice) >= cands_.size())
+        panic("scheduler '", sched_.name(), "' picked candidate ",
+              choice, " of ", cands_.size());
+    issue(cands_[choice], now);
+}
+
+} // namespace critmem

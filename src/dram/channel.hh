@@ -1,0 +1,190 @@
+/**
+ * @file
+ * One DDR3 channel: transaction queues, per-bank/rank timing state,
+ * refresh engine, candidate generation and command issue.
+ */
+
+#ifndef CRITMEM_DRAM_CHANNEL_HH
+#define CRITMEM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dram/command.hh"
+#include "mem/request.hh"
+#include "sched/scheduler.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/**
+ * Timing state of a single DRAM bank. The readyX fields hold the
+ * earliest DRAM cycle at which command X may be issued to this bank.
+ */
+struct BankState
+{
+    bool open = false;
+    std::uint64_t row = 0;
+    DramCycle readyAct = 0;
+    DramCycle readyRead = 0;
+    DramCycle readyWrite = 0;
+    DramCycle readyPre = 0;
+};
+
+/** Refresh bookkeeping for one rank. */
+struct RankState
+{
+    DramCycle refreshDue = 0;  ///< next tREFI deadline
+    bool refreshPending = false;
+};
+
+/**
+ * A DDR3 channel with its own command/address/data buses.
+ *
+ * Scheduling protocol per DRAM cycle:
+ *  1. The refresh engine runs first; when a refresh is due it owns the
+ *     command bus (issuing PREs then REF) until the rank is clean.
+ *  2. Otherwise all immediately-issuable commands are gathered and the
+ *     scheduler picks one (or idles).
+ *
+ * By default (the paper's Table 3 controller) reads and writebacks
+ * share one unified 64-entry transaction queue and arbitrate
+ * together. DramConfig::unifiedQueue = false switches to a modern
+ * split write buffer drained in bursts under a high/low watermark.
+ * DramConfig::closedPage enables CAS-with-auto-precharge when no
+ * other queued transaction wants the open row.
+ */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &cfg, std::uint32_t id,
+                Scheduler &sched, stats::Group &parent);
+
+    /**
+     * Try to append a transaction.
+     * @return false when the appropriate queue is full.
+     */
+    bool enqueue(MemRequest req, const DramCoord &coord, DramCycle now);
+
+    /** Advance one DRAM cycle: completions, refresh, scheduling. */
+    void tick(DramCycle now);
+
+    /**
+     * Raise the criticality of a queued read to @p crit if the request
+     * from @p core for @p addr is still waiting (Section 5.1 naive
+     * forwarding path).
+     * @return true when a matching queued read was found.
+     */
+    bool promote(Addr addr, CoreId core, CritLevel crit);
+
+    /** @return number of queued (not yet CAS-issued) reads. */
+    std::uint32_t readQueueSize() const
+    {
+        return static_cast<std::uint32_t>(readQ_.size());
+    }
+
+    std::uint32_t writeQueueSize() const
+    {
+        return static_cast<std::uint32_t>(writeQ_.size());
+    }
+
+    /** @return true when no work remains anywhere in the channel. */
+    bool
+    idle() const
+    {
+        return readQ_.empty() && writeQ_.empty() && completions_.empty();
+    }
+
+    /** Statistics for this channel. */
+    struct Stats
+    {
+        explicit Stats(stats::Group &parent, std::uint32_t id);
+
+        stats::Group group;
+        stats::Scalar activates;
+        stats::Scalar reads;
+        stats::Scalar writes;
+        stats::Scalar precharges;
+        stats::Scalar refreshes;
+        stats::Scalar rowHits;
+        stats::Scalar rowMisses;
+        stats::Scalar rowConflicts;
+        stats::Scalar busyDataCycles;
+        stats::Scalar idleNoCandidate;
+        stats::Scalar enqueueRejects;
+        stats::Scalar autoPrecharges;
+        stats::Histogram readLatency;
+        stats::Average readQueueOcc;
+        stats::Average critInQueue;
+    };
+
+    const Stats &channelStats() const { return stats_; }
+
+  private:
+    struct Transaction
+    {
+        MemRequest req;
+        DramCoord coord;
+        DramCycle arrival = 0;
+    };
+
+    struct Completion
+    {
+        DramCycle at;
+        std::uint64_t order;
+        MemRequest req;
+        DramCycle arrival;
+
+        bool
+        operator>(const Completion &other) const
+        {
+            return at != other.at ? at > other.at : order > other.order;
+        }
+    };
+
+    BankState &bank(std::uint32_t rank, std::uint32_t bankIdx)
+    {
+        return banks_[rank * cfg_.banksPerRank + bankIdx];
+    }
+
+    /** Earliest cycle a CAS to (rank) could start its data burst. */
+    DramCycle dataBusFreeFor(std::uint32_t rank) const;
+
+    /** Handle due refreshes; @return true when the bus was consumed. */
+    bool refreshTick(DramCycle now);
+
+    void buildCandidates(DramCycle now);
+    void maybeAutoPrecharge(const DramCoord &coord, DramCycle now);
+    void issue(const SchedCandidate &cand, DramCycle now);
+    void applyRead(const DramCoord &c, DramCycle now);
+    void applyWrite(const DramCoord &c, DramCycle now);
+    void popCompletions(DramCycle now);
+
+    const DramConfig &cfg_;
+    const std::uint32_t id_;
+    Scheduler &sched_;
+
+    std::vector<BankState> banks_;
+    std::vector<RankState> ranks_;
+    std::vector<Transaction> readQ_;
+    std::vector<Transaction> writeQ_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>> completions_;
+    std::vector<SchedCandidate> cands_;
+
+    /** End (exclusive) of the latest scheduled data burst. */
+    DramCycle busFreeAt_ = 0;
+    std::uint32_t lastBusRank_ = 0;
+    bool draining_ = false;
+    std::uint64_t completionOrder_ = 0;
+
+    Stats stats_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_DRAM_CHANNEL_HH

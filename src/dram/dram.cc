@@ -1,0 +1,61 @@
+#include "dram.hh"
+
+namespace critmem
+{
+
+DramSystem::DramSystem(const DramConfig &cfg, Scheduler &sched,
+                       stats::Group &parent)
+    : cfg_(cfg), map_(cfg), group_("dram", &parent), sched_(sched)
+{
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t i = 0; i < cfg_.channels; ++i) {
+        channels_.push_back(
+            std::make_unique<DramChannel>(cfg_, i, sched, group_));
+    }
+}
+
+bool
+DramSystem::enqueue(MemRequest req)
+{
+    const DramCoord coord = map_.decode(req.addr);
+    req.id = nextId_++;
+    return channels_[coord.channel]->enqueue(std::move(req), coord,
+                                             lastNow_ + 1);
+}
+
+void
+DramSystem::tick(DramCycle now)
+{
+    lastNow_ = now;
+    sched_.tick(now);
+    for (auto &channel : channels_)
+        channel->tick(now);
+}
+
+bool
+DramSystem::promote(Addr addr, CoreId core, CritLevel crit)
+{
+    const DramCoord coord = map_.decode(addr);
+    return channels_[coord.channel]->promote(addr, core, crit);
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &channel : channels_) {
+        if (!channel->idle())
+            return false;
+    }
+    return true;
+}
+
+std::uint32_t
+DramSystem::pendingReads() const
+{
+    std::uint32_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel->readQueueSize();
+    return total;
+}
+
+} // namespace critmem

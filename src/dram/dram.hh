@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level DRAM subsystem: address decoding plus one DramChannel per
+ * configured channel, all served by a single scheduling policy.
+ */
+
+#ifndef CRITMEM_DRAM_DRAM_HH
+#define CRITMEM_DRAM_DRAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "mem/request.hh"
+#include "sched/scheduler.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace critmem
+{
+
+/** Quad-channel (configurable) DDR3 memory subsystem. */
+class DramSystem
+{
+  public:
+    /**
+     * @param cfg Organization and timing.
+     * @param sched Scheduling policy shared by every channel; must
+     *              outlive the DramSystem.
+     * @param parent Statistics parent group.
+     */
+    DramSystem(const DramConfig &cfg, Scheduler &sched,
+               stats::Group &parent);
+
+    /**
+     * Decode and enqueue a transaction. Arrival is stamped with the
+     * DRAM subsystem's own clock (the last ticked cycle), keeping
+     * queue ages monotonic regardless of the caller's clock domain.
+     * @return false when the destination queue is full (caller
+     *         retries; the L2 MSHR keeps the request alive).
+     */
+    bool enqueue(MemRequest req);
+
+    /** Advance every channel one DRAM cycle. */
+    void tick(DramCycle now);
+
+    /** Naive-forwarding criticality promotion (Section 5.1). */
+    bool promote(Addr addr, CoreId core, CritLevel crit);
+
+    /** @return true when all channels are empty. */
+    bool idle() const;
+
+    const AddressMap &addressMap() const { return map_; }
+    const DramConfig &config() const { return cfg_; }
+
+    std::uint32_t
+    numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    const DramChannel &channel(std::uint32_t i) const
+    {
+        return *channels_[i];
+    }
+
+    /** Sum of queued reads across channels. */
+    std::uint32_t pendingReads() const;
+
+  private:
+    DramConfig cfg_;
+    AddressMap map_;
+    stats::Group group_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    Scheduler &sched_;
+    std::uint64_t nextId_ = 0;
+    DramCycle lastNow_ = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_DRAM_DRAM_HH

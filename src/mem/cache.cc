@@ -1,0 +1,140 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+Cache::Stats::Stats(stats::Group &parent, const std::string &name)
+    : group(name, &parent),
+      hits(group, "hits", "accesses that hit"),
+      misses(group, "misses", "accesses that missed"),
+      evictions(group, "evictions", "lines displaced by fills"),
+      writebacks(group, "writebacks", "dirty lines displaced"),
+      invalidations(group, "invalidations",
+                    "lines dropped by coherence/inclusion")
+{
+}
+
+Cache::Cache(const CacheConfig &cfg, const std::string &name,
+             stats::Group &parent)
+    : cfg_(cfg), numSets_(cfg.sets()),
+      blockShift_(static_cast<std::uint32_t>(
+          std::bit_width(cfg.blockBytes) - 1)),
+      lines_(static_cast<std::size_t>(numSets_) * cfg.ways),
+      stats_(parent, name)
+{
+    if (!std::has_single_bit(cfg.blockBytes))
+        fatal("cache block size must be a power of two");
+    if (numSets_ == 0 || !std::has_single_bit(numSets_))
+        fatal("cache set count must be a nonzero power of two");
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                         cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].state != LineState::Invalid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+LineState
+Cache::probe(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line ? line->state : LineState::Invalid;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    Line *line = find(addr);
+    if (line) {
+        line->lastUse = ++useCounter_;
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+Cache::setState(Addr addr, LineState state)
+{
+    if (Line *line = find(addr))
+        line->state = state;
+}
+
+bool
+Cache::wasPrefetched(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line && line->prefetched;
+}
+
+void
+Cache::clearPrefetched(Addr addr)
+{
+    if (Line *line = find(addr))
+        line->prefetched = false;
+}
+
+Cache::Victim
+Cache::insert(Addr addr, LineState state, bool prefetched)
+{
+    Victim victim;
+    Line *dest = find(addr);
+    if (!dest) {
+        Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                             cfg_.ways];
+        dest = base;
+        for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+            if (base[w].state == LineState::Invalid) {
+                dest = &base[w];
+                break;
+            }
+            if (dest->state != LineState::Invalid &&
+                base[w].lastUse < dest->lastUse) {
+                dest = &base[w];
+            }
+        }
+        if (dest->state != LineState::Invalid) {
+            victim.valid = true;
+            victim.addr = dest->tag << blockShift_;
+            victim.dirty = dest->state == LineState::Modified;
+            victim.prefetched = dest->prefetched;
+            ++stats_.evictions;
+            if (victim.dirty)
+                ++stats_.writebacks;
+        }
+    }
+    dest->tag = tagOf(addr);
+    dest->state = state;
+    dest->lastUse = ++useCounter_;
+    dest->prefetched = prefetched;
+    return victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = find(addr)) {
+        line->state = LineState::Invalid;
+        ++stats_.invalidations;
+    }
+}
+
+} // namespace critmem

@@ -1,0 +1,520 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+MemHierarchy::Stats::Stats(stats::Group &parent)
+    : group("mem", &parent),
+      loads(group, "loads", "data loads issued to the hierarchy"),
+      stores(group, "stores", "stores issued to the hierarchy"),
+      fetches(group, "fetches", "instruction fetch accesses"),
+      l1MshrFull(group, "l1MshrFull", "accesses rejected: L1 MSHR full"),
+      l2MshrFull(group, "l2MshrFull", "misses delayed: L2 MSHR full"),
+      dramRejects(group, "dramRejects",
+                  "DRAM enqueue attempts rejected (queue full)"),
+      demandMisses(group, "demandMisses", "demand L2 misses sent to DRAM"),
+      coherenceTransfers(group, "coherenceTransfers",
+                         "dirty cache-to-cache transfers"),
+      prefetchUseful(group, "prefetchUseful",
+                     "demand hits on prefetched L2 lines"),
+      l2MissLatCrit(group, "l2MissLatCrit",
+                    "L2 miss latency, critical loads (CPU cycles)"),
+      l2MissLatNonCrit(group, "l2MissLatNonCrit",
+                       "L2 miss latency, non-critical (CPU cycles)")
+{
+}
+
+MemHierarchy::MemHierarchy(const SystemConfig &cfg, DramSystem &dram,
+                           stats::Group &parent)
+    : cfg_(cfg), dram_(dram), group_("hier", &parent),
+      iMshr_(cfg.numCores), dMshr_(cfg.numCores), stats_(group_)
+{
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        il1_.push_back(std::make_unique<Cache>(
+            cfg.il1, "il1_" + std::to_string(c), group_));
+        dl1_.push_back(std::make_unique<Cache>(
+            cfg.dl1, "dl1_" + std::to_string(c), group_));
+    }
+    l2_ = std::make_unique<Cache>(cfg.l2, "l2", group_);
+    if (cfg.prefetch.enabled) {
+        prefetcher_ = std::make_unique<StreamPrefetcher>(
+            cfg.prefetch, cfg.l2.blockBytes, group_);
+    }
+}
+
+void
+MemHierarchy::schedule(Cycle at, std::function<void()> fn)
+{
+    events_.push(Event{at, eventOrder_++, std::move(fn)});
+}
+
+bool
+MemHierarchy::load(CoreId core, Addr addr, CritLevel crit, Done done)
+{
+    ++stats_.loads;
+    const Addr l1Block = dl1_[core]->blockAlign(addr);
+    if (dl1_[core]->access(l1Block)) {
+        schedule(now_ + cfg_.dl1.latency, std::move(done));
+        return true;
+    }
+    auto &mshr = dMshr_[core];
+    if (const auto it = mshr.find(l1Block); it != mshr.end()) {
+        it->second.waiters.push_back(std::move(done));
+        if (crit > it->second.crit) {
+            it->second.crit = crit;
+            promote(core, addr, crit);
+        }
+        return true;
+    }
+    if (mshr.size() >= cfg_.dl1.mshrs) {
+        ++stats_.l1MshrFull;
+        return false;
+    }
+    L1Entry &entry = mshr[l1Block];
+    entry.waiters.push_back(std::move(done));
+    entry.crit = crit;
+    schedule(now_ + cfg_.dl1.latency, [this, core, l1Block] {
+        l2Access(core, l1Block, false, false);
+    });
+    return true;
+}
+
+bool
+MemHierarchy::store(CoreId core, Addr addr, Done done)
+{
+    ++stats_.stores;
+    const Addr l1Block = dl1_[core]->blockAlign(addr);
+    const LineState state = dl1_[core]->probe(l1Block);
+    if (state != LineState::Invalid) {
+        dl1_[core]->access(l1Block);
+        if (state == LineState::Shared)
+            invalidateSharers(l1Block, core);
+        dl1_[core]->setState(l1Block, LineState::Modified);
+        schedule(now_ + cfg_.dl1.latency, std::move(done));
+        return true;
+    }
+    dl1_[core]->access(l1Block); // count the miss
+    auto &mshr = dMshr_[core];
+    if (const auto it = mshr.find(l1Block); it != mshr.end()) {
+        it->second.waiters.push_back(std::move(done));
+        it->second.rfo = true;
+        return true;
+    }
+    if (mshr.size() >= cfg_.dl1.mshrs) {
+        ++stats_.l1MshrFull;
+        return false;
+    }
+    L1Entry &entry = mshr[l1Block];
+    entry.waiters.push_back(std::move(done));
+    entry.rfo = true;
+    schedule(now_ + cfg_.dl1.latency, [this, core, l1Block] {
+        l2Access(core, l1Block, false, true);
+    });
+    return true;
+}
+
+bool
+MemHierarchy::fetchProbe(CoreId core, Addr pc)
+{
+    const Addr block = il1_[core]->blockAlign(pc);
+    if (il1_[core]->probe(block) != LineState::Invalid) {
+        il1_[core]->access(block);
+        return true;
+    }
+    return false;
+}
+
+bool
+MemHierarchy::fetch(CoreId core, Addr pc, Done done)
+{
+    ++stats_.fetches;
+    const Addr block = il1_[core]->blockAlign(pc);
+    if (il1_[core]->access(block)) {
+        schedule(now_ + cfg_.il1.latency, std::move(done));
+        return true;
+    }
+    auto &mshr = iMshr_[core];
+    if (const auto it = mshr.find(block); it != mshr.end()) {
+        it->second.waiters.push_back(std::move(done));
+        return true;
+    }
+    if (mshr.size() >= cfg_.il1.mshrs) {
+        ++stats_.l1MshrFull;
+        return false;
+    }
+    mshr[block].waiters.push_back(std::move(done));
+    schedule(now_ + cfg_.il1.latency, [this, core, block] {
+        l2Access(core, block, true, false);
+    });
+    return true;
+}
+
+CoreId
+MemHierarchy::modifiedOwner(Addr l1Block, CoreId except) const
+{
+    const auto it = directory_.find(l1Block);
+    if (it == directory_.end())
+        return kNoCore;
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c != except && (it->second & (1u << c)) &&
+            dl1_[c]->probe(l1Block) == LineState::Modified) {
+            return c;
+        }
+    }
+    return kNoCore;
+}
+
+void
+MemHierarchy::invalidateSharers(Addr l1Block, CoreId except)
+{
+    const auto it = directory_.find(l1Block);
+    if (it == directory_.end())
+        return;
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c != except && (it->second & (1u << c))) {
+            // A modified copy's data lives on in the inclusive L2.
+            if (dl1_[c]->probe(l1Block) == LineState::Modified)
+                l2_->setState(l2_->blockAlign(l1Block),
+                              LineState::Modified);
+            dl1_[c]->invalidate(l1Block);
+        }
+    }
+    it->second &= 1u << except;
+    if (it->second == 0)
+        directory_.erase(it);
+}
+
+void
+MemHierarchy::l2Access(CoreId core, Addr l1Block, bool isInst, bool rfo)
+{
+    const Addr l2Block = l2_->blockAlign(l1Block);
+
+    if (!isInst) {
+        const CoreId owner = modifiedOwner(l1Block, core);
+        if (owner != kNoCore) {
+            // Dirty cache-to-cache transfer through the shared L2. The
+            // inclusive L2 absorbs the dirty data; the owner is
+            // downgraded (or invalidated on a store miss).
+            ++stats_.coherenceTransfers;
+            l2_->access(l2Block);
+            l2_->setState(l2Block, LineState::Modified);
+            if (rfo)
+                dl1_[owner]->invalidate(l1Block);
+            else
+                dl1_[owner]->setState(l1Block, LineState::Shared);
+            schedule(now_ + cfg_.l2.latency, [this, core, l1Block,
+                                              isInst] {
+                deliverToL1(L2Waiter{core, l1Block, isInst, false});
+            });
+            return;
+        }
+    }
+
+    if (l2_->access(l2Block)) {
+        if (l2_->wasPrefetched(l2Block)) {
+            ++stats_.prefetchUseful;
+            l2_->clearPrefetched(l2Block);
+            if (prefetcher_)
+                prefetcher_->onUseful();
+        }
+        schedule(now_ + cfg_.l2.latency, [this, core, l1Block, isInst] {
+            deliverToL1(L2Waiter{core, l1Block, isInst, false});
+        });
+        return;
+    }
+
+    // L2 miss.
+    const CritLevel crit = [&]() -> CritLevel {
+        if (isInst)
+            return 0;
+        const auto it = dMshr_[core].find(l1Block);
+        return it != dMshr_[core].end() ? it->second.crit : 0;
+    }();
+
+    if (const auto it = l2Mshr_.find(l2Block); it != l2Mshr_.end()) {
+        L2Entry &entry = it->second;
+        entry.waiters.push_back(L2Waiter{core, l1Block, isInst, rfo});
+        if (!entry.demand) {
+            // A prefetch in flight just turned into a demand miss.
+            entry.demand = true;
+            entry.started = now_;
+        }
+        if (crit > entry.crit) {
+            entry.crit = crit;
+            dram_.promote(l2Block, entry.firstCore, crit);
+        }
+        return;
+    }
+    if (l2Mshr_.size() >= cfg_.l2.mshrs) {
+        ++stats_.l2MshrFull;
+        l2MshrRetry_.push_back(L2Waiter{core, l1Block, isInst, rfo});
+        return;
+    }
+
+    L2Entry &entry = l2Mshr_[l2Block];
+    entry.waiters.push_back(L2Waiter{core, l1Block, isInst, rfo});
+    entry.demand = true;
+    entry.started = now_;
+    entry.firstCore = core;
+    entry.crit = crit;
+    ++stats_.demandMisses;
+    sendToDram(l2Block, entry);
+
+    if (prefetcher_ && !isInst)
+        issuePrefetches(l2Block);
+}
+
+bool
+MemHierarchy::sendToDram(Addr l2Block, L2Entry &entry)
+{
+    MemRequest req;
+    req.addr = l2Block;
+    req.type = entry.demand ? ReqType::Read : ReqType::Prefetch;
+    req.core = entry.firstCore;
+    req.crit = entry.crit;
+    req.onComplete = [this, l2Block](const MemRequest &) {
+        l2Fill(l2Block);
+    };
+    if (dram_.enqueue(std::move(req))) {
+        entry.sentToDram = true;
+        return true;
+    }
+    ++stats_.dramRejects;
+    dramRetry_.push_back(l2Block);
+    return false;
+}
+
+void
+MemHierarchy::writebackToDram(Addr l2Block, CoreId core)
+{
+    MemRequest req;
+    req.addr = l2Block;
+    req.type = ReqType::Write;
+    req.core = core;
+    if (!dram_.enqueue(std::move(req))) {
+        ++stats_.dramRejects;
+        req.addr = l2Block;
+        req.type = ReqType::Write;
+        req.core = core;
+        writebackRetry_.push_back(std::move(req));
+    }
+}
+
+void
+MemHierarchy::issuePrefetches(Addr l2Block)
+{
+    prefetchScratch_.clear();
+    prefetcher_->onDemandMiss(l2Block, prefetchScratch_);
+    // Keep a demand reserve: prefetches never take the last MSHRs.
+    const std::size_t prefetchCap =
+        cfg_.l2.mshrs - std::min<std::size_t>(cfg_.l2.mshrs / 4, 16);
+    for (const Addr target : prefetchScratch_) {
+        if (l2_->probe(target) != LineState::Invalid)
+            continue;
+        if (l2Mshr_.contains(target))
+            continue;
+        if (l2Mshr_.size() >= prefetchCap)
+            break;
+        L2Entry &entry = l2Mshr_[target];
+        entry.demand = false;
+        entry.started = now_;
+        entry.firstCore = 0;
+        if (!sendToDram(target, entry)) {
+            // Prefetches are best-effort: drop instead of retrying.
+            dramRetry_.pop_back();
+            l2Mshr_.erase(target);
+        }
+    }
+}
+
+void
+MemHierarchy::evictFromL2(const Cache::Victim &victim)
+{
+    bool dirty = victim.dirty;
+    // Inclusion: purge every L1 copy of the victim's sub-blocks; a
+    // modified L1 copy folds into the writeback.
+    for (Addr sub = victim.addr; sub < victim.addr + cfg_.l2.blockBytes;
+         sub += cfg_.dl1.blockBytes) {
+        const auto it = directory_.find(sub);
+        if (it != directory_.end()) {
+            for (CoreId c = 0; c < cfg_.numCores; ++c) {
+                if (it->second & (1u << c)) {
+                    if (dl1_[c]->probe(sub) == LineState::Modified)
+                        dirty = true;
+                    dl1_[c]->invalidate(sub);
+                }
+            }
+            directory_.erase(it);
+        }
+        for (CoreId c = 0; c < cfg_.numCores; ++c)
+            il1_[c]->invalidate(sub);
+    }
+    if (dirty)
+        writebackToDram(victim.addr, kNoCore);
+}
+
+void
+MemHierarchy::l2Fill(Addr l2Block)
+{
+    const auto it = l2Mshr_.find(l2Block);
+    if (it == l2Mshr_.end())
+        panic("DRAM fill for unknown L2 MSHR block");
+    L2Entry entry = std::move(it->second);
+    l2Mshr_.erase(it);
+
+    if (entry.demand) {
+        auto &stat = entry.crit > 0 ? stats_.l2MissLatCrit
+                                    : stats_.l2MissLatNonCrit;
+        stat.sample(static_cast<double>(now_ - entry.started));
+    }
+
+    const Cache::Victim victim =
+        l2_->insert(l2Block, LineState::Exclusive, !entry.demand);
+    if (victim.valid)
+        evictFromL2(victim);
+
+    const Cycle returnLat = std::max<Cycle>(cfg_.l2.latency / 4, 1);
+    for (const L2Waiter &waiter : entry.waiters) {
+        schedule(now_ + returnLat, [this, waiter] {
+            deliverToL1(waiter);
+        });
+    }
+}
+
+void
+MemHierarchy::deliverToL1(const L2Waiter &waiter)
+{
+    auto &mshr =
+        waiter.isInst ? iMshr_[waiter.core] : dMshr_[waiter.core];
+    const auto it = mshr.find(waiter.l1Block);
+    if (it == mshr.end())
+        return; // already satisfied (e.g. duplicate delivery)
+    L1Entry entry = std::move(it->second);
+    mshr.erase(it);
+
+    if (waiter.isInst) {
+        il1_[waiter.core]->insert(waiter.l1Block, LineState::Shared);
+    } else {
+        if (entry.rfo)
+            invalidateSharers(waiter.l1Block, waiter.core);
+        bool sharedElsewhere = false;
+        if (const auto dit = directory_.find(waiter.l1Block);
+            dit != directory_.end()) {
+            sharedElsewhere =
+                (dit->second & ~(1u << waiter.core)) != 0;
+        }
+        const LineState state = entry.rfo
+            ? LineState::Modified
+            : (sharedElsewhere ? LineState::Shared
+                               : LineState::Exclusive);
+        if (sharedElsewhere && !entry.rfo) {
+            // Demote the other copies from E to S.
+            for (CoreId c = 0; c < cfg_.numCores; ++c) {
+                if (c != waiter.core &&
+                    dl1_[c]->probe(waiter.l1Block) ==
+                        LineState::Exclusive) {
+                    dl1_[c]->setState(waiter.l1Block, LineState::Shared);
+                }
+            }
+        }
+        const Cache::Victim victim =
+            dl1_[waiter.core]->insert(waiter.l1Block, state);
+        if (victim.valid) {
+            if (const auto dit = directory_.find(victim.addr);
+                dit != directory_.end()) {
+                dit->second &= ~(1u << waiter.core);
+                if (dit->second == 0)
+                    directory_.erase(dit);
+            }
+            if (victim.dirty) {
+                l2_->setState(l2_->blockAlign(victim.addr),
+                              LineState::Modified);
+            }
+        }
+        directory_[waiter.l1Block] |= 1u << waiter.core;
+    }
+
+    for (Done &done : entry.waiters)
+        done();
+}
+
+void
+MemHierarchy::promote(CoreId core, Addr addr, CritLevel crit)
+{
+    const Addr l2Block = l2_->blockAlign(addr);
+    const auto it = l2Mshr_.find(l2Block);
+    if (it == l2Mshr_.end())
+        return;
+    if (crit > it->second.crit) {
+        it->second.crit = crit;
+        dram_.promote(l2Block, it->second.firstCore, crit);
+    }
+    (void)core;
+}
+
+bool
+MemHierarchy::quiescent() const
+{
+    if (!events_.empty() || !l2Mshr_.empty() || !l2MshrRetry_.empty() ||
+        !dramRetry_.empty() || !writebackRetry_.empty()) {
+        return false;
+    }
+    for (const auto &mshr : dMshr_) {
+        if (!mshr.empty())
+            return false;
+    }
+    for (const auto &mshr : iMshr_) {
+        if (!mshr.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+MemHierarchy::tick(Cycle now)
+{
+    now_ = now;
+    while (!events_.empty() && events_.top().at <= now) {
+        auto fn = std::move(const_cast<Event &>(events_.top()).fn);
+        events_.pop();
+        fn();
+    }
+
+    if (!l2MshrRetry_.empty()) {
+        std::vector<L2Waiter> retry;
+        retry.swap(l2MshrRetry_);
+        for (const L2Waiter &waiter : retry)
+            l2Access(waiter.core, waiter.l1Block, waiter.isInst,
+                     waiter.rfo);
+    }
+    if (!dramRetry_.empty()) {
+        std::vector<Addr> retry;
+        retry.swap(dramRetry_);
+        for (const Addr block : retry) {
+            const auto it = l2Mshr_.find(block);
+            if (it != l2Mshr_.end() && !it->second.sentToDram)
+                sendToDram(block, it->second);
+        }
+    }
+    if (!writebackRetry_.empty()) {
+        std::vector<MemRequest> retry;
+        retry.swap(writebackRetry_);
+        for (MemRequest &req : retry) {
+            const Addr block = req.addr;
+            if (!dram_.enqueue(std::move(req))) {
+                ++stats_.dramRejects;
+                MemRequest again;
+                again.addr = block;
+                again.type = ReqType::Write;
+                again.core = kNoCore;
+                writebackRetry_.push_back(std::move(again));
+            }
+        }
+    }
+}
+
+} // namespace critmem

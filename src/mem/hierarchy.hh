@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The full cache hierarchy: per-core iL1/dL1 with MSHRs, an inclusive
+ * shared L2 with MSHRs, a MESI-style invalidation directory, the L2
+ * stream prefetcher, and the connection to the DRAM subsystem.
+ *
+ * Timing model: a dL1 hit completes after the configured round-trip
+ * latency. A dL1 miss reaches the L2 after the dL1 latency; an L2 hit
+ * returns after the L2 round-trip latency; an L2 miss pays a quarter
+ * of the L2 latency to the controller, the DRAM service time, and a
+ * quarter of the L2 latency back. MSHR capacity and DRAM queue
+ * capacity exert backpressure through retry lists.
+ */
+
+#ifndef CRITMEM_MEM_HIERARCHY_HH
+#define CRITMEM_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/dram.hh"
+#include "mem/cache.hh"
+#include "mem/prefetcher.hh"
+#include "mem/request.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Completion callback for a core-side access. */
+using Done = std::function<void()>;
+
+/** Caches + directory + prefetcher + DRAM connection. */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(const SystemConfig &cfg, DramSystem &dram,
+                 stats::Group &parent);
+
+    /**
+     * Issue a data load.
+     * @param crit Criticality magnitude to piggyback on an L2 miss.
+     * @return false when the dL1 MSHR file is full (retry next cycle).
+     */
+    bool load(CoreId core, Addr addr, CritLevel crit, Done done);
+
+    /** Issue a committed store (write-allocate, write-back). */
+    bool store(CoreId core, Addr addr, Done done);
+
+    /** Issue an instruction fetch for the block holding @p pc. */
+    bool fetch(CoreId core, Addr pc, Done done);
+
+    /**
+     * Pipelined-fetch fast path: probe the iL1 for @p pc's block,
+     * touching LRU on a hit.
+     * @return true on an iL1 hit (no stall needed).
+     */
+    bool fetchProbe(CoreId core, Addr pc);
+
+    /** Advance one CPU cycle: fire due events, run retry lists. */
+    void tick(Cycle now);
+
+    /**
+     * Raise the criticality of an in-flight L2 miss (Section 5.1
+     * naive forwarding). No effect if the block is no longer queued.
+     */
+    void promote(CoreId core, Addr addr, CritLevel crit);
+
+    /** @return true when no access is in flight anywhere. */
+    bool quiescent() const;
+
+    Cycle now() const { return now_; }
+
+    /** Aggregate statistics. */
+    struct Stats
+    {
+        explicit Stats(stats::Group &parent);
+
+        stats::Group group;
+        stats::Scalar loads;
+        stats::Scalar stores;
+        stats::Scalar fetches;
+        stats::Scalar l1MshrFull;
+        stats::Scalar l2MshrFull;
+        stats::Scalar dramRejects;
+        stats::Scalar demandMisses;
+        stats::Scalar coherenceTransfers;
+        stats::Scalar prefetchUseful;
+        stats::Average l2MissLatCrit;
+        stats::Average l2MissLatNonCrit;
+    };
+
+    const Stats &memStats() const { return stats_; }
+
+    Cache &dl1(CoreId core) { return *dl1_[core]; }
+    Cache &l2() { return *l2_; }
+
+  private:
+    /** A miss outstanding at L1 level (one per core x block). */
+    struct L1Entry
+    {
+        std::vector<Done> waiters;
+        CritLevel crit = 0;
+        bool rfo = false; ///< a store needs exclusive ownership
+    };
+
+    /** Key for per-core L1 MSHR maps: the L1-aligned block address. */
+    using L1MshrMap = std::unordered_map<Addr, L1Entry>;
+
+    /** Identifies one L1 MSHR entry waiting on an L2 fill. */
+    struct L2Waiter
+    {
+        CoreId core = 0;
+        Addr l1Block = 0;
+        bool isInst = false;
+        bool rfo = false;
+    };
+
+    /** A miss outstanding at L2 level (one per L2 block). */
+    struct L2Entry
+    {
+        std::vector<L2Waiter> waiters;
+        CritLevel crit = 0;
+        bool demand = false;
+        bool sentToDram = false;
+        Cycle started = 0;
+        CoreId firstCore = 0;
+    };
+
+    void schedule(Cycle at, std::function<void()> fn);
+    void l2Access(CoreId core, Addr l1Block, bool isInst, bool rfo);
+    void l2Fill(Addr l2Block);
+    void deliverToL1(const L2Waiter &waiter);
+    bool sendToDram(Addr l2Block, L2Entry &entry);
+    void writebackToDram(Addr l2Block, CoreId core);
+    void issuePrefetches(Addr l2Block);
+    void evictFromL2(const Cache::Victim &victim);
+    void invalidateSharers(Addr l1Block, CoreId except);
+    /** @return core holding @p l1Block modified, or kNoCore. */
+    CoreId modifiedOwner(Addr l1Block, CoreId except) const;
+
+    struct Event
+    {
+        Cycle at;
+        std::uint64_t order;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return at != other.at ? at > other.at : order > other.order;
+        }
+    };
+
+    SystemConfig cfg_;
+    DramSystem &dram_;
+    stats::Group group_;
+
+    std::vector<std::unique_ptr<Cache>> il1_;
+    std::vector<std::unique_ptr<Cache>> dl1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<StreamPrefetcher> prefetcher_;
+
+    std::vector<L1MshrMap> iMshr_;
+    std::vector<L1MshrMap> dMshr_;
+    std::unordered_map<Addr, L2Entry> l2Mshr_;
+
+    /** dL1-block address -> bitmask of cores with a copy. */
+    std::unordered_map<Addr, std::uint32_t> directory_;
+
+    /** (core, l1Block, isInst, rfo) waiting for an L2 MSHR slot. */
+    std::vector<L2Waiter> l2MshrRetry_;
+    /** L2 blocks whose DRAM enqueue was rejected. */
+    std::vector<Addr> dramRetry_;
+    /** Writebacks whose DRAM enqueue was rejected. */
+    std::vector<MemRequest> writebackRetry_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events_;
+    std::uint64_t eventOrder_ = 0;
+    Cycle now_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::vector<Addr> prefetchScratch_;
+
+    Stats stats_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_MEM_HIERARCHY_HH

@@ -1,0 +1,134 @@
+#include "prefetcher.hh"
+
+#include <bit>
+#include <cstdlib>
+
+namespace critmem
+{
+
+StreamPrefetcher::Stats::Stats(stats::Group &parent)
+    : group("prefetcher", &parent),
+      issued(group, "issued", "prefetch requests issued"),
+      streamsAllocated(group, "streamsAllocated",
+                       "stream table allocations"),
+      streamsConfirmed(group, "streamsConfirmed",
+                       "streams that reached confirmation"),
+      throttleEpochs(group, "throttleEpochs",
+                     "feedback epochs that reduced the degree")
+{
+}
+
+StreamPrefetcher::StreamPrefetcher(const PrefetchConfig &cfg,
+                                   std::uint32_t blockBytes,
+                                   stats::Group &parent)
+    : cfg_(cfg),
+      blockShift_(static_cast<std::uint32_t>(
+          std::bit_width(blockBytes) - 1)),
+      degree_(cfg.degree), streams_(cfg.streams), stats_(parent)
+{
+}
+
+void
+StreamPrefetcher::updateThrottle()
+{
+    constexpr std::uint64_t kEpoch = 256;
+    if (issuedInEpoch_ < kEpoch)
+        return;
+    const double accuracy = static_cast<double>(usefulInEpoch_) /
+        static_cast<double>(issuedInEpoch_);
+    std::uint32_t next = cfg_.degree;
+    if (accuracy < 0.20)
+        next = 1;
+    else if (accuracy < 0.40)
+        next = std::max(1u, cfg_.degree / 2);
+    if (next < degree_)
+        ++stats_.throttleEpochs;
+    degree_ = next;
+    issuedInEpoch_ = 0;
+    usefulInEpoch_ = 0;
+}
+
+void
+StreamPrefetcher::onDemandMiss(Addr blockAddr, std::vector<Addr> &out)
+{
+    const auto block =
+        static_cast<std::int64_t>(blockAddr >> blockShift_);
+
+    // Find the stream this miss extends (within a small match window).
+    constexpr std::int64_t kWindow = 16;
+    Stream *match = nullptr;
+    for (auto &stream : streams_) {
+        if (stream.valid &&
+            std::abs(block - stream.lastBlock) <= kWindow) {
+            match = &stream;
+            break;
+        }
+    }
+
+    if (!match) {
+        // Allocate the LRU entry as a fresh, unconfirmed stream.
+        Stream *lru = &streams_[0];
+        for (auto &stream : streams_) {
+            if (!stream.valid) {
+                lru = &stream;
+                break;
+            }
+            if (stream.lastUse < lru->lastUse)
+                lru = &stream;
+        }
+        *lru = Stream{};
+        lru->valid = true;
+        lru->lastBlock = block;
+        lru->lastUse = ++useCounter_;
+        ++stats_.streamsAllocated;
+        return;
+    }
+
+    const int dir = block > match->lastBlock
+        ? 1
+        : (block < match->lastBlock ? -1 : match->direction);
+    if (dir != 0 && dir == match->direction) {
+        ++match->confidence;
+    } else if (dir != 0) {
+        match->direction = dir;
+        match->confidence = 1;
+        match->confirmed = false;
+    }
+    match->lastBlock = block;
+    match->lastUse = ++useCounter_;
+
+    if (!match->confirmed && match->confidence >= 2) {
+        match->confirmed = true;
+        match->nextPrefetch =
+            block + static_cast<std::int64_t>(match->direction) *
+                cfg_.distance;
+        ++stats_.streamsConfirmed;
+    }
+    if (!match->confirmed)
+        return;
+
+    // Keep the prefetch pointer within [distance, distance + window]
+    // blocks of the demand stream.
+    const std::int64_t lead =
+        (match->nextPrefetch - block) * match->direction;
+    if (lead < static_cast<std::int64_t>(cfg_.distance)) {
+        match->nextPrefetch = block +
+            static_cast<std::int64_t>(match->direction) * cfg_.distance;
+    }
+    updateThrottle();
+    const std::int64_t maxLead =
+        static_cast<std::int64_t>(cfg_.distance) + 4 * cfg_.degree;
+    for (std::uint32_t i = 0; i < degree_; ++i) {
+        const std::int64_t ahead =
+            (match->nextPrefetch - block) * match->direction;
+        if (ahead > maxLead || match->nextPrefetch < 0)
+            break;
+        out.push_back(static_cast<Addr>(match->nextPrefetch)
+                      << blockShift_);
+        match->nextPrefetch += match->direction;
+        ++stats_.issued;
+        ++issuedInEpoch_;
+    }
+}
+
+} // namespace critmem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * L2 stream prefetcher (Section 5.5), modeled on the stream engine of
+ * Srinath et al. [26]: a table of streams, each tracking the last
+ * demand block, a direction, and a confidence counter; confirmed
+ * streams issue `degree` prefetches `distance` blocks ahead of the
+ * demand stream.
+ */
+
+#ifndef CRITMEM_MEM_PREFETCHER_HH
+#define CRITMEM_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Stream prefetcher operating in units of L2 blocks. */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(const PrefetchConfig &cfg, std::uint32_t blockBytes,
+                     stats::Group &parent);
+
+    /**
+     * Train on a demand L2 miss and append the block addresses to
+     * prefetch (at most the feedback-throttled degree) to @p out.
+     */
+    void onDemandMiss(Addr blockAddr, std::vector<Addr> &out);
+
+    /**
+     * Feedback (Srinath et al. [26]): a demand hit consumed a
+     * prefetched line. Accuracy over an epoch throttles the degree.
+     */
+    void onUseful() { ++usefulInEpoch_; }
+
+    /** Statistics. */
+    struct Stats
+    {
+        explicit Stats(stats::Group &parent);
+
+        stats::Group group;
+        stats::Scalar issued;
+        stats::Scalar streamsAllocated;
+        stats::Scalar streamsConfirmed;
+        stats::Scalar throttleEpochs;
+    };
+
+    const Stats &prefStats() const { return stats_; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        bool confirmed = false;
+        std::int64_t lastBlock = 0;
+        std::int64_t nextPrefetch = 0;
+        int direction = 0;
+        std::uint32_t confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Recompute the throttled degree at epoch boundaries. */
+    void updateThrottle();
+
+    PrefetchConfig cfg_;
+    std::uint32_t blockShift_;
+    std::uint32_t degree_;
+    std::uint64_t issuedInEpoch_ = 0;
+    std::uint64_t usefulInEpoch_ = 0;
+    std::uint64_t useCounter_ = 0;
+    std::vector<Stream> streams_;
+    Stats stats_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_MEM_PREFETCHER_HH

@@ -1,0 +1,96 @@
+#include "ahb.hh"
+
+#include <tuple>
+
+namespace critmem
+{
+
+void
+AhbScheduler::onEnqueue(std::uint32_t, const MemRequest &req,
+                        const DramCoord &, DramCycle)
+{
+    if (req.type == ReqType::Write)
+        ++arrivedWrites_;
+    else
+        ++arrivedReads_;
+}
+
+void
+AhbScheduler::onIssue(std::uint32_t, const SchedCandidate &cand, DramCycle)
+{
+    if (cand.cmd != DramCmd::Read && cand.cmd != DramCmd::Write)
+        return;
+    haveHistory_ = true;
+    lastWasWrite_ = cand.cmd == DramCmd::Write;
+    lastRank_ = cand.coord.rank;
+    if (lastWasWrite_)
+        ++issuedWrites_;
+    else
+        ++issuedReads_;
+}
+
+void
+AhbScheduler::tick(DramCycle now)
+{
+    if (now < nextEpoch_)
+        return;
+    nextEpoch_ = now + epoch_;
+    const std::uint64_t total = arrivedReads_ + arrivedWrites_;
+    if (total > 0) {
+        targetWriteFrac_ =
+            static_cast<double>(arrivedWrites_) / static_cast<double>(total);
+    }
+    arrivedReads_ = arrivedWrites_ = 0;
+    issuedReads_ = issuedWrites_ = 0;
+}
+
+int
+AhbScheduler::pick(std::uint32_t, const std::vector<SchedCandidate> &cands,
+                   DramCycle)
+{
+    const std::uint64_t issued = issuedReads_ + issuedWrites_;
+    const double issuedWriteFrac =
+        issued ? static_cast<double>(issuedWrites_) /
+                static_cast<double>(issued)
+               : 0.0;
+    const bool wantWrite = issuedWriteFrac < targetWriteFrac_;
+
+    // Lower = better: (pattern cost, age).
+    using Key = std::tuple<int, std::uint64_t>;
+    int best = -1;
+    Key bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        int cost = 0;
+        switch (cand.cmd) {
+          case DramCmd::Read:
+          case DramCmd::Write: {
+            const bool isWrite = cand.cmd == DramCmd::Write;
+            if (haveHistory_ && isWrite != lastWasWrite_)
+                cost += 2; // bus turnaround
+            if (haveHistory_ && cand.coord.rank != lastRank_)
+                cost += 1; // rank switch gap
+            if (isWrite != wantWrite)
+                cost += 1; // fight the workload mix
+            break;
+          }
+          case DramCmd::Act:
+            cost = 6;
+            break;
+          case DramCmd::Pre:
+            cost = 7;
+            break;
+          case DramCmd::Ref:
+            cost = 8;
+            break;
+        }
+        const Key key{cost, cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

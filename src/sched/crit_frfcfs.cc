@@ -1,0 +1,51 @@
+#include "crit_frfcfs.hh"
+
+#include <tuple>
+
+namespace critmem
+{
+
+int
+CritFrFcfsScheduler::pick(std::uint32_t,
+                          const std::vector<SchedCandidate> &cands,
+                          DramCycle now)
+{
+    // Lower tuple compares better; fields are negated accordingly.
+    using Key = std::tuple<int, std::uint64_t, int, std::uint64_t>;
+
+    int best = -1;
+    Key bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        const bool cas =
+            cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write;
+
+        CritLevel crit = cand.crit;
+        if (starvationCap_ && crit == 0 &&
+            now - cand.arrival > starvationCap_) {
+            crit = std::numeric_limits<CritLevel>::max();
+            if (promoted_.insert(cand.seq).second)
+                ++starvationPromotions_;
+        }
+
+        // Priority class per Section 3.2.
+        int cls;
+        if (order_ == CritOrder::CritFirst) {
+            cls = crit > 0 ? (cas ? 0 : 1) : (cas ? 2 : 3);
+        } else {
+            cls = cas ? (crit > 0 ? 0 : 1) : (crit > 0 ? 2 : 3);
+        }
+
+        // Magnitude is prepended to the age comparator: bigger
+        // criticality first, then older (smaller seq) first.
+        const Key key{cls, ~static_cast<std::uint64_t>(crit),
+                      cand.isPrefetch ? 1 : 0, cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

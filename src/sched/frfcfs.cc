@@ -1,0 +1,45 @@
+#include "frfcfs.hh"
+
+#include <tuple>
+
+namespace critmem
+{
+
+int
+FrFcfsScheduler::pick(std::uint32_t, const std::vector<SchedCandidate> &cands,
+                      DramCycle)
+{
+    // Lower key = better: (row-miss, prefetch, age). Demands beat
+    // prefetches within a priority class.
+    int best = -1;
+    std::tuple<int, int, std::uint64_t> bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        const bool cas =
+            cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write;
+        const std::tuple<int, int, std::uint64_t> key{
+            cas ? 0 : 1, cand.isPrefetch ? 1 : 0, cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+int
+FcfsScheduler::pick(std::uint32_t,
+                    const std::vector<SchedCandidate> &cands, DramCycle)
+{
+    int best = -1;
+    std::uint64_t bestSeq = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (best < 0 || cands[i].seq < bestSeq) {
+            best = static_cast<int>(i);
+            bestSeq = cands[i].seq;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

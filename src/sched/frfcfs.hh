@@ -1,0 +1,44 @@
+/**
+ * @file
+ * First-Ready First-Come-First-Served scheduling (Rixner et al. [22]):
+ * column (CAS) commands beat row (ACT/PRE) commands; ties go to the
+ * oldest transaction. This is the paper's baseline.
+ */
+
+#ifndef CRITMEM_SCHED_FRFCFS_HH
+#define CRITMEM_SCHED_FRFCFS_HH
+
+#include "sched/scheduler.hh"
+
+namespace critmem
+{
+
+/** Baseline FR-FCFS policy. */
+class FrFcfsScheduler : public Scheduler
+{
+  public:
+    int pick(std::uint32_t channel,
+             const std::vector<SchedCandidate> &cands,
+             DramCycle now) override;
+
+    const char *name() const override { return "FR-FCFS"; }
+};
+
+/**
+ * Strict first-come-first-served: oldest transaction's next command,
+ * ignoring row-buffer state entirely. The classic lower-bound baseline
+ * FR-FCFS was proposed against [22].
+ */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    int pick(std::uint32_t channel,
+             const std::vector<SchedCandidate> &cands,
+             DramCycle now) override;
+
+    const char *name() const override { return "FCFS"; }
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_FRFCFS_HH

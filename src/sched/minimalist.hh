@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimalist Open-page scheduling (Kaseridis et al., MICRO 2011 [10])
+ * — the memory-side "criticality" comparison point the paper's
+ * related-work section contrasts itself against: requests are ranked
+ * by their thread's memory-level parallelism (low-MLP threads are
+ * latency-sensitive and go first), with prefetches below all demand
+ * traffic. Note this ranks by *memory* behavior only; the paper's
+ * point is that processor-side blocking information is orthogonal.
+ */
+
+#ifndef CRITMEM_SCHED_MINIMALIST_HH
+#define CRITMEM_SCHED_MINIMALIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/queue_mirror.hh"
+#include "sched/scheduler.hh"
+
+namespace critmem
+{
+
+/** Minimalist open-page policy (MLP-ranked). */
+class MinimalistScheduler : public Scheduler
+{
+  public:
+    MinimalistScheduler(std::uint32_t channels, std::uint32_t numCores,
+                        std::uint32_t banksPerRank);
+
+    int pick(std::uint32_t channel,
+             const std::vector<SchedCandidate> &cands,
+             DramCycle now) override;
+
+    void onEnqueue(std::uint32_t channel, const MemRequest &req,
+                   const DramCoord &coord, DramCycle now) override;
+    void onIssue(std::uint32_t channel, const SchedCandidate &cand,
+                 DramCycle now) override;
+
+    const char *name() const override { return "Minimalist"; }
+
+  private:
+    QueueMirror mirror_;
+    const std::uint32_t numCores_;
+    const std::uint32_t banksPerRank_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_MINIMALIST_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * MORSE: self-optimizing (reinforcement-learning) memory scheduling
+ * (Ipek et al. [9], Mukundan & Martínez [16]), performance-objective
+ * variant (MORSE-P), plus the paper's Crit-RL configuration that adds
+ * the CBP criticality prediction to the feature set (Table 6).
+ *
+ * Each DRAM cycle the controller evaluates up to `maxCommands` ready
+ * commands (oldest first — the hardware restriction studied in
+ * Fig. 11), estimates each one's long-term value with a CMAC
+ * (tile-coded) Q function, issues the argmax, and performs an on-line
+ * SARSA update with a data-bus-utilization reward (+1 whenever a CAS
+ * moves data, 0 otherwise).
+ */
+
+#ifndef CRITMEM_SCHED_MORSE_HH
+#define CRITMEM_SCHED_MORSE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sched/queue_mirror.hh"
+#include "sched/scheduler.hh"
+#include "sim/random.hh"
+
+namespace critmem
+{
+
+/** Tile-coded linear Q-value approximator. */
+class Cmac
+{
+  public:
+    static constexpr std::uint32_t kTilings = 4;
+    static constexpr std::uint32_t kTableSize = 16384;
+    static constexpr std::uint32_t kMaxFeatures = 10;
+    static constexpr std::uint32_t kMaxTiles =
+        kTilings * kMaxFeatures;
+
+    /** The set of tiles one (state, action) activates. */
+    struct ActiveTiles
+    {
+        std::array<std::uint32_t, kMaxTiles> idx{};
+        std::uint32_t count = 0;
+    };
+
+    Cmac() : weights_(kTilings * kTableSize, 0.0f) {}
+
+    /**
+     * Compute the tile indices activated by a feature vector: one
+     * tile per (tiling, feature) pair, each feature conditioned on
+     * the command-type feature (features[0]) so the learned weights
+     * are action-specific. Each tiling shifts the quantization grid
+     * by t/kTilings of a bucket, which is what gives CMAC its
+     * generalization.
+     */
+    void tiles(const float *features, std::uint32_t numFeatures,
+               ActiveTiles &out) const;
+
+    /** Q value: sum of the activated tiles' weights. */
+    float value(const ActiveTiles &tiles) const;
+
+    /** Gradient step: spread delta evenly over the active tiles. */
+    void update(const ActiveTiles &tiles, float delta);
+
+  private:
+    std::vector<float> weights_;
+};
+
+/** MORSE-P / Crit-RL policy. */
+class MorseScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param channels Number of DRAM channels (one learner each).
+     * @param banksPerRank For queue mirroring.
+     * @param maxCommands Ready commands evaluable per DRAM cycle.
+     * @param useCriticality Add CBP criticality features (Crit-RL).
+     * @param seed Exploration RNG seed.
+     */
+    MorseScheduler(std::uint32_t channels, std::uint32_t banksPerRank,
+                   std::uint32_t maxCommands, bool useCriticality,
+                   std::uint64_t seed, float alpha = 0.05f,
+                   float gamma = 0.98f, float epsilon = 0.01f);
+
+    int pick(std::uint32_t channel,
+             const std::vector<SchedCandidate> &cands,
+             DramCycle now) override;
+
+    void onEnqueue(std::uint32_t channel, const MemRequest &req,
+                   const DramCoord &coord, DramCycle now) override;
+    void onIssue(std::uint32_t channel, const SchedCandidate &cand,
+                 DramCycle now) override;
+
+    const char *
+    name() const override
+    {
+        return useCriticality_ ? "Crit-RL" : "MORSE-P";
+    }
+
+  private:
+    /** Per-channel SARSA bookkeeping. */
+    struct Learner
+    {
+        Cmac cmac;
+        bool hasPrev = false;
+        float prevQ = 0.0f;
+        Cmac::ActiveTiles prevTiles;
+        float pendingReward = 0.0f;
+    };
+
+    std::uint32_t featurize(std::uint32_t channel,
+                            const SchedCandidate &cand, DramCycle now,
+                            float *out) const;
+
+    QueueMirror mirror_;
+    const std::uint32_t banksPerRank_;
+    const std::uint32_t maxCommands_;
+    const bool useCriticality_;
+    Rng rng_;
+    std::vector<Learner> learners_;
+    std::vector<int> order_; ///< scratch: candidate indices by age
+
+    const float alpha_;
+    const float gamma_;
+    const float epsilon_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_MORSE_HH

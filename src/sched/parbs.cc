@@ -1,0 +1,120 @@
+#include "parbs.hh"
+
+#include <map>
+#include <tuple>
+
+namespace critmem
+{
+
+ParBsScheduler::ParBsScheduler(std::uint32_t channels,
+                               std::uint32_t numCores,
+                               std::uint32_t banksPerRank,
+                               std::uint32_t markingCap)
+    : mirror_(channels), numCores_(numCores), banksPerRank_(banksPerRank),
+      markingCap_(markingCap),
+      rank_(channels, std::vector<std::uint32_t>(numCores, 0))
+{
+}
+
+void
+ParBsScheduler::onEnqueue(std::uint32_t channel, const MemRequest &req,
+                          const DramCoord &coord, DramCycle now)
+{
+    mirror_.onEnqueue(channel, req, coord, banksPerRank_, now);
+}
+
+void
+ParBsScheduler::onIssue(std::uint32_t channel, const SchedCandidate &cand,
+                        DramCycle)
+{
+    if (cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write)
+        mirror_.onCas(channel, cand.seq);
+}
+
+bool
+ParBsScheduler::anyMarked(std::uint32_t channel) const
+{
+    for (const auto &entry : mirror_.queue(channel)) {
+        if (entry.marked)
+            return true;
+    }
+    return false;
+}
+
+void
+ParBsScheduler::formBatch(std::uint32_t channel)
+{
+    auto &queue = mirror_.queue(channel);
+    if (queue.empty())
+        return;
+
+    // Mark the markingCap oldest requests of every (thread, bank).
+    // Ids grow with arrival, and the mirror preserves arrival order,
+    // so a single in-order pass suffices.
+    std::map<std::pair<CoreId, std::uint32_t>, std::uint32_t> perPair;
+    for (auto &entry : queue) {
+        if (entry.core >= numCores_) {
+            // Writebacks carry no thread; they stay unmarked.
+            entry.marked = false;
+            continue;
+        }
+        auto &count = perPair[{entry.core, entry.bank}];
+        entry.marked = count < markingCap_;
+        ++count;
+    }
+
+    // Shortest-job-first thread ranking: primary key is the thread's
+    // maximum marked load on any single bank (the "max rule"),
+    // secondary its total marked requests.
+    std::map<std::pair<CoreId, std::uint32_t>, std::uint32_t> markedPerBank;
+    std::vector<std::uint32_t> total(numCores_, 0);
+    for (const auto &entry : queue) {
+        if (entry.marked) {
+            ++markedPerBank[{entry.core, entry.bank}];
+            ++total[entry.core];
+        }
+    }
+    std::vector<std::uint32_t> maxLoad(numCores_, 0);
+    for (const auto &[key, count] : markedPerBank)
+        maxLoad[key.first] = std::max(maxLoad[key.first], count);
+
+    std::vector<CoreId> order(numCores_);
+    for (CoreId c = 0; c < numCores_; ++c)
+        order[c] = c;
+    std::sort(order.begin(), order.end(), [&](CoreId a, CoreId b) {
+        return std::tuple(maxLoad[a], total[a], a) <
+            std::tuple(maxLoad[b], total[b], b);
+    });
+    for (std::uint32_t pos = 0; pos < numCores_; ++pos)
+        rank_[channel][order[pos]] = pos;
+
+    ++batchesFormed_;
+}
+
+int
+ParBsScheduler::pick(std::uint32_t channel,
+                     const std::vector<SchedCandidate> &cands, DramCycle)
+{
+    if (!anyMarked(channel))
+        formBatch(channel);
+
+    // Lower tuple = better: (unmarked, row-miss, thread rank, age).
+    using Key = std::tuple<int, int, std::uint32_t, std::uint64_t>;
+    int best = -1;
+    Key bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        const bool marked = mirror_.isMarked(channel, cand.seq);
+        const std::uint32_t threadRank =
+            cand.core < numCores_ ? rank_[channel][cand.core] : numCores_;
+        const Key key{marked ? 0 : 1, cand.rowHit ? 0 : 1, threadRank,
+                      cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

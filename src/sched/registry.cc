@@ -1,0 +1,61 @@
+#include "registry.hh"
+
+#include "sched/ahb.hh"
+#include "sched/atlas.hh"
+#include "sched/crit_frfcfs.hh"
+#include "sched/frfcfs.hh"
+#include "sched/minimalist.hh"
+#include "sched/morse.hh"
+#include "sched/parbs.hh"
+#include "sched/tcm.hh"
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+std::unique_ptr<Scheduler>
+makeScheduler(const SystemConfig &cfg)
+{
+    const SchedConfig &s = cfg.sched;
+    switch (s.algo) {
+      case SchedAlgo::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedAlgo::FrFcfs:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedAlgo::CritCasRas:
+        return std::make_unique<CritFrFcfsScheduler>(
+            CritOrder::CritFirst, s.starvationCap);
+      case SchedAlgo::CasRasCrit:
+        return std::make_unique<CritFrFcfsScheduler>(
+            CritOrder::CasRasFirst, s.starvationCap);
+      case SchedAlgo::ParBs:
+        return std::make_unique<ParBsScheduler>(
+            cfg.dram.channels, cfg.numCores, cfg.dram.banksPerRank,
+            s.parbsMarkingCap);
+      case SchedAlgo::Tcm:
+        return std::make_unique<TcmScheduler>(cfg.numCores, s, false,
+                                              cfg.seed);
+      case SchedAlgo::TcmCrit:
+        return std::make_unique<TcmScheduler>(cfg.numCores, s, true,
+                                              cfg.seed);
+      case SchedAlgo::Ahb:
+        return std::make_unique<AhbScheduler>();
+      case SchedAlgo::Morse:
+        return std::make_unique<MorseScheduler>(
+            cfg.dram.channels, cfg.dram.banksPerRank, s.morseMaxCommands,
+            false, cfg.seed);
+      case SchedAlgo::CritRl:
+        return std::make_unique<MorseScheduler>(
+            cfg.dram.channels, cfg.dram.banksPerRank, s.morseMaxCommands,
+            true, cfg.seed);
+      case SchedAlgo::Atlas:
+        return std::make_unique<AtlasScheduler>(cfg.numCores,
+                                                s.tcmQuantum);
+      case SchedAlgo::Minimalist:
+        return std::make_unique<MinimalistScheduler>(
+            cfg.dram.channels, cfg.numCores, cfg.dram.banksPerRank);
+    }
+    fatal("unknown scheduler algorithm");
+}
+
+} // namespace critmem

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Factory mapping a SchedConfig onto a concrete Scheduler instance.
+ */
+
+#ifndef CRITMEM_SCHED_REGISTRY_HH
+#define CRITMEM_SCHED_REGISTRY_HH
+
+#include <memory>
+
+#include "sched/scheduler.hh"
+#include "sim/config.hh"
+
+namespace critmem
+{
+
+/**
+ * Build the scheduler selected by @p cfg.sched for a system with
+ * @p cfg.numCores cores and @p cfg.dram channels.
+ */
+std::unique_ptr<Scheduler> makeScheduler(const SystemConfig &cfg);
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_REGISTRY_HH

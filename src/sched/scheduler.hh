@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstract memory-scheduler interface.
+ *
+ * Each DRAM cycle, every channel gathers the set of commands that are
+ * legal to issue *right now* (one SchedCandidate per queued
+ * transaction) and asks the scheduler to pick one. The scheduler also
+ * receives enqueue/issue/complete notifications so that stateful
+ * policies (PAR-BS batches, TCM clustering, AHB history, MORSE
+ * learning) can maintain their bookkeeping.
+ *
+ * A single Scheduler instance serves all channels of a DramSystem,
+ * which lets policies share global state (e.g. TCM's cross-channel
+ * bandwidth accounting) while still making per-channel decisions.
+ */
+
+#ifndef CRITMEM_SCHED_SCHEDULER_HH
+#define CRITMEM_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/command.hh"
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Base class of all memory scheduling policies. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose the command to issue on @p channel this DRAM cycle.
+     *
+     * @param channel Channel making the request.
+     * @param cands Commands legal to issue now; never empty.
+     * @param now Current DRAM cycle.
+     * @return Index into @p cands, or -1 to idle the command bus.
+     */
+    virtual int pick(std::uint32_t channel,
+                     const std::vector<SchedCandidate> &cands,
+                     DramCycle now) = 0;
+
+    /** A transaction entered @p channel's queue. */
+    virtual void
+    onEnqueue(std::uint32_t channel, const MemRequest &req,
+              const DramCoord &coord, DramCycle now)
+    {
+        (void)channel; (void)req; (void)coord; (void)now;
+    }
+
+    /** The chosen command was issued. */
+    virtual void
+    onIssue(std::uint32_t channel, const SchedCandidate &cand,
+            DramCycle now)
+    {
+        (void)channel; (void)cand; (void)now;
+    }
+
+    /** A read's data burst completed. */
+    virtual void
+    onComplete(std::uint32_t channel, const MemRequest &req,
+               DramCycle now)
+    {
+        (void)channel; (void)req; (void)now;
+    }
+
+    /** Called once per DRAM cycle, before any channel picks. */
+    virtual void tick(DramCycle now) { (void)now; }
+
+    /** @return human-readable policy name. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_SCHEDULER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Thread Cluster Memory scheduling (Kim et al. [12]).
+ *
+ * Every quantum, threads are split into a latency-sensitive cluster
+ * (the least memory-intensive threads whose combined bandwidth share
+ * stays below a threshold) and a bandwidth-sensitive cluster. Latency-
+ * sensitive threads outrank everyone; inside the bandwidth cluster,
+ * thread ranks are periodically shuffled for fairness. The final
+ * tiebreak is FR-FCFS — or, in the paper's TCM+MaxStallTime hybrid
+ * (Section 5.8.2), criticality-aware FR-FCFS.
+ */
+
+#ifndef CRITMEM_SCHED_TCM_HH
+#define CRITMEM_SCHED_TCM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hh"
+#include "sim/config.hh"
+#include "sim/random.hh"
+
+namespace critmem
+{
+
+/** TCM policy, optionally hybridized with criticality. */
+class TcmScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param numCores Number of hardware threads.
+     * @param cfg Quantum / cluster threshold configuration.
+     * @param critTiebreak Replace the FR-FCFS tiebreak with
+     *        criticality-aware FR-FCFS (TCM+Crit hybrid).
+     * @param seed Seed for the fairness shuffle.
+     */
+    TcmScheduler(std::uint32_t numCores, const SchedConfig &cfg,
+                 bool critTiebreak, std::uint64_t seed);
+
+    int pick(std::uint32_t channel,
+             const std::vector<SchedCandidate> &cands,
+             DramCycle now) override;
+
+    void onIssue(std::uint32_t channel, const SchedCandidate &cand,
+                 DramCycle now) override;
+
+    void tick(DramCycle now) override;
+
+    const char *
+    name() const override
+    {
+        return critTiebreak_ ? "TCM+Crit" : "TCM";
+    }
+
+    /** @return true when @p core is in the latency-sensitive cluster. */
+    bool
+    inLatencyCluster(CoreId core) const
+    {
+        return latencyCluster_[core];
+    }
+
+  private:
+    void recluster();
+    void shuffle();
+
+    const std::uint32_t numCores_;
+    const SchedConfig cfg_;
+    const bool critTiebreak_;
+    Rng rng_;
+
+    /** CAS commands served per core in the current quantum. */
+    std::vector<std::uint64_t> served_;
+    std::vector<bool> latencyCluster_;
+    /** Smaller rank = higher priority. */
+    std::vector<std::uint32_t> rank_;
+    DramCycle nextQuantum_;
+    DramCycle nextShuffle_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SCHED_TCM_HH

@@ -1,0 +1,161 @@
+#include "config.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+const char *
+toString(DramSpeed speed)
+{
+    switch (speed) {
+      case DramSpeed::DDR3_1066: return "DDR3-1066";
+      case DramSpeed::DDR3_1600: return "DDR3-1600";
+      case DramSpeed::DDR3_2133: return "DDR3-2133";
+    }
+    return "DDR3-?";
+}
+
+const char *
+toString(CritPredictor pred)
+{
+    switch (pred) {
+      case CritPredictor::None:          return "None";
+      case CritPredictor::NaiveForward:  return "NaiveForward";
+      case CritPredictor::CbpBinary:     return "Binary";
+      case CritPredictor::CbpBlockCount: return "BlockCount";
+      case CritPredictor::CbpLastStall:  return "LastStallTime";
+      case CritPredictor::CbpMaxStall:   return "MaxStallTime";
+      case CritPredictor::CbpTotalStall: return "TotalStallTime";
+      case CritPredictor::ClptBinary:    return "CLPT-Binary";
+      case CritPredictor::ClptConsumers: return "CLPT-Consumers";
+    }
+    return "?";
+}
+
+bool
+isCbp(CritPredictor pred)
+{
+    switch (pred) {
+      case CritPredictor::CbpBinary:
+      case CritPredictor::CbpBlockCount:
+      case CritPredictor::CbpLastStall:
+      case CritPredictor::CbpMaxStall:
+      case CritPredictor::CbpTotalStall:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+toString(SchedAlgo algo)
+{
+    switch (algo) {
+      case SchedAlgo::Fcfs:       return "FCFS";
+      case SchedAlgo::FrFcfs:     return "FR-FCFS";
+      case SchedAlgo::CritCasRas: return "Crit-CASRAS";
+      case SchedAlgo::CasRasCrit: return "CASRAS-Crit";
+      case SchedAlgo::ParBs:      return "PAR-BS";
+      case SchedAlgo::Tcm:        return "TCM";
+      case SchedAlgo::TcmCrit:    return "TCM+Crit";
+      case SchedAlgo::Ahb:        return "AHB";
+      case SchedAlgo::Morse:      return "MORSE-P";
+      case SchedAlgo::CritRl:     return "Crit-RL";
+      case SchedAlgo::Atlas:      return "ATLAS";
+      case SchedAlgo::Minimalist: return "Minimalist";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Scale a DDR3-2133 cycle count to another bus frequency at constant
+ * latency in nanoseconds, rounding up as a real controller would.
+ */
+std::uint32_t
+scaleCycles(std::uint32_t cycles2133, std::uint32_t busMHz)
+{
+    const double ns = static_cast<double>(cycles2133) / 1066.0 * 1000.0;
+    return static_cast<std::uint32_t>(
+        std::ceil(ns * busMHz / 1000.0 - 1e-9));
+}
+
+} // namespace
+
+DramConfig
+DramConfig::preset(DramSpeed speed)
+{
+    DramConfig cfg;
+    cfg.speed = speed;
+    switch (speed) {
+      case DramSpeed::DDR3_2133: cfg.busMHz = 1066; break;
+      case DramSpeed::DDR3_1600: cfg.busMHz = 800; break;
+      case DramSpeed::DDR3_1066: cfg.busMHz = 533; break;
+    }
+    if (speed != DramSpeed::DDR3_2133) {
+        DramTiming t; // DDR3-2133 reference values from Table 3
+        cfg.t.tRCD = scaleCycles(t.tRCD, cfg.busMHz);
+        cfg.t.tCL = scaleCycles(t.tCL, cfg.busMHz);
+        cfg.t.tWL = scaleCycles(t.tWL, cfg.busMHz);
+        cfg.t.tCCD = std::max(scaleCycles(t.tCCD, cfg.busMHz), 4u);
+        cfg.t.tWTR = scaleCycles(t.tWTR, cfg.busMHz);
+        cfg.t.tWR = scaleCycles(t.tWR, cfg.busMHz);
+        cfg.t.tRTP = scaleCycles(t.tRTP, cfg.busMHz);
+        cfg.t.tRP = scaleCycles(t.tRP, cfg.busMHz);
+        cfg.t.tRRD = scaleCycles(t.tRRD, cfg.busMHz);
+        cfg.t.tRTRS = scaleCycles(t.tRTRS, cfg.busMHz);
+        cfg.t.tRAS = scaleCycles(t.tRAS, cfg.busMHz);
+        cfg.t.tRC = scaleCycles(t.tRC, cfg.busMHz);
+        cfg.t.tRFC = scaleCycles(t.tRFC, cfg.busMHz);
+        cfg.t.tREFI = scaleCycles(t.tREFI, cfg.busMHz);
+    }
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::parallelDefault()
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+
+    cfg.il1.sizeBytes = 32 * 1024;
+    cfg.il1.blockBytes = 32;
+    cfg.il1.ways = 1;
+    cfg.il1.latency = 2;
+    cfg.il1.mshrs = 16;
+    cfg.il1.ports = 1;
+
+    cfg.dl1.sizeBytes = 32 * 1024;
+    cfg.dl1.blockBytes = 32;
+    cfg.dl1.ways = 4;
+    cfg.dl1.latency = 3;
+    cfg.dl1.mshrs = 16;
+    cfg.dl1.ports = 2;
+
+    cfg.l2.sizeBytes = 4 * 1024 * 1024;
+    cfg.l2.blockBytes = 64;
+    cfg.l2.ways = 8;
+    cfg.l2.latency = 32;
+    cfg.l2.mshrs = 64;
+    cfg.l2.ports = 4;
+
+    cfg.dram = DramConfig::preset(DramSpeed::DDR3_2133);
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::multiprogDefault()
+{
+    SystemConfig cfg = parallelDefault();
+    cfg.numCores = 4;
+    cfg.dram.channels = 2;
+    cfg.l2.mshrs = 32;
+    return cfg;
+}
+
+} // namespace critmem

@@ -1,0 +1,31 @@
+#include "log.hh"
+
+namespace critmem
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+void
+detail::emit(std::string_view tag, const std::string &msg)
+{
+    if (tag == "info" && quietFlag)
+        return;
+    std::cerr << tag << ": " << msg << '\n';
+}
+
+} // namespace critmem

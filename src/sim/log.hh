@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 spirit: panic() for
+ * simulator bugs, fatal() for user/configuration errors, warn() and
+ * inform() for advisory output.
+ */
+
+#ifndef CRITMEM_SIM_LOG_HH
+#define CRITMEM_SIM_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace critmem
+{
+
+namespace detail
+{
+
+void emit(std::string_view tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use only for conditions
+ * that can never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::format(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::format(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::format(std::forward<Args>(args)...));
+}
+
+/** Informational message; silenced when quiet mode is enabled. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::format(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform() (used by benches that print table rows). */
+void setQuiet(bool quiet);
+
+/** @return whether inform() output is currently suppressed. */
+bool quiet();
+
+} // namespace critmem
+
+#endif // CRITMEM_SIM_LOG_HH

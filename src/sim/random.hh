@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload models.
+ *
+ * Every stochastic element of the simulator draws from an explicitly
+ * seeded Rng so that a given (workload, configuration, seed) triple
+ * always produces an identical cycle count. We use xoshiro256**, which
+ * is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef CRITMEM_SIM_RANDOM_HH
+#define CRITMEM_SIM_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace critmem
+{
+
+/** Deterministic xoshiro256** generator with convenience draws. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // 128-bit multiply trick (Lemire); slight bias is irrelevant
+        // for workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Bounded geometric-ish draw: number of failures before a success
+     * with probability p, capped at max. Used for burst lengths and
+     * dependence distances.
+     */
+    std::uint32_t
+    geometric(double p, std::uint32_t max)
+    {
+        std::uint32_t n = 0;
+        while (n < max && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SIM_RANDOM_HH

@@ -1,0 +1,152 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace critmem::stats
+{
+
+StatBase::StatBase(Group &parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ' ' << value_ << " # " << desc() << '\n';
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ' ' << mean() << " # " << desc()
+       << " (samples=" << count_ << ")\n";
+}
+
+Histogram::Histogram(Group &parent, std::string name, std::string desc)
+    : StatBase(parent, std::move(name), std::move(desc)), buckets_(65, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    const std::size_t bucket = v == 0 ? 0 : std::bit_width(v);
+    buckets_[bucket]++;
+    ++count_;
+    sum_ += static_cast<double>(v);
+    max_ = std::max(max_, v);
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::mean " << mean() << " # " << desc()
+       << '\n'
+       << prefix << name() << "::max " << max_ << " # " << desc()
+       << '\n'
+       << prefix << name() << "::samples " << count_ << " # " << desc()
+       << '\n';
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+Group::Group(std::string name, Group *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+Group::addStat(StatBase *stat)
+{
+    auto [it, inserted] = stats_.emplace(stat->name(), stat);
+    if (!inserted)
+        panic("duplicate stat name '", stat->name(), "' in group '",
+              name_, "'");
+    statsInOrder_.push_back(stat);
+}
+
+void
+Group::addChild(Group *child)
+{
+    children_.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    std::erase(children_, child);
+}
+
+void
+Group::print(std::ostream &os, const std::string &prefix) const
+{
+    const std::string here =
+        name_.empty() ? prefix : prefix + name_ + '.';
+    for (const auto *stat : statsInOrder_)
+        stat->print(os, here);
+    for (const auto *child : children_)
+        child->print(os, here);
+}
+
+void
+Group::resetAll()
+{
+    for (auto *stat : statsInOrder_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+const StatBase *
+Group::find(const std::string &path) const
+{
+    const auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        const auto it = stats_.find(path);
+        return it == stats_.end() ? nullptr : it->second;
+    }
+    const std::string head = path.substr(0, dot);
+    for (const auto *child : children_) {
+        if (child->name_ == head)
+            return child->find(path.substr(dot + 1));
+    }
+    return nullptr;
+}
+
+const Scalar *
+Group::findScalar(const std::string &path) const
+{
+    return dynamic_cast<const Scalar *>(find(path));
+}
+
+const Average *
+Group::findAverage(const std::string &path) const
+{
+    return dynamic_cast<const Average *>(find(path));
+}
+
+const Histogram *
+Group::findHistogram(const std::string &path) const
+{
+    return dynamic_cast<const Histogram *>(find(path));
+}
+
+} // namespace critmem::stats

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components own a StatGroup; scalar counters, averages and log2
+ * histograms register themselves with their group by name. Groups nest
+ * to form a dotted hierarchy that can be dumped as text or queried
+ * programmatically by the benches.
+ */
+
+#ifndef CRITMEM_SIM_STATS_HH
+#define CRITMEM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace critmem::stats
+{
+
+class Group;
+
+/** Base of all statistics; registers with a Group on construction. */
+class StatBase
+{
+  public:
+    StatBase(Group &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic 64-bit event counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+
+    std::uint64_t value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of sampled values (sum / count). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Power-of-two-bucketed histogram plus max tracking. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(Group &parent, std::string name, std::string desc);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts 0. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+/** A named collection of statistics and child groups. */
+class Group
+{
+  public:
+    explicit Group(std::string name = "", Group *parent = nullptr);
+    ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Dump this group and all descendants as text. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset every stat in this group and all descendants. */
+    void resetAll();
+
+    /**
+     * Look up a scalar counter by dotted path relative to this group
+     * (e.g. "dram.rowHits"). Returns nullptr when absent.
+     */
+    const Scalar *findScalar(const std::string &path) const;
+    const Average *findAverage(const std::string &path) const;
+    const Histogram *findHistogram(const std::string &path) const;
+
+  private:
+    friend class StatBase;
+
+    const StatBase *find(const std::string &path) const;
+
+    void addStat(StatBase *stat);
+    void addChild(Group *child);
+    void removeChild(Group *child);
+
+    std::string name_;
+    Group *parent_ = nullptr;
+    std::vector<StatBase *> statsInOrder_;
+    std::map<std::string, StatBase *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace critmem::stats
+
+#endif // CRITMEM_SIM_STATS_HH

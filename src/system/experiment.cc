@@ -1,0 +1,158 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+std::uint64_t
+defaultQuota(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("CRITMEM_INSTRS")) {
+        const std::uint64_t value = std::strtoull(env, nullptr, 10);
+        if (value > 0)
+            return value;
+        warn("ignoring unparsable CRITMEM_INSTRS='", env, "'");
+    }
+    return fallback;
+}
+
+std::uint64_t
+defaultWarmup(std::uint64_t quota)
+{
+    if (const char *env = std::getenv("CRITMEM_WARMUP"))
+        return std::strtoull(env, nullptr, 10);
+    return quota / 2;
+}
+
+RunResult
+collect(System &sys)
+{
+    RunResult result;
+    result.cycles = sys.windowCycles();
+
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        const Core &core = sys.core(i);
+        const Core::Stats &cs = core.coreStats();
+        const Cycle fin = core.finishCycle();
+        result.finishCycles.push_back(
+            fin == kNoCycle ? kNoCycle : fin - sys.windowStart());
+        result.committed.push_back(cs.committedOps.value());
+        result.dynamicLoads += cs.committedLoads.value();
+        result.blockingLoads += cs.blockingLoads.value();
+        result.robBlockedCycles += cs.robHeadBlockedCycles.value();
+        result.coreCycles += cs.cycles.value();
+        result.loadsIssued += cs.loadsIssued.value();
+        result.critLoadsIssued += cs.critLoadsIssued.value();
+        result.lqFullCycles += cs.lqFullCycles.value();
+        if (const CommitBlockPredictor *cbp = core.cbp()) {
+            result.maxCbpValue =
+                std::max(result.maxCbpValue, cbp->maxObserved());
+            result.cbpPopulated += cbp->populatedEntries();
+        }
+    }
+
+    const MemHierarchy::Stats &ms = sys.hierarchy().memStats();
+    result.l2MissLatCrit = ms.l2MissLatCrit.mean();
+    result.l2MissLatNonCrit = ms.l2MissLatNonCrit.mean();
+    result.demandMisses = ms.demandMisses.value();
+    result.critMissCount = ms.l2MissLatCrit.count();
+    result.nonCritMissCount = ms.l2MissLatNonCrit.count();
+
+    DramSystem &dram = sys.dram();
+    for (std::uint32_t c = 0; c < dram.numChannels(); ++c) {
+        const DramChannel::Stats &ds = dram.channel(c).channelStats();
+        result.rowHits += ds.rowHits.value();
+        result.rowMisses += ds.rowMisses.value();
+        result.dramReads += ds.reads.value();
+    }
+    return result;
+}
+
+RunResult
+runParallel(const SystemConfig &cfg, const AppParams &app,
+            std::uint64_t quota)
+{
+    System sys(cfg, app);
+    sys.prewarmCaches();
+    if (const std::uint64_t warmup = defaultWarmup(quota)) {
+        sys.run(warmup, /*stopAtQuota=*/false);
+        sys.resetStatsWindow();
+    }
+    sys.run(quota, /*stopAtQuota=*/true);
+    return collect(sys);
+}
+
+RunResult
+runBundle(const SystemConfig &cfg, const Bundle &bundle,
+          std::uint64_t quota)
+{
+    if (cfg.numCores != bundle.apps.size())
+        fatal("bundle '", bundle.name, "' needs ", bundle.apps.size(),
+              " cores, config has ", cfg.numCores);
+    std::vector<AppParams> perCore;
+    for (const std::string &name : bundle.apps)
+        perCore.push_back(appParams(name));
+    System sys(cfg, perCore);
+    sys.prewarmCaches();
+    if (const std::uint64_t warmup = defaultWarmup(quota)) {
+        sys.run(warmup, /*stopAtQuota=*/false);
+        sys.resetStatsWindow();
+    }
+    sys.run(quota, /*stopAtQuota=*/false);
+    return collect(sys);
+}
+
+double
+runAlone(const SystemConfig &cfg, const AppParams &app,
+         std::uint64_t quota)
+{
+    std::vector<AppParams> perCore(cfg.numCores);
+    perCore[0] = app;
+    // Remaining cores stay idle: default AppParams with empty name.
+    System sys(cfg, perCore);
+    sys.prewarmCaches();
+    if (const std::uint64_t warmup = defaultWarmup(quota)) {
+        sys.run(warmup, /*stopAtQuota=*/false);
+        sys.resetStatsWindow();
+    }
+    sys.run(quota, /*stopAtQuota=*/true);
+    const Cycle fin = sys.core(0).finishCycle();
+    return fin == kNoCycle || fin == 0
+        ? 0.0
+        : static_cast<double>(quota) /
+            static_cast<double>(fin - sys.windowStart());
+}
+
+double
+weightedSpeedup(const RunResult &run,
+                const std::array<double, 4> &aloneIpc,
+                std::uint64_t quota)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < aloneIpc.size(); ++i) {
+        if (aloneIpc[i] > 0.0)
+            sum += run.ipc(static_cast<std::uint32_t>(i), quota) /
+                aloneIpc[i];
+    }
+    return sum;
+}
+
+double
+maxSlowdown(const RunResult &run,
+            const std::array<double, 4> &aloneIpc, std::uint64_t quota)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < aloneIpc.size(); ++i) {
+        const double shared =
+            run.ipc(static_cast<std::uint32_t>(i), quota);
+        if (shared > 0.0)
+            worst = std::max(worst, aloneIpc[i] / shared);
+    }
+    return worst;
+}
+
+} // namespace critmem

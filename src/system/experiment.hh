@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment harness helpers shared by the benches and examples:
+ * single-run drivers, result aggregation, speedup and
+ * weighted-speedup computation (Snavely/Tullsen [24]).
+ */
+
+#ifndef CRITMEM_SYSTEM_EXPERIMENT_HH
+#define CRITMEM_SYSTEM_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "system/system.hh"
+#include "trace/workloads.hh"
+
+namespace critmem
+{
+
+/** Aggregated outcome of one simulation run. */
+struct RunResult
+{
+    /** Cycles until every core finished (the execution time). */
+    Cycle cycles = 0;
+    /** Per-core cycle at which the commit quota was reached. */
+    std::vector<Cycle> finishCycles;
+    /** Per-core committed micro-ops (>= quota). */
+    std::vector<std::uint64_t> committed;
+
+    // Core-side aggregates (summed over cores).
+    std::uint64_t dynamicLoads = 0;
+    std::uint64_t blockingLoads = 0;
+    std::uint64_t robBlockedCycles = 0;
+    std::uint64_t coreCycles = 0;
+    std::uint64_t loadsIssued = 0;
+    std::uint64_t critLoadsIssued = 0;
+    std::uint64_t lqFullCycles = 0;
+
+    // Memory-side aggregates.
+    double l2MissLatCrit = 0.0;    ///< mean, CPU cycles
+    double l2MissLatNonCrit = 0.0; ///< mean, CPU cycles
+    std::uint64_t demandMisses = 0;
+    std::uint64_t critMissCount = 0;
+    std::uint64_t nonCritMissCount = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t dramReads = 0;
+
+    // Predictor-side aggregates.
+    std::uint64_t maxCbpValue = 0;   ///< Table 5 raw maximum
+    std::uint64_t cbpPopulated = 0;  ///< flagged entries, summed
+
+    /** Per-core IPC over the measurement window. */
+    double
+    ipc(std::uint32_t core, std::uint64_t quota) const
+    {
+        const Cycle fin = finishCycles[core];
+        return fin == 0 || fin == kNoCycle
+            ? 0.0
+            : static_cast<double>(quota) / static_cast<double>(fin);
+    }
+};
+
+/** Read CRITMEM_INSTRS, else @p fallback (per-core commit quota). */
+std::uint64_t defaultQuota(std::uint64_t fallback);
+
+/** Read CRITMEM_WARMUP, else half the quota (warmup instructions). */
+std::uint64_t defaultWarmup(std::uint64_t quota);
+
+/** Collect a RunResult from a finished System. */
+RunResult collect(System &sys);
+
+/**
+ * Run one parallel application (all cores) to its quota.
+ * @param cfg Complete configuration (scheduler, predictor, ...).
+ */
+RunResult runParallel(const SystemConfig &cfg, const AppParams &app,
+                      std::uint64_t quota);
+
+/** Run a Table 4 bundle with the multiprogrammed methodology. */
+RunResult runBundle(const SystemConfig &cfg, const Bundle &bundle,
+                    std::uint64_t quota);
+
+/**
+ * Run @p app alone on core 0 of the multiprogrammed system (other
+ * cores idle), for weighted-speedup baselining.
+ * @return the app's alone-IPC.
+ */
+double runAlone(const SystemConfig &cfg, const AppParams &app,
+                std::uint64_t quota);
+
+/** baseCycles / testCycles. */
+inline double
+speedup(const RunResult &base, const RunResult &test)
+{
+    return static_cast<double>(base.cycles) /
+        static_cast<double>(test.cycles);
+}
+
+/**
+ * Weighted speedup of a bundle run: sum over apps of IPC_shared /
+ * IPC_alone.
+ */
+double weightedSpeedup(const RunResult &run,
+                       const std::array<double, 4> &aloneIpc,
+                       std::uint64_t quota);
+
+/** Maximum per-app slowdown (IPC_alone / IPC_shared). */
+double maxSlowdown(const RunResult &run,
+                   const std::array<double, 4> &aloneIpc,
+                   std::uint64_t quota);
+
+} // namespace critmem
+
+#endif // CRITMEM_SYSTEM_EXPERIMENT_HH

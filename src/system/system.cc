@@ -1,0 +1,139 @@
+#include "system.hh"
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+System::System(const SystemConfig &cfg, const AppParams &app)
+    : cfg_(cfg), root_("sys")
+{
+    std::vector<AppParams> perCore(cfg.numCores, app);
+    build(perCore, true);
+}
+
+System::System(const SystemConfig &cfg,
+               const std::vector<AppParams> &perCore)
+    : cfg_(cfg), root_("sys")
+{
+    if (perCore.size() != cfg.numCores)
+        fatal("per-core workload list has ", perCore.size(),
+              " entries for ", cfg.numCores, " cores");
+    build(perCore, false);
+}
+
+void
+System::build(const std::vector<AppParams> &perCore, bool parallel)
+{
+    sched_ = makeScheduler(cfg_);
+    dram_ = std::make_unique<DramSystem>(cfg_.dram, *sched_, root_);
+    hier_ = std::make_unique<MemHierarchy>(cfg_, *dram_, root_);
+
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        if (parallel) {
+            // SPMD threads of one application, shared address space.
+            gens_.push_back(std::make_unique<SyntheticApp>(
+                perCore[i], i, cfg_.numCores, 0, cfg_.seed));
+        } else {
+            // Disjoint address spaces, one single-threaded app each.
+            const Addr base = static_cast<Addr>(i) << 40;
+            gens_.push_back(std::make_unique<SyntheticApp>(
+                perCore[i], 0, 1, base, cfg_.seed + i * 977));
+        }
+        cores_.push_back(std::make_unique<Core>(
+            cfg_, i, *gens_.back(), *hier_, root_));
+        if (perCore[i].name.empty())
+            cores_.back()->setActive(false);
+    }
+}
+
+void
+System::prewarmCaches(double fillFrac, double dirtyFrac)
+{
+    Rng rng(cfg_.seed ^ 0x77a12f5ull);
+    Cache &l2 = hier_->l2();
+    const std::uint64_t lines = static_cast<std::uint64_t>(
+        fillFrac * cfg_.l2.sizeBytes / cfg_.l2.blockBytes);
+
+    // Gather every active thread's far regions once.
+    std::vector<std::pair<Addr, std::uint64_t>> regions;
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        if (!cores_[i]->active())
+            continue;
+        for (const auto &region : gens_[i]->farRegions())
+            regions.push_back(region);
+    }
+    if (regions.empty())
+        return;
+
+    for (std::uint64_t n = 0; n < lines; ++n) {
+        const auto &[base, size] = regions[rng.below(regions.size())];
+        const Addr block =
+            l2.blockAlign(base + rng.below(size));
+        l2.insert(block, rng.chance(dirtyFrac) ? LineState::Modified
+                                               : LineState::Exclusive);
+    }
+}
+
+void
+System::resetStatsWindow()
+{
+    root_.resetAll();
+    for (auto &core : cores_)
+        core->resetWindow();
+    windowStart_ = cycle_;
+}
+
+void
+System::tickOnce()
+{
+    ++cycle_;
+    hier_->tick(cycle_);
+    for (auto &core : cores_)
+        core->tick(cycle_);
+    // Clock crossing: one DRAM tick whenever the fractional
+    // accumulator of busMHz/cpuMHz wraps (4 CPU cycles per DRAM cycle
+    // at DDR3-2133 under a 4.27 GHz core).
+    dramAccum_ += cfg_.dram.busMHz;
+    if (dramAccum_ >= cfg_.core.freqMHz) {
+        dramAccum_ -= cfg_.core.freqMHz;
+        dram_->tick(++dramCycle_);
+    }
+}
+
+Cycle
+System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
+            Cycle maxCycles)
+{
+    if (quotaPerCore == 0)
+        fatal("run() needs a nonzero quota");
+    if (maxCycles == 0)
+        maxCycles = quotaPerCore * 4000 + 10'000'000;
+
+    for (auto &core : cores_) {
+        core->setQuota(quotaPerCore);
+        core->setStopAtQuota(stopAtQuota);
+    }
+
+    const Cycle limit = cycle_ + maxCycles;
+    while (true) {
+        bool allDone = true;
+        for (const auto &core : cores_) {
+            if (!core->finished()) {
+                allDone = false;
+                break;
+            }
+        }
+        if (allDone)
+            break;
+        if (cycle_ >= limit) {
+            warn("run() hit the ", maxCycles,
+                 "-cycle safety limit before all cores finished");
+            break;
+        }
+        tickOnce();
+    }
+    return cycle_;
+}
+
+} // namespace critmem

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Top-level simulated system: N cores driving a shared cache
+ * hierarchy and the DDR3 subsystem, with the 4.27 GHz core clock and
+ * the DRAM bus clock crossed through a fractional accumulator.
+ */
+
+#ifndef CRITMEM_SYSTEM_SYSTEM_HH
+#define CRITMEM_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "mem/hierarchy.hh"
+#include "sched/registry.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace critmem
+{
+
+/** A complete CMP + memory system instance. */
+class System
+{
+  public:
+    /**
+     * Parallel-workload system: every core runs one thread of @p app.
+     */
+    System(const SystemConfig &cfg, const AppParams &app);
+
+    /**
+     * Multiprogrammed system: core i runs @p perCore[i] alone in a
+     * disjoint address space. An empty name leaves that core idle.
+     */
+    System(const SystemConfig &cfg,
+           const std::vector<AppParams> &perCore);
+
+    /**
+     * Run until every active core commits @p quotaPerCore micro-ops.
+     *
+     * @param quotaPerCore Commit quota per core.
+     * @param stopAtQuota True (parallel methodology): cores stop
+     *        fetching at the quota and the returned cycle count is the
+     *        completion time. False (multiprogrammed methodology):
+     *        cores keep running for contention until all reach the
+     *        quota; per-core IPCs come from finishCycle().
+     * @param maxCycles Safety limit; the run aborts with a warning.
+     * @return total cycles elapsed.
+     */
+    Cycle run(std::uint64_t quotaPerCore, bool stopAtQuota = true,
+              Cycle maxCycles = 0);
+
+    /**
+     * Prefill the shared L2 with lines drawn from the threads' far
+     * regions — the steady-state resident set a long-running program
+     * would have built — so that capacity evictions and dirty
+     * writebacks behave realistically from the first measured cycle.
+     *
+     * @param fillFrac Fraction of L2 lines to populate.
+     * @param dirtyFrac Probability a prefilled line is dirty.
+     */
+    void prewarmCaches(double fillFrac = 0.9, double dirtyFrac = 0.12);
+
+    /**
+     * Close the warmup window: zero every statistic and restart the
+     * cores' commit quotas, keeping all microarchitectural state
+     * (caches, predictors, row buffers) warm.
+     */
+    void resetStatsWindow();
+
+    /** Cycles elapsed since the last resetStatsWindow() (or start). */
+    Cycle windowCycles() const { return cycle_ - windowStart_; }
+
+    /** First cycle of the current measurement window. */
+    Cycle windowStart() const { return windowStart_; }
+
+    Core &core(std::uint32_t i) { return *cores_[i]; }
+    const Core &core(std::uint32_t i) const { return *cores_[i]; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    MemHierarchy &hierarchy() { return *hier_; }
+    DramSystem &dram() { return *dram_; }
+    Scheduler &scheduler() { return *sched_; }
+    stats::Group &statsRoot() { return root_; }
+    const stats::Group &statsRoot() const { return root_; }
+    const SystemConfig &config() const { return cfg_; }
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    void build(const std::vector<AppParams> &perCore, bool parallel);
+    void tickOnce();
+
+    SystemConfig cfg_;
+    stats::Group root_;
+    std::unique_ptr<Scheduler> sched_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<MemHierarchy> hier_;
+    std::vector<std::unique_ptr<SyntheticApp>> gens_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    Cycle cycle_ = 0;
+    Cycle windowStart_ = 0;
+    std::uint64_t dramAccum_ = 0;
+    DramCycle dramCycle_ = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_SYSTEM_SYSTEM_HH

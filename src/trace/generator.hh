@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Abstract interface of a per-thread micro-op stream generator.
+ */
+
+#ifndef CRITMEM_TRACE_GENERATOR_HH
+#define CRITMEM_TRACE_GENERATOR_HH
+
+#include <string>
+
+#include "trace/microop.hh"
+
+namespace critmem
+{
+
+/** Produces one thread's dynamic micro-op stream. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Write the next dynamic micro-op into @p op. */
+    virtual void next(MicroOp &op) = 0;
+
+    /** @return the workload's name. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_TRACE_GENERATOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The dynamic micro-operation format produced by workload generators
+ * and consumed by the out-of-order core model.
+ */
+
+#ifndef CRITMEM_TRACE_MICROOP_HH
+#define CRITMEM_TRACE_MICROOP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Functional-unit classes (Table 1's FU mix). */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    FpAlu,
+    FpMul,
+    Load,
+    Store,
+    Branch,
+};
+
+/** @return printable name of an op class. */
+const char *toString(OpClass cls);
+
+/**
+ * One dynamic micro-op.
+ *
+ * Register dependences are encoded as backward distances in program
+ * order: a nonzero depN means "source N is produced by the micro-op
+ * issued depN instructions earlier". The core resolves distances
+ * against its ROB; producers that already committed count as ready.
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    /** Synthetic program counter (used by CBP/CLPT indexing). */
+    std::uint64_t pc = 0;
+    /** Effective address; meaningful for Load/Store only. */
+    Addr addr = 0;
+    /** Execution latency for non-memory ops, cycles. */
+    std::uint8_t latency = 1;
+    /** Backward dependence distances; 0 = no dependence. */
+    std::uint16_t dep1 = 0;
+    std::uint16_t dep2 = 0;
+    /** Branch only: this dynamic instance is mispredicted. */
+    bool mispredict = false;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_TRACE_MICROOP_HH

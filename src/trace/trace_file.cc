@@ -1,0 +1,126 @@
+#include "trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace critmem
+{
+
+namespace
+{
+
+constexpr std::size_t kRecordBytes = 24;
+
+void
+encode(const MicroOp &op, std::uint8_t *out)
+{
+    std::uint64_t pc = op.pc;
+    std::uint64_t addr = op.addr;
+    std::memcpy(out, &pc, 8);
+    std::memcpy(out + 8, &addr, 8);
+    out[16] = static_cast<std::uint8_t>(op.cls);
+    out[17] = op.latency;
+    const std::uint16_t dep1 = op.dep1;
+    const std::uint16_t dep2 = op.dep2;
+    std::memcpy(out + 18, &dep1, 2);
+    std::memcpy(out + 20, &dep2, 2);
+    out[22] = op.mispredict ? 1 : 0;
+    out[23] = 0;
+}
+
+void
+decode(const std::uint8_t *in, MicroOp &op)
+{
+    std::memcpy(&op.pc, in, 8);
+    std::memcpy(&op.addr, in + 8, 8);
+    op.cls = static_cast<OpClass>(in[16]);
+    op.latency = in[17];
+    std::memcpy(&op.dep1, in + 18, 2);
+    std::memcpy(&op.dep2, in + 20, 2);
+    op.mispredict = in[22] != 0;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        fatal("cannot open trace file '", path, "' for writing");
+    // Header: magic, version, reserved count slot (fixed on close).
+    const std::uint32_t magic = kMagic;
+    const std::uint32_t version = kVersion;
+    const std::uint64_t count = 0;
+    std::fwrite(&magic, 4, 1, file_);
+    std::fwrite(&version, 4, 1, file_);
+    std::fwrite(&count, 8, 1, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const MicroOp &op)
+{
+    std::array<std::uint8_t, kRecordBytes> record{};
+    encode(op, record.data());
+    if (std::fwrite(record.data(), record.size(), 1, file_) != 1)
+        fatal("short write to trace file");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    std::fseek(file_, 8, SEEK_SET);
+    std::fwrite(&count_, 8, 1, file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path) : name_(path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '", path, "'");
+    std::uint32_t magic = 0, version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(&magic, 4, 1, file) != 1 ||
+        std::fread(&version, 4, 1, file) != 1 ||
+        std::fread(&count, 8, 1, file) != 1) {
+        std::fclose(file);
+        fatal("trace file '", path, "' is truncated");
+    }
+    if (magic != TraceWriter::kMagic)
+        fatal("'", path, "' is not a critmem trace (bad magic)");
+    if (version != TraceWriter::kVersion)
+        fatal("trace '", path, "' has unsupported version ", version);
+    if (count == 0)
+        fatal("trace '", path, "' is empty");
+
+    ops_.resize(count);
+    std::array<std::uint8_t, kRecordBytes> record{};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(record.data(), record.size(), 1, file) != 1) {
+            std::fclose(file);
+            fatal("trace '", path, "' ends early at record ", i);
+        }
+        decode(record.data(), ops_[i]);
+    }
+    std::fclose(file);
+}
+
+void
+TraceReader::next(MicroOp &op)
+{
+    op = ops_[pos_];
+    pos_ = (pos_ + 1) % ops_.size();
+}
+
+} // namespace critmem

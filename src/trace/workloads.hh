@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Registry of workload models: the nine parallel applications of
+ * Table 2, the single-threaded applications composing Table 4's
+ * multiprogrammed bundles, and the bundle definitions themselves.
+ */
+
+#ifndef CRITMEM_TRACE_WORKLOADS_HH
+#define CRITMEM_TRACE_WORKLOADS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace critmem
+{
+
+/** The nine parallel applications (Table 2), in the paper's order. */
+const std::vector<AppParams> &parallelApps();
+
+/** Look up any registered application model by name. */
+const AppParams &appParams(const std::string &name);
+
+/** A four-application multiprogrammed bundle (Table 4). */
+struct Bundle
+{
+    std::string name;
+    std::array<std::string, 4> apps;
+};
+
+/** The eight multiprogrammed bundles (Table 4). */
+const std::vector<Bundle> &multiprogBundles();
+
+} // namespace critmem
+
+#endif // CRITMEM_TRACE_WORKLOADS_HH

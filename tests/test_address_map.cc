@@ -1,0 +1,166 @@
+/** @file Tests for the page-interleaved DRAM address mapping. */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+DramConfig
+org(std::uint32_t channels, std::uint32_t ranks, std::uint32_t banks,
+    std::uint32_t rowBytes = 1024)
+{
+    DramConfig cfg = DramConfig::preset(DramSpeed::DDR3_2133);
+    cfg.channels = channels;
+    cfg.ranksPerChannel = ranks;
+    cfg.banksPerRank = banks;
+    cfg.rowBytes = rowBytes;
+    return cfg;
+}
+
+} // namespace
+
+TEST(AddressMap, SameRowSameCoordinates)
+{
+    const AddressMap map(org(4, 4, 8));
+    const DramCoord a = map.decode(0x100000);
+    const DramCoord b = map.decode(0x100000 + 1023);
+    EXPECT_EQ(a, b);
+}
+
+TEST(AddressMap, ConsecutiveRowsRotateChannels)
+{
+    const AddressMap map(org(4, 4, 8));
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(1024);
+    EXPECT_EQ(b.channel, (a.channel + 1) % 4);
+}
+
+TEST(AddressMap, ChannelsWrapThenBankAdvances)
+{
+    const AddressMap map(org(4, 4, 8));
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(1024ull * 4); // one full channel turn
+    EXPECT_EQ(b.channel, a.channel);
+    EXPECT_EQ(b.bank, (a.bank + 1) % 8);
+}
+
+TEST(AddressMap, RowIsHighBits)
+{
+    const AddressMap map(org(4, 4, 8));
+    // 1024 B row * 4 channels * 8 banks * 4 ranks = 128 KB per row
+    // increment.
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(128 * 1024);
+    EXPECT_EQ(b.row, a.row + 1);
+    EXPECT_EQ(b.channel, a.channel);
+    EXPECT_EQ(b.bank, a.bank);
+    EXPECT_EQ(b.rank, a.rank);
+}
+
+TEST(AddressMapDeath, RejectsNonPowerOfTwo)
+{
+    DramConfig bad = org(3, 4, 8);
+    EXPECT_DEATH({ AddressMap map(bad); }, "power of two");
+}
+
+/** Property sweep over organizations. */
+struct OrgParam
+{
+    std::uint32_t channels;
+    std::uint32_t ranks;
+    std::uint32_t banks;
+};
+
+class AddressMapOrgTest : public ::testing::TestWithParam<OrgParam>
+{
+};
+
+TEST_P(AddressMapOrgTest, CoordinatesInRange)
+{
+    const OrgParam p = GetParam();
+    const AddressMap map(org(p.channels, p.ranks, p.banks));
+    std::uint64_t addr = 0x12345;
+    for (int i = 0; i < 2000; ++i) {
+        const DramCoord c = map.decode(addr);
+        EXPECT_LT(c.channel, p.channels);
+        EXPECT_LT(c.rank, p.ranks);
+        EXPECT_LT(c.bank, p.banks);
+        addr = addr * 2862933555777941757ull + 3037000493ull;
+    }
+}
+
+TEST_P(AddressMapOrgTest, DecodeIsDeterministicAndBlockStable)
+{
+    const OrgParam p = GetParam();
+    const AddressMap map(org(p.channels, p.ranks, p.banks));
+    // All addresses within one 64 B block share coordinates.
+    for (Addr base = 0; base < 1u << 20; base += 77777) {
+        const Addr block = base & ~Addr{63};
+        const DramCoord a = map.decode(block);
+        const DramCoord b = map.decode(block + 63);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST_P(AddressMapOrgTest, UniformChannelSpread)
+{
+    const OrgParam p = GetParam();
+    const AddressMap map(org(p.channels, p.ranks, p.banks));
+    std::vector<std::uint64_t> counts(p.channels, 0);
+    // Sequential rows must hit channels perfectly uniformly.
+    for (std::uint64_t row = 0; row < 4096; ++row)
+        ++counts[map.decode(row * 1024).channel];
+    for (const std::uint64_t count : counts)
+        EXPECT_EQ(count, 4096u / p.channels);
+}
+
+TEST(AddressMapBlock, ConsecutiveBlocksRotateChannels)
+{
+    DramConfig cfg = org(4, 4, 8);
+    cfg.mapKind = AddressMapKind::BlockInterleave;
+    const AddressMap map(cfg);
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(64);
+    EXPECT_EQ(b.channel, (a.channel + 1) % 4);
+}
+
+TEST(AddressMapBlock, SameRowSameRowIdAcrossColumns)
+{
+    DramConfig cfg = org(4, 4, 8);
+    cfg.mapKind = AddressMapKind::BlockInterleave;
+    const AddressMap map(cfg);
+    // Blocks 0 and 4 are the same channel (4 channels) and must share
+    // bank/rank/row (adjacent columns of the same physical row).
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(4 * 64);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMapBlock, CoordinatesInRange)
+{
+    DramConfig cfg = org(4, 4, 8);
+    cfg.mapKind = AddressMapKind::BlockInterleave;
+    const AddressMap map(cfg);
+    std::uint64_t addr = 0xabcdef;
+    for (int i = 0; i < 2000; ++i) {
+        const DramCoord c = map.decode(addr);
+        EXPECT_LT(c.channel, 4u);
+        EXPECT_LT(c.rank, 4u);
+        EXPECT_LT(c.bank, 8u);
+        addr = addr * 2862933555777941757ull + 3037000493ull;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orgs, AddressMapOrgTest,
+    ::testing::Values(OrgParam{1, 1, 8}, OrgParam{2, 1, 8},
+                      OrgParam{2, 2, 8}, OrgParam{4, 1, 8},
+                      OrgParam{4, 2, 8}, OrgParam{4, 4, 8},
+                      OrgParam{8, 4, 16}));

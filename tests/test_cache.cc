@@ -1,0 +1,188 @@
+/** @file Unit tests for the set-associative MESI cache array. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+CacheConfig
+smallCache(std::uint32_t ways = 2)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.blockBytes = 64;
+    cfg.ways = ways;
+    return cfg;
+}
+
+} // namespace
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    stats::Group root_;
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    Cache cache(smallCache(), "c", root_);
+    EXPECT_FALSE(cache.access(0x1000));
+    cache.insert(0x1000, LineState::Exclusive);
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_EQ(cache.cacheStats().hits.value(), 1u);
+    EXPECT_EQ(cache.cacheStats().misses.value(), 1u);
+}
+
+TEST_F(CacheTest, ProbeDoesNotTouchStats)
+{
+    Cache cache(smallCache(), "c", root_);
+    EXPECT_EQ(cache.probe(0x40), LineState::Invalid);
+    EXPECT_EQ(cache.cacheStats().misses.value(), 0u);
+    cache.insert(0x40, LineState::Shared);
+    EXPECT_EQ(cache.probe(0x40), LineState::Shared);
+}
+
+TEST_F(CacheTest, BlockAlign)
+{
+    Cache cache(smallCache(), "c", root_);
+    EXPECT_EQ(cache.blockAlign(0x1234), 0x1200u & ~Addr{63});
+    EXPECT_EQ(cache.blockAlign(0x1240), 0x1240u);
+}
+
+TEST_F(CacheTest, LruEviction)
+{
+    // 2-way: fill a set with two lines, touch the first, insert a
+    // third -> the second (LRU) must be the victim.
+    Cache cache(smallCache(2), "c", root_);
+    const std::uint32_t setStride = 1024 / 2; // sets*block
+    cache.insert(0x0, LineState::Exclusive);
+    cache.insert(0x0 + setStride, LineState::Exclusive);
+    cache.access(0x0); // make first MRU
+    const Cache::Victim victim =
+        cache.insert(0x0 + 2 * setStride, LineState::Exclusive);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0x0 + setStride);
+    EXPECT_EQ(cache.probe(0x0), LineState::Exclusive);
+    EXPECT_EQ(cache.probe(0x0 + setStride), LineState::Invalid);
+}
+
+TEST_F(CacheTest, VictimReportsDirty)
+{
+    Cache cache(smallCache(1), "c", root_);
+    cache.insert(0x0, LineState::Modified);
+    const Cache::Victim victim =
+        cache.insert(0x0 + 1024, LineState::Exclusive);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(cache.cacheStats().writebacks.value(), 1u);
+}
+
+TEST_F(CacheTest, CleanVictimNotDirty)
+{
+    Cache cache(smallCache(1), "c", root_);
+    cache.insert(0x0, LineState::Shared);
+    const Cache::Victim victim =
+        cache.insert(0x0 + 1024, LineState::Exclusive);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_FALSE(victim.dirty);
+}
+
+TEST_F(CacheTest, InsertExistingUpdatesInPlace)
+{
+    Cache cache(smallCache(2), "c", root_);
+    cache.insert(0x0, LineState::Shared);
+    const Cache::Victim victim =
+        cache.insert(0x0, LineState::Modified);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_EQ(cache.probe(0x0), LineState::Modified);
+}
+
+TEST_F(CacheTest, SetStateOnResidentLine)
+{
+    Cache cache(smallCache(), "c", root_);
+    cache.insert(0x80, LineState::Exclusive);
+    cache.setState(0x80, LineState::Modified);
+    EXPECT_EQ(cache.probe(0x80), LineState::Modified);
+}
+
+TEST_F(CacheTest, SetStateOnMissingLineIsNoop)
+{
+    Cache cache(smallCache(), "c", root_);
+    cache.setState(0x80, LineState::Modified);
+    EXPECT_EQ(cache.probe(0x80), LineState::Invalid);
+}
+
+TEST_F(CacheTest, InvalidateDropsLine)
+{
+    Cache cache(smallCache(), "c", root_);
+    cache.insert(0x100, LineState::Shared);
+    cache.invalidate(0x100);
+    EXPECT_EQ(cache.probe(0x100), LineState::Invalid);
+    EXPECT_EQ(cache.cacheStats().invalidations.value(), 1u);
+}
+
+TEST_F(CacheTest, PrefetchedFlagLifecycle)
+{
+    Cache cache(smallCache(), "c", root_);
+    cache.insert(0x200, LineState::Exclusive, /*prefetched=*/true);
+    EXPECT_TRUE(cache.wasPrefetched(0x200));
+    cache.clearPrefetched(0x200);
+    EXPECT_FALSE(cache.wasPrefetched(0x200));
+}
+
+TEST_F(CacheTest, InvalidWaysFilledBeforeEviction)
+{
+    Cache cache(smallCache(2), "c", root_);
+    cache.insert(0x0, LineState::Exclusive);
+    const Cache::Victim victim =
+        cache.insert(0x0 + 512, LineState::Exclusive);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_EQ(cache.probe(0x0), LineState::Exclusive);
+    EXPECT_EQ(cache.probe(0x0 + 512), LineState::Exclusive);
+}
+
+TEST(CacheDeath, NonPowerOfTwoBlockFatal)
+{
+    stats::Group root;
+    CacheConfig cfg;
+    cfg.sizeBytes = 960;
+    cfg.blockBytes = 48;
+    cfg.ways = 1;
+    EXPECT_DEATH({ Cache cache(cfg, "c", root); }, "power of two");
+}
+
+/** Property: with W ways, the W most recently used blocks of a set
+ *  always survive. */
+class CacheWaysTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheWaysTest, MruBlocksSurvive)
+{
+    stats::Group root;
+    CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.blockBytes = 64;
+    cfg.ways = GetParam();
+    Cache cache(cfg, "c", root);
+
+    const std::uint32_t sets = cfg.sets();
+    const Addr stride = static_cast<Addr>(sets) * cfg.blockBytes;
+    // Insert 2W blocks that all map to set 0; the last W must remain.
+    const std::uint32_t w = GetParam();
+    for (std::uint32_t i = 0; i < 2 * w; ++i)
+        cache.insert(stride * i, LineState::Exclusive);
+    for (std::uint32_t i = w; i < 2 * w; ++i) {
+        EXPECT_EQ(cache.probe(stride * i), LineState::Exclusive)
+            << "way count " << w << " block " << i;
+    }
+    for (std::uint32_t i = 0; i < w; ++i)
+        EXPECT_EQ(cache.probe(stride * i), LineState::Invalid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheWaysTest,
+                         ::testing::Values(1, 2, 4, 8, 16));

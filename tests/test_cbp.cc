@@ -1,0 +1,174 @@
+/** @file Unit and property tests for the Commit Block Predictor. */
+
+#include <gtest/gtest.h>
+
+#include "crit/cbp.hh"
+
+using namespace critmem;
+
+TEST(Cbp, ColdTablePredictsNonCritical)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 0);
+    EXPECT_EQ(cbp.predict(0x400000), 0u);
+}
+
+TEST(Cbp, BinarySetsSaturatingBit)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 0);
+    cbp.update(0x400000, 500);
+    EXPECT_EQ(cbp.predict(0x400000), 1u);
+    cbp.update(0x400000, 9000);
+    EXPECT_EQ(cbp.predict(0x400000), 1u); // stays 1, no magnitude
+}
+
+TEST(Cbp, BlockCountAccumulatesEpisodes)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBlockCount, 64, 0);
+    cbp.update(0x400000, 500);
+    cbp.update(0x400000, 5);
+    cbp.update(0x400000, 50);
+    EXPECT_EQ(cbp.predict(0x400000), 3u);
+}
+
+TEST(Cbp, LastStallKeepsMostRecent)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpLastStall, 64, 0);
+    cbp.update(0x400000, 500);
+    cbp.update(0x400000, 5);
+    EXPECT_EQ(cbp.predict(0x400000), 5u);
+}
+
+TEST(Cbp, MaxStallKeepsLargest)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpMaxStall, 64, 0);
+    cbp.update(0x400000, 500);
+    cbp.update(0x400000, 5);
+    EXPECT_EQ(cbp.predict(0x400000), 500u);
+    cbp.update(0x400000, 900);
+    EXPECT_EQ(cbp.predict(0x400000), 900u);
+}
+
+TEST(Cbp, TotalStallSums)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpTotalStall, 64, 0);
+    cbp.update(0x400000, 500);
+    cbp.update(0x400000, 5);
+    EXPECT_EQ(cbp.predict(0x400000), 505u);
+}
+
+TEST(Cbp, TaglessTableAliases)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 0);
+    // PCs 64 words apart share an entry: (pc >> 2) & 63.
+    cbp.update(0x400000, 100);
+    EXPECT_EQ(cbp.predict(0x400000 + 64 * 4), 1u);
+}
+
+TEST(Cbp, UnlimitedTableDoesNotAlias)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 0, 0);
+    cbp.update(0x400000, 100);
+    EXPECT_EQ(cbp.predict(0x400000 + 64 * 4), 0u);
+    EXPECT_EQ(cbp.predict(0x400000), 1u);
+}
+
+TEST(Cbp, MaxObservedTracksRawValues)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpTotalStall, 64, 0);
+    cbp.update(0x400000, 500);
+    cbp.update(0x400004, 900);
+    cbp.update(0x400000, 700); // entry now 1200: the new maximum
+    EXPECT_EQ(cbp.maxObserved(), 1200u);
+}
+
+TEST(Cbp, PeriodicResetClearsEntries)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 1000);
+    cbp.update(0x400000, 50);
+    cbp.maybeReset(999);
+    EXPECT_EQ(cbp.predict(0x400000), 1u); // interval not yet elapsed
+    cbp.maybeReset(1000);
+    EXPECT_EQ(cbp.predict(0x400000), 0u);
+}
+
+TEST(Cbp, ResetRearmsForNextInterval)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 1000);
+    cbp.maybeReset(1000);
+    cbp.update(0x400000, 50);
+    cbp.maybeReset(1500);
+    EXPECT_EQ(cbp.predict(0x400000), 1u); // next reset at 2000
+    cbp.maybeReset(2000);
+    EXPECT_EQ(cbp.predict(0x400000), 0u);
+}
+
+TEST(Cbp, ZeroIntervalNeverResets)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 0);
+    cbp.update(0x400000, 50);
+    cbp.maybeReset(1u << 30);
+    EXPECT_EQ(cbp.predict(0x400000), 1u);
+}
+
+TEST(Cbp, PopulatedEntriesCountsFlagged)
+{
+    CommitBlockPredictor cbp(CritPredictor::CbpBinary, 64, 0);
+    EXPECT_EQ(cbp.populatedEntries(), 0u);
+    cbp.update(0x400000, 1);
+    cbp.update(0x400004, 1);
+    cbp.update(0x400000, 1); // same entry
+    EXPECT_EQ(cbp.populatedEntries(), 2u);
+}
+
+TEST(CbpDeath, RejectsNonCbpKind)
+{
+    EXPECT_DEATH(
+        { CommitBlockPredictor cbp(CritPredictor::ClptBinary, 64, 0); },
+        "non-CBP");
+}
+
+TEST(CbpDeath, RejectsNonPowerOfTwoEntries)
+{
+    EXPECT_DEATH(
+        { CommitBlockPredictor cbp(CritPredictor::CbpBinary, 65, 0); },
+        "power of two");
+}
+
+/** Property sweep over table sizes: finite tables mirror the
+ *  unlimited table whenever no aliasing occurs. */
+class CbpSizeTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CbpSizeTest, MatchesUnlimitedWithoutAliasing)
+{
+    const std::uint32_t entries = GetParam();
+    CommitBlockPredictor finite(CritPredictor::CbpMaxStall, entries, 0);
+    CommitBlockPredictor unlimited(CritPredictor::CbpMaxStall, 0, 0);
+    // Touch fewer distinct word-spaced PCs than there are entries.
+    for (std::uint32_t i = 0; i < entries / 2; ++i) {
+        const std::uint64_t pc = 0x400000 + i * 4;
+        finite.update(pc, 10 * i + 3);
+        unlimited.update(pc, 10 * i + 3);
+    }
+    for (std::uint32_t i = 0; i < entries / 2; ++i) {
+        const std::uint64_t pc = 0x400000 + i * 4;
+        EXPECT_EQ(finite.predict(pc), unlimited.predict(pc));
+    }
+}
+
+TEST_P(CbpSizeTest, IndexStaysInTable)
+{
+    const std::uint32_t entries = GetParam();
+    CommitBlockPredictor cbp(CritPredictor::CbpBlockCount, entries, 0);
+    std::uint64_t pc = 1;
+    for (int i = 0; i < 5000; ++i) {
+        cbp.update(pc, 1);
+        cbp.predict(pc); // must not crash for arbitrary PCs
+        pc = pc * 2862933555777941757ull + 13;
+    }
+    EXPECT_LE(cbp.populatedEntries(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CbpSizeTest,
+                         ::testing::Values(2, 64, 256, 1024));

@@ -1,0 +1,128 @@
+/** @file Tests for configuration presets (Tables 1 and 3). */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace critmem;
+
+TEST(Config, Ddr3_2133TimingsMatchTable3)
+{
+    const DramConfig cfg = DramConfig::preset(DramSpeed::DDR3_2133);
+    EXPECT_EQ(cfg.busMHz, 1066u);
+    EXPECT_EQ(cfg.t.tRCD, 14u);
+    EXPECT_EQ(cfg.t.tCL, 14u);
+    EXPECT_EQ(cfg.t.tWL, 7u);
+    EXPECT_EQ(cfg.t.tCCD, 4u);
+    EXPECT_EQ(cfg.t.tWTR, 8u);
+    EXPECT_EQ(cfg.t.tWR, 16u);
+    EXPECT_EQ(cfg.t.tRTP, 8u);
+    EXPECT_EQ(cfg.t.tRP, 14u);
+    EXPECT_EQ(cfg.t.tRRD, 6u);
+    EXPECT_EQ(cfg.t.tRTRS, 2u);
+    EXPECT_EQ(cfg.t.tRAS, 36u);
+    EXPECT_EQ(cfg.t.tRC, 50u);
+    EXPECT_EQ(cfg.t.tRFC, 118u);
+    EXPECT_EQ(cfg.t.burstLength, 8u);
+}
+
+TEST(Config, Table3Organization)
+{
+    const DramConfig cfg = DramConfig::preset(DramSpeed::DDR3_2133);
+    EXPECT_EQ(cfg.channels, 4u);
+    EXPECT_EQ(cfg.ranksPerChannel, 4u);
+    EXPECT_EQ(cfg.banksPerRank, 8u);
+    EXPECT_EQ(cfg.rowBytes, 1024u);
+    EXPECT_EQ(cfg.queueEntries, 64u);
+}
+
+TEST(Config, SlowerGradesScaleToConstantNanoseconds)
+{
+    const DramConfig slow = DramConfig::preset(DramSpeed::DDR3_1066);
+    // Half the clock: cycle counts should halve (rounded up).
+    EXPECT_EQ(slow.busMHz, 533u);
+    EXPECT_EQ(slow.t.tRCD, 7u);
+    EXPECT_EQ(slow.t.tCL, 7u);
+    EXPECT_EQ(slow.t.tRC, 25u);
+    EXPECT_EQ(slow.t.tRFC, 59u);
+}
+
+TEST(Config, Ddr3_1600Scaling)
+{
+    const DramConfig cfg = DramConfig::preset(DramSpeed::DDR3_1600);
+    EXPECT_EQ(cfg.busMHz, 800u);
+    // 14 cycles @1066 = 13.13ns -> ceil(10.5) = 11 cycles @800.
+    EXPECT_EQ(cfg.t.tRCD, 11u);
+    // tCCD is clamped at BL/2 = 4 cycles minimum.
+    EXPECT_GE(cfg.t.tCCD, 4u);
+}
+
+TEST(Config, RefreshIntervalCoversAllRowsIn64ms)
+{
+    const DramConfig cfg = DramConfig::preset(DramSpeed::DDR3_2133);
+    // 8192 refreshes per 64 ms: tREFI ~= 64ms/8192 at 1066 MHz.
+    const double expected = 0.064 / 8192.0 * 1066.0e6;
+    EXPECT_NEAR(cfg.t.tREFI, expected, 5.0);
+}
+
+TEST(Config, CpuPerDramCycleIsFourAt2133)
+{
+    const SystemConfig cfg = SystemConfig::parallelDefault();
+    EXPECT_EQ(cfg.cpuPerDramCycle(), 4u);
+}
+
+TEST(Config, ParallelDefaultMatchesTables)
+{
+    const SystemConfig cfg = SystemConfig::parallelDefault();
+    EXPECT_EQ(cfg.numCores, 8u);
+    EXPECT_EQ(cfg.core.robEntries, 128u);
+    EXPECT_EQ(cfg.core.lqEntries, 32u);
+    EXPECT_EQ(cfg.core.maxUnresolvedBranches, 24u);
+    EXPECT_EQ(cfg.core.mispredictPenalty, 9u);
+    EXPECT_EQ(cfg.il1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.il1.ways, 1u);
+    EXPECT_EQ(cfg.dl1.ways, 4u);
+    EXPECT_EQ(cfg.dl1.blockBytes, 32u);
+    EXPECT_EQ(cfg.dl1.latency, 3u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 4u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2.ways, 8u);
+    EXPECT_EQ(cfg.l2.blockBytes, 64u);
+    EXPECT_EQ(cfg.l2.latency, 32u);
+    EXPECT_EQ(cfg.l2.mshrs, 64u);
+}
+
+TEST(Config, MultiprogDefaultHalvesChannelsAndMshrs)
+{
+    const SystemConfig cfg = SystemConfig::multiprogDefault();
+    EXPECT_EQ(cfg.numCores, 4u);
+    EXPECT_EQ(cfg.dram.channels, 2u);
+    EXPECT_EQ(cfg.l2.mshrs, 32u);
+}
+
+TEST(Config, CacheSetsComputation)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.blockBytes = 32;
+    cfg.ways = 4;
+    EXPECT_EQ(cfg.sets(), 256u);
+}
+
+TEST(Config, ToStringCoverage)
+{
+    EXPECT_STREQ(toString(DramSpeed::DDR3_2133), "DDR3-2133");
+    EXPECT_STREQ(toString(CritPredictor::CbpMaxStall), "MaxStallTime");
+    EXPECT_STREQ(toString(CritPredictor::ClptConsumers),
+                 "CLPT-Consumers");
+    EXPECT_STREQ(toString(SchedAlgo::CasRasCrit), "CASRAS-Crit");
+    EXPECT_STREQ(toString(SchedAlgo::Morse), "MORSE-P");
+}
+
+TEST(Config, IsCbpClassification)
+{
+    EXPECT_TRUE(isCbp(CritPredictor::CbpBinary));
+    EXPECT_TRUE(isCbp(CritPredictor::CbpTotalStall));
+    EXPECT_FALSE(isCbp(CritPredictor::None));
+    EXPECT_FALSE(isCbp(CritPredictor::ClptBinary));
+    EXPECT_FALSE(isCbp(CritPredictor::NaiveForward));
+}

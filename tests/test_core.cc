@@ -1,0 +1,313 @@
+/** @file Tests for the out-of-order core model, driven by scripted
+ *  micro-op sequences. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "sched/frfcfs.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+/** Replays a fixed micro-op vector, repeating it forever. */
+class ScriptedTrace : public TraceGenerator
+{
+  public:
+    explicit ScriptedTrace(std::vector<MicroOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    void
+    next(MicroOp &op) override
+    {
+        op = ops_[pos_];
+        pos_ = (pos_ + 1) % ops_.size();
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t pos_ = 0;
+    std::string name_ = "scripted";
+};
+
+MicroOp
+alu(std::uint64_t pc, std::uint16_t dep = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = pc;
+    op.latency = 1;
+    op.dep1 = dep;
+    return op;
+}
+
+MicroOp
+ld(std::uint64_t pc, Addr addr, std::uint16_t dep = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.pc = pc;
+    op.addr = addr;
+    op.dep1 = dep;
+    return op;
+}
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::vector<MicroOp> ops,
+          SystemConfig cfg = SystemConfig::parallelDefault())
+    {
+        cfg_ = cfg;
+        gen_ = std::make_unique<ScriptedTrace>(std::move(ops));
+        dram_ = std::make_unique<DramSystem>(cfg_.dram, sched_, root_);
+        hier_ = std::make_unique<MemHierarchy>(cfg_, *dram_, root_);
+        core_ = std::make_unique<Core>(cfg_, 0, *gen_, *hier_, root_);
+    }
+
+    /** Run until the core commits @p quota ops (or a cycle limit). */
+    Cycle
+    run(std::uint64_t quota, Cycle limit = 2'000'000)
+    {
+        core_->setQuota(quota);
+        while (!core_->finished() && now_ < limit) {
+            ++now_;
+            hier_->tick(now_);
+            core_->tick(now_);
+            if (now_ % 4 == 0)
+                dram_->tick(now_ / 4);
+        }
+        return now_;
+    }
+
+    stats::Group root_;
+    FrFcfsScheduler sched_;
+    SystemConfig cfg_;
+    std::unique_ptr<ScriptedTrace> gen_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<MemHierarchy> hier_;
+    std::unique_ptr<Core> core_;
+    Cycle now_ = 0;
+};
+
+} // namespace
+
+TEST_F(CoreTest, IndependentAlusReachIssueWidth)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 16; ++i)
+        ops.push_back(alu(0x400000 + i * 4));
+    build(std::move(ops));
+    const Cycle cycles = run(4000);
+    const double ipc = 4000.0 / static_cast<double>(cycles);
+    // Two IntAlus bound throughput; pipeline overheads cost a bit.
+    EXPECT_GT(ipc, 1.6);
+    EXPECT_LE(ipc, 2.05);
+}
+
+TEST_F(CoreTest, DependenceChainSerializes)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 16; ++i)
+        ops.push_back(alu(0x400000 + i * 4, /*dep=*/1));
+    build(std::move(ops));
+    const Cycle cycles = run(2000);
+    // One op per cycle at best: a serial chain cannot beat IPC 1.
+    EXPECT_GE(cycles, 2000u);
+}
+
+TEST_F(CoreTest, MixedFuClassesAllCommit)
+{
+    std::vector<MicroOp> ops;
+    const OpClass classes[] = {OpClass::IntAlu, OpClass::IntMul,
+                               OpClass::FpAlu, OpClass::FpMul,
+                               OpClass::Branch};
+    for (int i = 0; i < 20; ++i) {
+        MicroOp op;
+        op.cls = classes[i % 5];
+        op.pc = 0x400000 + i * 4;
+        op.latency = op.cls == OpClass::FpMul ? 5 : 1;
+        ops.push_back(op);
+    }
+    build(std::move(ops));
+    run(1000);
+    EXPECT_TRUE(core_->finished());
+    EXPECT_EQ(core_->coreStats().committedBranches.value(), 200u);
+}
+
+TEST_F(CoreTest, CacheResidentLoadsAreFast)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(ld(0x400000 + i * 4, 0x1000 + i * 8));
+    build(std::move(ops));
+    const Cycle cycles = run(4000);
+    // After the first (cold) block fill, everything hits the dL1.
+    EXPECT_LT(cycles, 4000u);
+    EXPECT_EQ(core_->coreStats().committedLoads.value(), 4000u);
+}
+
+TEST_F(CoreTest, MispredictsCostCycles)
+{
+    std::vector<MicroOp> clean;
+    std::vector<MicroOp> dirty;
+    for (int i = 0; i < 16; ++i) {
+        MicroOp op;
+        op.cls = i % 4 == 0 ? OpClass::Branch : OpClass::IntAlu;
+        op.pc = 0x400000 + i * 4;
+        clean.push_back(op);
+        op.mispredict = op.cls == OpClass::Branch;
+        dirty.push_back(op);
+    }
+    build(std::move(clean));
+    const Cycle fast = run(2000);
+
+    now_ = 0;
+    build(std::move(dirty));
+    const Cycle slow = run(2000);
+    // Every 4th op redirects the front end: at least the penalty per
+    // mispredicted branch beyond the clean run.
+    EXPECT_GT(slow, fast + 2000 / 4 * cfg_.core.mispredictPenalty / 2);
+    // Commit may overshoot the quota by up to one commit group.
+    EXPECT_GE(core_->coreStats().mispredicts.value(), 500u);
+    EXPECT_LE(core_->coreStats().mispredicts.value(), 502u);
+}
+
+TEST_F(CoreTest, MissingLoadBlocksRobHead)
+{
+    // A serial chain of DRAM misses: every load blocks commit.
+    std::vector<MicroOp> ops;
+    ops.push_back(ld(0x400000, 0x100000, /*dep=*/4));
+    for (int i = 1; i < 4; ++i)
+        ops.push_back(alu(0x400000 + i * 4, 1));
+    build(std::move(ops));
+    // Pointer-chase-like: the load depends on the previous iteration.
+    run(400);
+    EXPECT_GT(core_->coreStats().blockingLoads.value(), 0u);
+    EXPECT_GT(core_->coreStats().robHeadBlockedCycles.value(), 0u);
+    EXPECT_GT(core_->coreStats().headStallLength.max(), 32u);
+}
+
+TEST_F(CoreTest, CbpLearnsBlockingPc)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.crit.predictor = CritPredictor::CbpMaxStall;
+    cfg.crit.tableEntries = 64;
+    std::vector<MicroOp> ops;
+    // One load PC that misses to a new DRAM row every iteration.
+    MicroOp chase = ld(0x400000, 0x100000, 4);
+    ops.push_back(chase);
+    for (int i = 1; i < 4; ++i)
+        ops.push_back(alu(0x400000 + i * 4, 1));
+    build(std::move(ops), cfg);
+    run(400);
+    ASSERT_NE(core_->cbp(), nullptr);
+    EXPECT_GT(core_->cbp()->maxObserved(), 0u);
+    EXPECT_GT(core_->coreStats().critLoadsIssued.value(), 0u);
+}
+
+TEST_F(CoreTest, LqCapacityStalls)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.core.lqEntries = 4;
+    std::vector<MicroOp> ops;
+    // Loads that miss to distinct rows pile up in the tiny LQ.
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(ld(0x400000 + i * 4, 0x100000 + i * 131072));
+    build(std::move(ops), cfg);
+    run(800);
+    EXPECT_GT(core_->coreStats().lqFullCycles.value(), 0u);
+}
+
+TEST_F(CoreTest, StoreForwardingShortCircuitsLoads)
+{
+    std::vector<MicroOp> ops;
+    MicroOp st;
+    st.cls = OpClass::Store;
+    st.pc = 0x400000;
+    st.addr = 0x55000; // cold block: the write itself would miss
+    ops.push_back(st);
+    ops.push_back(ld(0x400004, 0x55000));
+    ops.push_back(alu(0x400008));
+    ops.push_back(alu(0x40000c));
+    build(std::move(ops));
+    run(400);
+    EXPECT_GT(core_->coreStats().loadsForwarded.value(), 0u);
+}
+
+TEST_F(CoreTest, QuotaAndFinishCycle)
+{
+    std::vector<MicroOp> ops = {alu(0x400000), alu(0x400004)};
+    build(std::move(ops));
+    const Cycle cycles = run(100);
+    EXPECT_TRUE(core_->finished());
+    EXPECT_EQ(core_->committed(), 100u);
+    EXPECT_EQ(core_->finishCycle(), cycles);
+}
+
+TEST_F(CoreTest, InactiveCoreDoesNothing)
+{
+    std::vector<MicroOp> ops = {alu(0x400000)};
+    build(std::move(ops));
+    core_->setActive(false);
+    EXPECT_TRUE(core_->finished());
+    run(10);
+    EXPECT_EQ(core_->committed(), 0u);
+}
+
+TEST_F(CoreTest, ResetWindowRestartsQuota)
+{
+    std::vector<MicroOp> ops = {alu(0x400000), alu(0x400004)};
+    build(std::move(ops));
+    run(50);
+    EXPECT_TRUE(core_->finished());
+    root_.resetAll();
+    core_->resetWindow();
+    EXPECT_FALSE(core_->finished());
+    run(50);
+    EXPECT_TRUE(core_->finished());
+    EXPECT_EQ(core_->committed(), 50u);
+}
+
+TEST_F(CoreTest, ClptCountsConsumers)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.crit.predictor = CritPredictor::ClptConsumers;
+    cfg.crit.tableEntries = 64;
+    cfg.crit.clptThreshold = 3;
+    std::vector<MicroOp> ops;
+    // A cache-resident load with three direct ALU consumers.
+    ops.push_back(ld(0x400000, 0x2000));
+    ops.push_back(alu(0x400004, 1));
+    ops.push_back(alu(0x400008, 2));
+    ops.push_back(alu(0x40000c, 3));
+    build(std::move(ops), cfg);
+    run(400);
+    ASSERT_NE(core_->clpt(), nullptr);
+    // After the first iteration the CLPT marks the load critical.
+    EXPECT_GE(core_->clpt()->predict(0x400000), 3u);
+}
+
+TEST_F(CoreTest, DrainedAfterRun)
+{
+    std::vector<MicroOp> ops = {alu(0x400000)};
+    build(std::move(ops));
+    run(100);
+    // Let in-flight stores/ops drain.
+    for (int i = 0; i < 2000; ++i) {
+        ++now_;
+        hier_->tick(now_);
+        core_->tick(now_);
+        if (now_ % 4 == 0)
+            dram_->tick(now_ / 4);
+    }
+    EXPECT_TRUE(core_->drained());
+}

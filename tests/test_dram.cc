@@ -1,0 +1,287 @@
+/** @file Timing and protocol tests for the DDR3 model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dram/dram.hh"
+#include "sched/frfcfs.hh"
+#include "sched/registry.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+/** Single-channel, single-rank harness with manual clocking. */
+class DramTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::uint32_t channels = 1, std::uint32_t ranks = 1)
+    {
+        cfg_ = DramConfig::preset(DramSpeed::DDR3_2133);
+        cfg_.channels = channels;
+        cfg_.ranksPerChannel = ranks;
+        dram_ = std::make_unique<DramSystem>(cfg_, sched_, root_);
+    }
+
+    /** Enqueue a read; returns a handle to its completion cycle. */
+    std::shared_ptr<DramCycle>
+    read(Addr addr, CritLevel crit = 0)
+    {
+        auto done = std::make_shared<DramCycle>(0);
+        MemRequest req;
+        req.addr = addr;
+        req.type = ReqType::Read;
+        req.crit = crit;
+        req.onComplete = [this, done](const MemRequest &) {
+            *done = now_;
+        };
+        EXPECT_TRUE(dram_->enqueue(std::move(req)));
+        return done;
+    }
+
+    void
+    tick(DramCycle cycles)
+    {
+        for (DramCycle i = 0; i < cycles; ++i)
+            dram_->tick(++now_);
+    }
+
+    stats::Group root_;
+    FrFcfsScheduler sched_;
+    DramConfig cfg_;
+    std::unique_ptr<DramSystem> dram_;
+    DramCycle now_ = 0;
+};
+
+} // namespace
+
+TEST_F(DramTest, SingleReadLatencyIsActRcdClBurst)
+{
+    build();
+    const auto done = read(0x10000);
+    tick(100);
+    // Arrival is stamped cycle 1 (lastNow+1 before any tick); the ACT
+    // issues that same cycle, CAS follows at +tRCD, and the data
+    // burst completes tCL + BL/2 later.
+    const DramCycle expected = 1 + cfg_.t.tRCD + cfg_.t.tCL +
+        cfg_.t.dataCycles();
+    EXPECT_EQ(*done, expected);
+}
+
+TEST_F(DramTest, RowHitSkipsActivate)
+{
+    build();
+    const auto first = read(0x10000);
+    tick(100);
+    const DramCycle t0 = now_;
+    const auto second = read(0x10000 + 64); // same row
+    tick(100);
+    // Only CAS needed: tCL + burst (+1 arrival, +1 issue slot).
+    EXPECT_LE(*second - t0, cfg_.t.tCL + cfg_.t.dataCycles() + 3);
+    EXPECT_GT(*second, *first);
+}
+
+TEST_F(DramTest, BackToBackRowHitsSpacedByBurst)
+{
+    build();
+    const auto a = read(0x20000);
+    const auto b = read(0x20000 + 64);
+    tick(200);
+    // Both hit the same row; the second's data follows the first's
+    // by at least the data-bus occupancy (tCCD >= BL/2 here).
+    EXPECT_GE(*b - *a, cfg_.t.dataCycles());
+    EXPECT_LE(*b - *a, cfg_.t.tCCD + 2);
+}
+
+TEST_F(DramTest, RowConflictPaysPrechargePenalty)
+{
+    build();
+    // Same bank, different rows: row stride is rowBytes * channels *
+    // banks * ranks.
+    const Addr rowStride = 1024ull * 1 * 8 * 1;
+    const auto a = read(0x0);
+    const auto b = read(0x0 + rowStride * 8); // same bank, other row
+    tick(400);
+    // The second read needs PRE (after tRAS from ACT) + ACT + CAS.
+    EXPECT_GE(*b - *a,
+              static_cast<DramCycle>(cfg_.t.tRP + cfg_.t.tRCD));
+}
+
+TEST_F(DramTest, BankParallelismOverlapsActivates)
+{
+    build();
+    // Two different banks: latencies overlap almost fully.
+    const Addr bankStride = 1024; // next row -> next bank (1 channel)
+    const auto a = read(0x0);
+    const auto b = read(bankStride);
+    tick(200);
+    EXPECT_LT(*b - *a, cfg_.t.tRCD); // far closer than serial service
+}
+
+TEST_F(DramTest, RefreshHappensEveryTrefi)
+{
+    build();
+    tick(cfg_.t.tREFI * 3 + 100);
+    EXPECT_GE(dram_->channel(0).channelStats().refreshes.value(), 2u);
+    EXPECT_LE(dram_->channel(0).channelStats().refreshes.value(), 4u);
+}
+
+TEST_F(DramTest, RefreshStaggersAcrossRanks)
+{
+    build(1, 4);
+    tick(cfg_.t.tREFI + 200);
+    // All four ranks refresh within one tREFI, staggered.
+    EXPECT_EQ(dram_->channel(0).channelStats().refreshes.value(), 4u);
+}
+
+TEST_F(DramTest, QueueFullRejects)
+{
+    build();
+    for (std::uint32_t i = 0; i < cfg_.queueEntries; ++i) {
+        MemRequest req;
+        req.addr = 0x100000 + static_cast<Addr>(i) * 4096 * 8;
+        req.type = ReqType::Read;
+        ASSERT_TRUE(dram_->enqueue(std::move(req))) << i;
+    }
+    MemRequest overflow;
+    overflow.addr = 0x900000;
+    overflow.type = ReqType::Read;
+    EXPECT_FALSE(dram_->enqueue(std::move(overflow)));
+    EXPECT_GT(dram_->channel(0).channelStats().enqueueRejects.value(),
+              0u);
+}
+
+TEST_F(DramTest, WriteSharesUnifiedQueue)
+{
+    build();
+    MemRequest wr;
+    wr.addr = 0x4000;
+    wr.type = ReqType::Write;
+    EXPECT_TRUE(dram_->enqueue(std::move(wr)));
+    tick(100);
+    EXPECT_EQ(dram_->channel(0).channelStats().writes.value(), 1u);
+    EXPECT_TRUE(dram_->idle());
+}
+
+TEST_F(DramTest, PromoteRaisesQueuedCriticality)
+{
+    build();
+    MemRequest req;
+    req.addr = 0x8000;
+    req.type = ReqType::Read;
+    req.core = 3;
+    EXPECT_TRUE(dram_->enqueue(std::move(req)));
+    EXPECT_TRUE(dram_->promote(0x8000, 3, 7));
+    // Wrong core or absent address: no match.
+    EXPECT_FALSE(dram_->promote(0x8000, 2, 7));
+    EXPECT_FALSE(dram_->promote(0xdead000, 3, 7));
+}
+
+TEST_F(DramTest, IdleAfterDrain)
+{
+    build();
+    read(0x1234);
+    EXPECT_FALSE(dram_->idle());
+    tick(200);
+    EXPECT_TRUE(dram_->idle());
+}
+
+TEST_F(DramTest, MultiChannelRouting)
+{
+    build(4, 1);
+    // Consecutive rows go to different channels.
+    read(0);
+    read(1024);
+    read(2048);
+    read(3072);
+    tick(5);
+    std::uint32_t nonEmpty = 0;
+    for (std::uint32_t c = 0; c < 4; ++c)
+        nonEmpty += dram_->channel(c).readQueueSize() > 0 ||
+            !dram_->channel(c).idle();
+    EXPECT_EQ(nonEmpty, 4u);
+}
+
+TEST_F(DramTest, DataBusUtilizationNeverExceedsCycles)
+{
+    build();
+    for (int i = 0; i < 32; ++i)
+        read(0x10000 + static_cast<Addr>(i) * 64);
+    tick(1000);
+    EXPECT_LE(dram_->channel(0).channelStats().busyDataCycles.value(),
+              now_);
+}
+
+TEST_F(DramTest, ReadLatencyStatTracksCompletions)
+{
+    build();
+    read(0x0);
+    read(0x40);
+    tick(200);
+    EXPECT_EQ(dram_->channel(0).channelStats().readLatency.count(), 2u);
+    EXPECT_GT(dram_->channel(0).channelStats().readLatency.mean(), 0.0);
+}
+
+/**
+ * Conservation fuzz: under any scheduling policy and random traffic,
+ * every enqueued read completes exactly once and nothing is lost.
+ */
+class DramConservationTest : public ::testing::TestWithParam<SchedAlgo>
+{
+};
+
+TEST_P(DramConservationTest, EveryRequestCompletesOnce)
+{
+    stats::Group root;
+    SystemConfig sysCfg = SystemConfig::parallelDefault();
+    sysCfg.sched.algo = GetParam();
+    sysCfg.dram.channels = 2;
+    sysCfg.dram.ranksPerChannel = 2;
+    const auto sched = makeScheduler(sysCfg);
+    DramSystem dram(sysCfg.dram, *sched, root);
+
+    std::uint64_t state = 0x51ab1e;
+    auto rnd = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+
+    std::uint64_t completed = 0;
+    std::uint64_t accepted = 0;
+    DramCycle now = 0;
+    for (int round = 0; round < 4000; ++round) {
+        ++now;
+        // Bursty random offered load, reads and writes mixed.
+        if (rnd() % 3 == 0) {
+            MemRequest req;
+            req.addr = (rnd() % (1u << 22)) & ~Addr{63};
+            req.type = rnd() % 4 == 0 ? ReqType::Write : ReqType::Read;
+            req.core = rnd() % 8;
+            req.crit = rnd() % 5 == 0 ? rnd() % 1000 : 0;
+            const bool isRead = req.type == ReqType::Read;
+            if (isRead) {
+                req.onComplete = [&completed](const MemRequest &) {
+                    ++completed;
+                };
+            }
+            if (dram.enqueue(std::move(req)) && isRead)
+                ++accepted;
+        }
+        dram.tick(now);
+    }
+    // Drain.
+    for (int i = 0; i < 20000 && !dram.idle(); ++i)
+        dram.tick(++now);
+    EXPECT_TRUE(dram.idle()) << toString(GetParam());
+    EXPECT_EQ(completed, accepted) << toString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, DramConservationTest,
+    ::testing::Values(SchedAlgo::Fcfs, SchedAlgo::FrFcfs,
+                      SchedAlgo::CasRasCrit, SchedAlgo::ParBs,
+                      SchedAlgo::Tcm, SchedAlgo::Ahb, SchedAlgo::Morse,
+                      SchedAlgo::Atlas, SchedAlgo::Minimalist));

@@ -1,0 +1,143 @@
+/** @file Unit tests for the L2 stream prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetcher.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+PrefetchConfig
+config(std::uint32_t streams = 4, std::uint32_t distance = 8,
+       std::uint32_t degree = 2)
+{
+    PrefetchConfig cfg;
+    cfg.enabled = true;
+    cfg.streams = streams;
+    cfg.distance = distance;
+    cfg.degree = degree;
+    return cfg;
+}
+
+} // namespace
+
+class PrefetcherTest : public ::testing::Test
+{
+  protected:
+    stats::Group root_;
+    std::vector<Addr> out_;
+};
+
+TEST_F(PrefetcherTest, NoPrefetchBeforeConfirmation)
+{
+    StreamPrefetcher pf(config(), 64, root_);
+    pf.onDemandMiss(0x0, out_);
+    EXPECT_TRUE(out_.empty());
+    pf.onDemandMiss(0x40, out_);
+    EXPECT_TRUE(out_.empty()); // confidence 1, not confirmed yet
+}
+
+TEST_F(PrefetcherTest, ConfirmedStreamPrefetchesAtDistance)
+{
+    StreamPrefetcher pf(config(4, 8, 2), 64, root_);
+    pf.onDemandMiss(0x0, out_);
+    pf.onDemandMiss(0x40, out_);
+    pf.onDemandMiss(0x80, out_);
+    ASSERT_EQ(out_.size(), 2u);
+    // Demand at block 2, distance 8: prefetch blocks 10 and 11.
+    EXPECT_EQ(out_[0], Addr{10 * 64});
+    EXPECT_EQ(out_[1], Addr{11 * 64});
+}
+
+TEST_F(PrefetcherTest, DescendingStreamDetected)
+{
+    StreamPrefetcher pf(config(4, 8, 2), 64, root_);
+    pf.onDemandMiss(100 * 64, out_);
+    pf.onDemandMiss(99 * 64, out_);
+    pf.onDemandMiss(98 * 64, out_);
+    ASSERT_EQ(out_.size(), 2u);
+    EXPECT_EQ(out_[0], Addr{90 * 64});
+    EXPECT_EQ(out_[1], Addr{89 * 64});
+}
+
+TEST_F(PrefetcherTest, DirectionFlipResetsConfidence)
+{
+    StreamPrefetcher pf(config(4, 8, 2), 64, root_);
+    pf.onDemandMiss(0x0, out_);
+    pf.onDemandMiss(0x40, out_);
+    pf.onDemandMiss(0x0, out_); // flip down
+    out_.clear();
+    pf.onDemandMiss(0x40, out_); // flip up again: confidence 1
+    EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(PrefetcherTest, FarMissAllocatesNewStream)
+{
+    StreamPrefetcher pf(config(2, 8, 2), 64, root_);
+    pf.onDemandMiss(0x0, out_);
+    pf.onDemandMiss(1 << 20, out_); // outside the match window
+    EXPECT_EQ(pf.prefStats().streamsAllocated.value(), 2u);
+}
+
+TEST_F(PrefetcherTest, LruStreamReplaced)
+{
+    StreamPrefetcher pf(config(2, 8, 2), 64, root_);
+    pf.onDemandMiss(0x0, out_);        // stream A
+    pf.onDemandMiss(1 << 20, out_);    // stream B
+    pf.onDemandMiss(2 << 20, out_);    // stream C replaces A (LRU)
+    // A's region no longer matches: allocating again proves eviction.
+    pf.onDemandMiss(0x0, out_);
+    EXPECT_EQ(pf.prefStats().streamsAllocated.value(), 4u);
+}
+
+TEST_F(PrefetcherTest, PointerAdvancesWithoutReissuing)
+{
+    StreamPrefetcher pf(config(4, 4, 2), 64, root_);
+    pf.onDemandMiss(0 * 64, out_);
+    pf.onDemandMiss(1 * 64, out_);
+    pf.onDemandMiss(2 * 64, out_);
+    const std::size_t first = out_.size();
+    pf.onDemandMiss(3 * 64, out_);
+    // New prefetches continue from the pointer; no duplicates.
+    std::sort(out_.begin(), out_.end());
+    EXPECT_EQ(std::adjacent_find(out_.begin(), out_.end()), out_.end());
+    EXPECT_GT(out_.size(), first);
+}
+
+TEST_F(PrefetcherTest, ThrottleCutsDegreeOnUselessness)
+{
+    StreamPrefetcher pf(config(4, 4, 4), 64, root_);
+    // Never report usefulness; after an epoch of 256 issued the
+    // degree must fall to 1.
+    std::int64_t block = 0;
+    for (int i = 0; i < 400; ++i) {
+        out_.clear();
+        pf.onDemandMiss(static_cast<Addr>(block) * 64, out_);
+        block += 1;
+    }
+    out_.clear();
+    pf.onDemandMiss(static_cast<Addr>(block) * 64, out_);
+    EXPECT_LE(out_.size(), 1u);
+    EXPECT_GE(pf.prefStats().throttleEpochs.value(), 1u);
+}
+
+TEST_F(PrefetcherTest, AccurateStreamKeepsFullDegree)
+{
+    StreamPrefetcher pf(config(4, 4, 4), 64, root_);
+    std::int64_t block = 0;
+    for (int i = 0; i < 400; ++i) {
+        out_.clear();
+        pf.onDemandMiss(static_cast<Addr>(block) * 64, out_);
+        for (std::size_t k = 0; k < out_.size(); ++k)
+            pf.onUseful(); // everything consumed
+        block += 1;
+    }
+    out_.clear();
+    pf.onDemandMiss(static_cast<Addr>(block) * 64, out_);
+    // In steady state the pointer rate-matches the demand stream (one
+    // block per trigger), but the degree is never throttled.
+    EXPECT_GE(out_.size(), 1u);
+    EXPECT_EQ(pf.prefStats().throttleEpochs.value(), 0u);
+}

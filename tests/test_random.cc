@@ -1,0 +1,115 @@
+/** @file Unit and property tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace critmem;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(5);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Random, GeometricCapped)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.01, 5), 5u);
+}
+
+TEST(Random, GeometricMeanRoughlyMatches)
+{
+    // Mean of failures-before-success at p=0.5 capped high is ~1.
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(0.5, 100);
+    EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+/** Property sweep: below(bound) stays in range for many bounds. */
+class RandomBoundTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomBoundTest, BelowStaysInRange)
+{
+    Rng rng(GetParam() * 31 + 7);
+    const std::uint64_t bound = GetParam();
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LT(rng.below(bound), bound);
+}
+
+TEST_P(RandomBoundTest, BelowCoversSmallRanges)
+{
+    const std::uint64_t bound = GetParam();
+    if (bound > 16)
+        GTEST_SKIP() << "coverage check only for small bounds";
+    Rng rng(GetParam() + 100);
+    std::vector<bool> seen(bound, false);
+    for (int i = 0; i < 5000; ++i)
+        seen[rng.below(bound)] = true;
+    for (std::uint64_t v = 0; v < bound; ++v)
+        EXPECT_TRUE(seen[v]) << "never drew " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RandomBoundTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1023,
+                                           1ull << 32, 1ull << 50));

@@ -1,0 +1,176 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace critmem;
+using namespace critmem::stats;
+
+TEST(Stats, ScalarStartsAtZero)
+{
+    Group root;
+    Scalar s(root, "s", "desc");
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, ScalarIncrementAndAdd)
+{
+    Group root;
+    Scalar s(root, "s", "desc");
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+}
+
+TEST(Stats, ScalarSetOverwrites)
+{
+    Group root;
+    Scalar s(root, "s", "desc");
+    s += 10;
+    s.set(3);
+    EXPECT_EQ(s.value(), 3u);
+}
+
+TEST(Stats, ScalarReset)
+{
+    Group root;
+    Scalar s(root, "s", "desc");
+    s += 7;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMeanOfSamples)
+{
+    Group root;
+    Average a(root, "a", "desc");
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, AverageEmptyMeanIsZero)
+{
+    Group root;
+    Average a(root, "a", "desc");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, AverageReset)
+{
+    Group root;
+    Average a(root, "a", "desc");
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramTracksMaxAndMean)
+{
+    Group root;
+    Histogram h(root, "h", "desc");
+    h.sample(1);
+    h.sample(3);
+    h.sample(100);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean(), 104.0 / 3.0, 1e-9);
+}
+
+TEST(Stats, HistogramBucketsAreLog2)
+{
+    Group root;
+    Histogram h(root, "h", "desc");
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 1: [1,2)
+    h.sample(2); // bucket 2: [2,4)
+    h.sample(3); // bucket 2
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 2u);
+}
+
+TEST(Stats, HistogramReset)
+{
+    Group root;
+    Histogram h(root, "h", "desc");
+    h.sample(9);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Stats, GroupFindScalarByDottedPath)
+{
+    Group root;
+    Group child("dram", &root);
+    Scalar s(child, "reads", "desc");
+    s += 5;
+    const Scalar *found = root.findScalar("dram.reads");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->value(), 5u);
+}
+
+TEST(Stats, GroupFindMissingReturnsNull)
+{
+    Group root;
+    EXPECT_EQ(root.findScalar("nope"), nullptr);
+    EXPECT_EQ(root.findScalar("a.b.c"), nullptr);
+}
+
+TEST(Stats, GroupFindWrongTypeReturnsNull)
+{
+    Group root;
+    Average a(root, "a", "desc");
+    EXPECT_EQ(root.findScalar("a"), nullptr);
+    EXPECT_NE(root.findAverage("a"), nullptr);
+}
+
+TEST(Stats, GroupPrintContainsNamesAndValues)
+{
+    Group root;
+    Group child("core", &root);
+    Scalar s(child, "cycles", "total cycles");
+    s += 123;
+    std::ostringstream os;
+    root.print(os);
+    EXPECT_NE(os.str().find("core.cycles 123"), std::string::npos);
+    EXPECT_NE(os.str().find("total cycles"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAllRecurses)
+{
+    Group root;
+    Group child("c", &root);
+    Scalar a(root, "a", "d");
+    Scalar b(child, "b", "d");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatsDeath, DuplicateNamePanics)
+{
+    Group root;
+    Scalar a(root, "dup", "d");
+    EXPECT_DEATH({ Scalar b(root, "dup", "d"); }, "duplicate stat");
+}
+
+TEST(Stats, NestedGroupPathResolution)
+{
+    Group root;
+    Group mid("mid", &root);
+    Group leaf("leaf", &mid);
+    Histogram h(leaf, "h", "d");
+    h.sample(4);
+    const Histogram *found = root.findHistogram("mid.leaf.h");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->count(), 1u);
+}

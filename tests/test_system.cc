@@ -1,0 +1,339 @@
+/** @file Integration tests for the full System and the experiment
+ *  harness. These use tiny quotas so the whole file runs in seconds. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sched/crit_frfcfs.hh"
+#include "system/experiment.hh"
+#include "system/system.hh"
+#include "trace/workloads.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+SystemConfig
+smallParallel(SchedAlgo algo = SchedAlgo::FrFcfs,
+              CritPredictor pred = CritPredictor::None)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.sched.algo = algo;
+    cfg.crit.predictor = pred;
+    return cfg;
+}
+
+} // namespace
+
+TEST(System, ParallelRunCompletesAllCores)
+{
+    System sys(smallParallel(), appParams("mg"));
+    const Cycle cycles = sys.run(2000);
+    EXPECT_GT(cycles, 0u);
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        EXPECT_TRUE(sys.core(i).finished());
+        EXPECT_GE(sys.core(i).committed(), 2000u);
+    }
+}
+
+TEST(System, DeterministicAcrossInstances)
+{
+    System a(smallParallel(), appParams("fft"));
+    System b(smallParallel(), appParams("fft"));
+    EXPECT_EQ(a.run(2000), b.run(2000));
+}
+
+TEST(System, SeedChangesOutcome)
+{
+    SystemConfig cfg = smallParallel();
+    System a(cfg, appParams("fft"));
+    cfg.seed = 2;
+    System b(cfg, appParams("fft"));
+    EXPECT_NE(a.run(2000), b.run(2000));
+}
+
+TEST(System, SchedulerChangesExecution)
+{
+    System frf(smallParallel(), appParams("art"));
+    System crit(smallParallel(SchedAlgo::CasRasCrit,
+                              CritPredictor::CbpMaxStall),
+                appParams("art"));
+    frf.prewarmCaches();
+    crit.prewarmCaches();
+    EXPECT_NE(frf.run(3000), crit.run(3000));
+}
+
+TEST(System, PrewarmPopulatesL2)
+{
+    System sys(smallParallel(), appParams("swim"));
+    const std::uint64_t before =
+        sys.hierarchy().l2().cacheStats().evictions.value();
+    sys.prewarmCaches(0.9, 0.3);
+    sys.run(2000);
+    // A ~full L2 must evict on new fills almost immediately.
+    EXPECT_GT(sys.hierarchy().l2().cacheStats().evictions.value(),
+              before);
+}
+
+TEST(System, PrewarmDirtyLinesCauseWritebacks)
+{
+    System sys(smallParallel(), appParams("swim"));
+    sys.prewarmCaches(0.95, 0.5);
+    sys.run(3000);
+    std::uint64_t writes = 0;
+    for (std::uint32_t c = 0; c < sys.dram().numChannels(); ++c)
+        writes += sys.dram().channel(c).channelStats().writes.value();
+    EXPECT_GT(writes, 0u);
+}
+
+TEST(System, ResetStatsWindowZeroesCounters)
+{
+    System sys(smallParallel(), appParams("mg"));
+    sys.run(1000, /*stopAtQuota=*/false);
+    EXPECT_GT(sys.core(0).coreStats().cycles.value(), 0u);
+    sys.resetStatsWindow();
+    EXPECT_EQ(sys.core(0).coreStats().cycles.value(), 0u);
+    EXPECT_EQ(sys.windowCycles(), 0u);
+    EXPECT_FALSE(sys.core(0).finished());
+}
+
+TEST(System, WindowCyclesMeasureOnlyTheWindow)
+{
+    System sys(smallParallel(), appParams("mg"));
+    sys.run(1000, false);
+    const Cycle warmupEnd = sys.cycle();
+    sys.resetStatsWindow();
+    sys.run(1000, true);
+    EXPECT_EQ(sys.windowCycles(), sys.cycle() - warmupEnd);
+}
+
+TEST(System, StatsTreePathsResolve)
+{
+    System sys(smallParallel(), appParams("cg"));
+    sys.run(1500);
+    EXPECT_NE(sys.statsRoot().findScalar("core0.committedOps"),
+              nullptr);
+    EXPECT_NE(sys.statsRoot().findScalar("hier.mem.loads"), nullptr);
+    EXPECT_NE(sys.statsRoot().findScalar("dram.channel0.reads"),
+              nullptr);
+    EXPECT_NE(sys.statsRoot().findHistogram(
+                  "dram.channel0.readLatency"),
+              nullptr);
+}
+
+TEST(System, DataBusNeverOverCommitted)
+{
+    System sys(smallParallel(), appParams("radix"));
+    sys.prewarmCaches();
+    sys.run(4000);
+    for (std::uint32_t c = 0; c < sys.dram().numChannels(); ++c) {
+        const auto &ds = sys.dram().channel(c).channelStats();
+        // busyDataCycles is in DRAM cycles; window is CPU cycles / 4.
+        EXPECT_LE(ds.busyDataCycles.value(), sys.cycle() / 4 + 1);
+    }
+}
+
+TEST(System, CasCountMatchesCompletedTransactions)
+{
+    System sys(smallParallel(), appParams("mg"));
+    sys.run(3000);
+    // Let the DRAM drain.
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0, misses = 0;
+    for (std::uint32_t c = 0; c < sys.dram().numChannels(); ++c) {
+        const auto &ds = sys.dram().channel(c).channelStats();
+        reads += ds.reads.value();
+        hits += ds.rowHits.value();
+        misses += ds.rowMisses.value();
+    }
+    EXPECT_GT(reads, 0u);
+    EXPECT_EQ(hits, [&] {
+        std::uint64_t rw = 0;
+        for (std::uint32_t c = 0; c < sys.dram().numChannels(); ++c) {
+            const auto &ds = sys.dram().channel(c).channelStats();
+            rw += ds.reads.value() + ds.writes.value();
+        }
+        return rw;
+    }());
+}
+
+TEST(System, MultiprogDisjointPerCoreApps)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    std::vector<AppParams> perCore = {
+        appParams("crafty"), appParams("mcf"), appParams("lu"),
+        appParams("is")};
+    System sys(cfg, perCore);
+    sys.run(1500, /*stopAtQuota=*/false);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_GE(sys.core(i).committed(), 1500u);
+    // The CPU-bound app must finish (much) earlier than mcf.
+    EXPECT_LT(sys.core(0).finishCycle(), sys.core(1).finishCycle());
+}
+
+TEST(System, IdleCoresFinishInstantly)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    std::vector<AppParams> perCore(4);
+    perCore[0] = appParams("crafty");
+    System sys(cfg, perCore);
+    EXPECT_TRUE(sys.core(1).finished());
+    sys.run(1000);
+    EXPECT_EQ(sys.core(1).committed(), 0u);
+    EXPECT_GE(sys.core(0).committed(), 1000u);
+}
+
+TEST(SystemDeath, WrongPerCoreCountIsFatal)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    std::vector<AppParams> perCore(3);
+    EXPECT_DEATH({ System sys(cfg, perCore); }, "cores");
+}
+
+TEST(Experiment, CollectAggregatesAreConsistent)
+{
+    const std::uint64_t quota = 2000;
+    const RunResult r =
+        runParallel(smallParallel(), appParams("equake"), quota);
+    EXPECT_GT(r.cycles, 0u);
+    ASSERT_EQ(r.finishCycles.size(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_NE(r.finishCycles[i], kNoCycle);
+        EXPECT_LE(r.finishCycles[i], r.cycles);
+        EXPECT_GE(r.committed[i], quota);
+    }
+    EXPECT_GE(r.dynamicLoads, r.blockingLoads);
+    EXPECT_GT(r.demandMisses, 0u);
+    EXPECT_GT(r.ipc(0, quota), 0.0);
+}
+
+TEST(Experiment, SpeedupIsRatioOfCycles)
+{
+    RunResult a, b;
+    a.cycles = 1000;
+    b.cycles = 800;
+    EXPECT_DOUBLE_EQ(speedup(a, b), 1.25);
+}
+
+TEST(Experiment, WeightedSpeedupAndMaxSlowdown)
+{
+    RunResult run;
+    run.finishCycles = {1000, 2000, 1000, 4000};
+    const std::uint64_t quota = 1000;
+    // shared IPCs: 1.0, 0.5, 1.0, 0.25
+    const std::array<double, 4> alone = {1.0, 1.0, 2.0, 0.5};
+    // WS = 1 + 0.5 + 0.5 + 0.5 = 2.5
+    EXPECT_NEAR(weightedSpeedup(run, alone, quota), 2.5, 1e-9);
+    // slowdowns: 1, 2, 2, 2 -> max 2
+    EXPECT_NEAR(maxSlowdown(run, alone, quota), 2.0, 1e-9);
+}
+
+TEST(Experiment, RunAloneGivesPositiveIpc)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    cfg.sched.algo = SchedAlgo::ParBs;
+    const double ipc = runAlone(cfg, appParams("crafty"), 1500);
+    EXPECT_GT(ipc, 0.3);
+    EXPECT_LT(ipc, 4.0);
+}
+
+TEST(Experiment, RunBundleMeasuresEveryApp)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    cfg.sched.algo = SchedAlgo::ParBs;
+    const RunResult r = runBundle(cfg, multiprogBundles()[0], 1200);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_GT(r.ipc(i, 1200), 0.0);
+}
+
+TEST(Experiment, DefaultQuotaReadsEnvironment)
+{
+    ::unsetenv("CRITMEM_INSTRS");
+    EXPECT_EQ(defaultQuota(1234), 1234u);
+    ::setenv("CRITMEM_INSTRS", "777", 1);
+    EXPECT_EQ(defaultQuota(1234), 777u);
+    ::setenv("CRITMEM_INSTRS", "garbage", 1);
+    EXPECT_EQ(defaultQuota(1234), 1234u);
+    ::unsetenv("CRITMEM_INSTRS");
+}
+
+TEST(Experiment, NaiveForwardingRunsEndToEnd)
+{
+    SystemConfig cfg =
+        smallParallel(SchedAlgo::CasRasCrit, CritPredictor::NaiveForward);
+    const RunResult r = runParallel(cfg, appParams("scalparc"), 1500);
+    EXPECT_GT(r.cycles, 0u);
+    // Forwarding marks some in-flight misses critical.
+    EXPECT_GT(r.critMissCount + r.nonCritMissCount, 0u);
+}
+
+TEST(Experiment, StarvationCapRarelyHit)
+{
+    // The paper observes the 6000-cycle cap is essentially never
+    // reached; with this simulator's denser critical population a
+    // handful of promotions can occur, but they must stay a tiny
+    // fraction of the serviced requests (EXPERIMENTS.md discusses
+    // this deviation).
+    SystemConfig cfg =
+        smallParallel(SchedAlgo::CasRasCrit, CritPredictor::CbpMaxStall);
+    System sys(cfg, appParams("mg"));
+    sys.prewarmCaches();
+    sys.run(3000);
+    auto *sched =
+        dynamic_cast<CritFrFcfsScheduler *>(&sys.scheduler());
+    ASSERT_NE(sched, nullptr);
+    std::uint64_t cas = 0;
+    for (std::uint32_t c = 0; c < sys.dram().numChannels(); ++c) {
+        const auto &ds = sys.dram().channel(c).channelStats();
+        cas += ds.reads.value() + ds.writes.value();
+    }
+    // Row-miss writebacks do starve under the unified queue (our
+    // traffic is writeback-heavier than the paper's; see
+    // EXPERIMENTS.md), but promotions must stay a small fraction.
+    EXPECT_LT(sched->starvationPromotions(), cas / 20 + 5);
+}
+
+TEST(Experiment, WeightedSpeedupWithinSaneBounds)
+{
+    // End-to-end: a real bundle's weighted speedup normalized to
+    // itself must be exactly 1; against alone-IPCs it lies in (0, 4].
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    cfg.sched.algo = SchedAlgo::ParBs;
+    const std::uint64_t quota = 1500;
+    const Bundle &bundle = multiprogBundles()[0];
+    std::array<double, 4> alone{};
+    for (std::size_t i = 0; i < 4; ++i)
+        alone[i] = runAlone(cfg, appParams(bundle.apps[i]), quota);
+    const RunResult run = runBundle(cfg, bundle, quota);
+    const double ws = weightedSpeedup(run, alone, quota);
+    EXPECT_GT(ws, 0.5);
+    EXPECT_LE(ws, 4.0); // each app can at best match running alone
+    EXPECT_GE(maxSlowdown(run, alone, quota), 1.0 - 1e-6);
+}
+
+TEST(Experiment, TcmHybridRunsOnBundles)
+{
+    SystemConfig cfg = SystemConfig::multiprogDefault();
+    cfg.sched.algo = SchedAlgo::TcmCrit;
+    cfg.crit.predictor = CritPredictor::CbpMaxStall;
+    cfg.crit.tableEntries = 64;
+    const RunResult run =
+        runBundle(cfg, multiprogBundles()[5], 1200); // RFEV
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_GT(run.ipc(i, 1200), 0.0);
+}
+
+TEST(Experiment, CriticalityHelpsTheProbeAppEndToEnd)
+{
+    // The repository's one-line acceptance check: the paper's
+    // mechanism produces a real speedup on a chase-heavy app.
+    const std::uint64_t quota = 6000;
+    const RunResult base = runParallel(
+        smallParallel(), appParams("scalparc"), quota);
+    const RunResult crit = runParallel(
+        smallParallel(SchedAlgo::CasRasCrit, CritPredictor::CbpMaxStall),
+        appParams("scalparc"), quota);
+    EXPECT_GT(speedup(base, crit), 1.01);
+}

@@ -1,0 +1,221 @@
+/** @file Tests for the synthetic workload generators and registry. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+using namespace critmem;
+
+TEST(Trace, SameSeedSameStream)
+{
+    const AppParams app = appParams("mg");
+    SyntheticApp a(app, 0, 8, 0, 42);
+    SyntheticApp b(app, 0, 8, 0, 42);
+    for (int i = 0; i < 2000; ++i) {
+        MicroOp oa, ob;
+        a.next(oa);
+        b.next(ob);
+        EXPECT_EQ(oa.pc, ob.pc);
+        EXPECT_EQ(oa.cls, ob.cls);
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.dep1, ob.dep1);
+    }
+}
+
+TEST(Trace, ThreadsShareStaticProgram)
+{
+    // SPMD: the class at each PC is identical across threads, even
+    // though the dynamic addresses differ.
+    const AppParams app = appParams("cg");
+    SyntheticApp t0(app, 0, 8, 0, 7);
+    SyntheticApp t1(app, 5, 8, 0, 7);
+    for (int i = 0; i < 1000; ++i) {
+        MicroOp a, b;
+        t0.next(a);
+        t1.next(b);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.cls, b.cls);
+    }
+}
+
+TEST(Trace, ThreadsHaveDisjointPrivateAddresses)
+{
+    const AppParams app = appParams("swim");
+    SyntheticApp t0(app, 0, 8, 0, 7);
+    SyntheticApp t1(app, 1, 8, 0, 7);
+    // The shared region is common by design, so compare only below
+    // the shared base: a thread's private addresses must never fall
+    // in another thread's private range.
+    std::set<Addr> seen0;
+    MicroOp op;
+    const Addr privSpan = 1ull << 36; // far beyond any private region
+    (void)privSpan;
+    std::uint64_t overlap = 0;
+    std::set<Addr> pages0, pages1;
+    for (int i = 0; i < 20000; ++i) {
+        t0.next(op);
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store)
+            pages0.insert(op.addr >> 12);
+        t1.next(op);
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store)
+            pages1.insert(op.addr >> 12);
+    }
+    for (const Addr page : pages0)
+        overlap += pages1.contains(page);
+    // Only shared-region pages may overlap; they must not be all.
+    EXPECT_LT(overlap, pages0.size());
+}
+
+TEST(Trace, LoadFractionApproximatelyMatches)
+{
+    const AppParams app = appParams("mg");
+    SyntheticApp gen(app, 0, 8, 0, 3);
+    std::uint64_t loads = 0;
+    const int n = 40000;
+    MicroOp op;
+    for (int i = 0; i < n; ++i) {
+        gen.next(op);
+        loads += op.cls == OpClass::Load;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / n, app.loadFrac, 0.05);
+}
+
+TEST(Trace, PcsWalkTheLoop)
+{
+    const AppParams app = appParams("fft");
+    SyntheticApp gen(app, 0, 8, 0, 3);
+    MicroOp first;
+    gen.next(first);
+    MicroOp op;
+    for (std::uint32_t i = 1; i < app.loopLength; ++i)
+        gen.next(op);
+    gen.next(op); // wrapped
+    EXPECT_EQ(op.pc, first.pc);
+}
+
+TEST(Trace, MemOpsHaveAddressesOthersDoNot)
+{
+    const AppParams app = appParams("equake");
+    SyntheticApp gen(app, 0, 8, 0, 9);
+    MicroOp op;
+    for (int i = 0; i < 5000; ++i) {
+        gen.next(op);
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store)
+            EXPECT_NE(op.addr, 0u);
+        else
+            EXPECT_EQ(op.addr, 0u);
+    }
+}
+
+TEST(Trace, ChaseLoadsFormSerialChains)
+{
+    // Chase loads at the same PC must carry a stable nonzero
+    // dependence distance pointing at the previous chain element.
+    AppParams app = appParams("art");
+    SyntheticApp gen(app, 0, 8, 0, 5);
+    std::map<std::uint64_t, std::uint16_t> depOfPc;
+    MicroOp op;
+    std::uint32_t serialLoads = 0;
+    for (std::uint32_t i = 0; i < app.loopLength * 3; ++i) {
+        gen.next(op);
+        if (op.cls != OpClass::Load)
+            continue;
+        const auto it = depOfPc.find(op.pc);
+        if (it != depOfPc.end()) {
+            EXPECT_EQ(it->second, op.dep1) << "unstable dep at PC";
+        }
+        depOfPc[op.pc] = op.dep1;
+        serialLoads += op.dep1 != 0;
+    }
+    EXPECT_GT(serialLoads, 0u);
+}
+
+TEST(Trace, MispredictRateRoughlyMatches)
+{
+    AppParams app = appParams("mg");
+    app.mispredictRate = 0.02;
+    SyntheticApp gen(app, 0, 8, 0, 11);
+    std::uint64_t branches = 0, mispredicts = 0;
+    MicroOp op;
+    for (int i = 0; i < 200000; ++i) {
+        gen.next(op);
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            mispredicts += op.mispredict;
+        }
+    }
+    ASSERT_GT(branches, 0u);
+    EXPECT_NEAR(static_cast<double>(mispredicts) / branches, 0.02,
+                0.012);
+}
+
+TEST(Trace, FarRegionsNonEmptyAndSized)
+{
+    const AppParams app = appParams("radix");
+    SyntheticApp gen(app, 0, 8, 0, 3);
+    const auto regions = gen.farRegions();
+    ASSERT_FALSE(regions.empty());
+    for (const auto &[base, size] : regions) {
+        EXPECT_GE(size, 4096u);
+        (void)base;
+    }
+}
+
+TEST(Workloads, NinePaperApplications)
+{
+    const auto &apps = parallelApps();
+    ASSERT_EQ(apps.size(), 9u);
+    const std::vector<std::string> expected = {
+        "art", "cg", "equake", "fft", "mg",
+        "ocean", "radix", "scalparc", "swim"};
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(apps[i].name, expected[i]);
+}
+
+TEST(Workloads, EightBundlesOfFour)
+{
+    const auto &bundles = multiprogBundles();
+    ASSERT_EQ(bundles.size(), 8u);
+    for (const Bundle &bundle : bundles) {
+        EXPECT_EQ(bundle.apps.size(), 4u);
+        for (const std::string &app : bundle.apps)
+            EXPECT_NO_FATAL_FAILURE(appParams(app));
+    }
+}
+
+TEST(Workloads, Table4BundleNames)
+{
+    const auto &bundles = multiprogBundles();
+    EXPECT_EQ(bundles[0].name, "AELV");
+    EXPECT_EQ(bundles[7].name, "RGTM");
+    // Spot-check Table 4 contents.
+    EXPECT_EQ(bundles[5].apps[1], "mcf"); // RFEV: art mcf ep vpr
+    EXPECT_EQ(bundles[1].apps[3], "is");  // CMLI: crafty mesa lu is
+}
+
+TEST(Workloads, LookupByNameFindsSingles)
+{
+    EXPECT_EQ(appParams("mcf").name, "mcf");
+    EXPECT_EQ(appParams("crafty").name, "crafty");
+    EXPECT_EQ(appParams("art").name, "art");
+}
+
+TEST(WorkloadsDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH({ appParams("doom"); }, "unknown application");
+}
+
+TEST(Workloads, ClassesDifferInFootprint)
+{
+    // P apps must have far smaller working sets than M apps.
+    EXPECT_LT(appParams("crafty").privateBytes,
+              appParams("mcf").privateBytes);
+    EXPECT_LT(appParams("crafty").loadFrac *
+                  (1.0 - appParams("crafty").localFrac),
+              appParams("mcf").loadFrac *
+                  (1.0 - appParams("mcf").localFrac));
+}

@@ -1,0 +1,156 @@
+/** @file Property sweeps over every workload model: invariants that
+ *  must hold for each of the nine parallel applications and each
+ *  single-threaded bundle member. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const AppParams &app : parallelApps())
+        names.push_back(app.name);
+    for (const Bundle &bundle : multiprogBundles()) {
+        for (const std::string &name : bundle.apps) {
+            if (std::find(names.begin(), names.end(), name) ==
+                names.end()) {
+                names.push_back(name);
+            }
+        }
+    }
+    return names;
+}
+
+} // namespace
+
+class WorkloadPropertyTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppParams &params() const { return appParams(GetParam()); }
+};
+
+TEST_P(WorkloadPropertyTest, StaticClassesStableAcrossIterations)
+{
+    // A PC must always decode to the same op class — PC-indexed
+    // predictors depend on it.
+    SyntheticApp gen(params(), 0, 8, 0, 13);
+    std::map<std::uint64_t, OpClass> classOf;
+    MicroOp op;
+    for (std::uint32_t i = 0; i < params().loopLength * 3; ++i) {
+        gen.next(op);
+        const auto it = classOf.find(op.pc);
+        if (it != classOf.end())
+            EXPECT_EQ(it->second, op.cls);
+        else
+            classOf[op.pc] = op.cls;
+    }
+    EXPECT_EQ(classOf.size(), params().loopLength);
+}
+
+TEST_P(WorkloadPropertyTest, InstructionMixNearConfigured)
+{
+    SyntheticApp gen(params(), 0, 8, 0, 13);
+    std::uint64_t loads = 0, stores = 0, branches = 0;
+    const std::uint32_t n = params().loopLength * 8;
+    MicroOp op;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        gen.next(op);
+        loads += op.cls == OpClass::Load;
+        stores += op.cls == OpClass::Store;
+        branches += op.cls == OpClass::Branch;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / n, params().loadFrac,
+                0.06);
+    EXPECT_NEAR(static_cast<double>(stores) / n, params().storeFrac,
+                0.05);
+    EXPECT_NEAR(static_cast<double>(branches) / n,
+                params().branchFrac, 0.05);
+}
+
+TEST_P(WorkloadPropertyTest, DependenceDistancesBounded)
+{
+    SyntheticApp gen(params(), 0, 8, 0, 13);
+    MicroOp op;
+    for (std::uint32_t i = 0; i < params().loopLength * 2; ++i) {
+        gen.next(op);
+        EXPECT_LE(op.dep1, params().loopLength);
+        EXPECT_LE(op.dep2, 64u); // generic deps are short
+    }
+}
+
+TEST_P(WorkloadPropertyTest, AddressesStayInDeclaredRegions)
+{
+    SyntheticApp gen(params(), 2, 8, 0x100000000ull, 13);
+    const auto regions = gen.farRegions();
+    MicroOp op;
+    for (std::uint32_t i = 0; i < params().loopLength * 4; ++i) {
+        gen.next(op);
+        if (op.cls != OpClass::Load && op.cls != OpClass::Store)
+            continue;
+        EXPECT_GE(op.addr, 0x100000000ull);
+    }
+    for (const auto &[addr, size] : regions) {
+        EXPECT_GE(addr, 0x100000000ull);
+        EXPECT_GT(size, 0u);
+    }
+}
+
+TEST_P(WorkloadPropertyTest, DeterministicPerSeedAndThread)
+{
+    SyntheticApp a(params(), 3, 8, 0, 99);
+    SyntheticApp b(params(), 3, 8, 0, 99);
+    SyntheticApp other(params(), 4, 8, 0, 99);
+    MicroOp oa, ob, oo;
+    bool anyAddrDiffers = false;
+    for (int i = 0; i < 600; ++i) {
+        a.next(oa);
+        b.next(ob);
+        other.next(oo);
+        EXPECT_EQ(oa.pc, ob.pc);
+        EXPECT_EQ(oa.addr, ob.addr);
+        anyAddrDiffers |= (oa.cls == OpClass::Load ||
+                           oa.cls == OpClass::Store) &&
+            oa.addr != oo.addr;
+    }
+    EXPECT_TRUE(anyAddrDiffers) << "threads should diverge in data";
+}
+
+TEST_P(WorkloadPropertyTest, MemoryOpsAligned)
+{
+    SyntheticApp gen(params(), 0, 8, 0, 13);
+    MicroOp op;
+    for (std::uint32_t i = 0; i < params().loopLength * 4; ++i) {
+        gen.next(op);
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            EXPECT_EQ(op.addr % 8, 0u) << "8-byte alignment";
+        }
+    }
+}
+
+TEST_P(WorkloadPropertyTest, StaticLoadsCountedCorrectly)
+{
+    SyntheticApp gen(params(), 0, 8, 0, 13);
+    std::set<std::uint64_t> loadPcs;
+    MicroOp op;
+    for (std::uint32_t i = 0; i < params().loopLength; ++i) {
+        gen.next(op);
+        if (op.cls == OpClass::Load)
+            loadPcs.insert(op.pc);
+    }
+    EXPECT_EQ(loadPcs.size(), gen.staticLoads());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadPropertyTest,
+                         ::testing::ValuesIn(allAppNames()));

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * critmem-sim: command-line front end for single simulations.
+ *
+ * Runs one workload / configuration and prints either a summary line
+ * or the full statistics tree — the "drive anything without writing
+ * C++" entry point for downstream users.
+ *
+ *   critmem-sim --app art --sched casras-crit --predictor maxstall \
+ *               --instrs 50000 --stats
+ *   critmem-sim --bundle RFGI --sched parbs --instrs 20000
+ *   critmem-sim --app swim --ranks 1 --speed ddr3-1600 --prefetch
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/log.hh"
+#include "system/experiment.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: critmem-sim [options]\n"
+        "  --app NAME         parallel application (art cg equake fft"
+        " mg ocean radix scalparc swim)\n"
+        "  --bundle NAME      Table 4 bundle instead (AELV CMLI GAMV"
+        " GDPC GSMV RFEV RFGI RGTM)\n"
+        "  --sched NAME       fcfs | frfcfs | crit-casras |"
+        " casras-crit | parbs | tcm | tcm-crit |\n"
+        "                     ahb | morse | crit-rl | atlas |"
+        " minimalist (default frfcfs)\n"
+        "  --predictor NAME   none | naive | binary | blockcount |"
+        " laststall | maxstall |\n"
+        "                     totalstall | clpt-binary |"
+        " clpt-consumers (default none)\n"
+        "  --entries N        CBP/CLPT entries, 0 = unlimited"
+        " (default 64)\n"
+        "  --reset N          CBP reset interval, CPU cycles"
+        " (default 0)\n"
+        "  --instrs N         commit quota per core (default 24000)\n"
+        "  --warmup N         warmup instructions (default half)\n"
+        "  --seed N           simulation seed (default 1)\n"
+        "  --ranks N          ranks per channel (default 4)\n"
+        "  --channels N       DRAM channels (default 4; bundles 2)\n"
+        "  --speed NAME       ddr3-1066 | ddr3-1600 | ddr3-2133\n"
+        "  --lq N             load queue entries (default 32)\n"
+        "  --prefetch         enable the L2 stream prefetcher\n"
+        "  --closed-page      closed-page row policy\n"
+        "  --split-wq         modern split write buffer\n"
+        "  --stats            dump the full statistics tree\n"
+        "  --quiet            suppress informational logging\n");
+    std::exit(1);
+}
+
+SchedAlgo
+parseSched(const std::string &name)
+{
+    if (name == "fcfs") return SchedAlgo::Fcfs;
+    if (name == "frfcfs") return SchedAlgo::FrFcfs;
+    if (name == "crit-casras") return SchedAlgo::CritCasRas;
+    if (name == "casras-crit") return SchedAlgo::CasRasCrit;
+    if (name == "parbs") return SchedAlgo::ParBs;
+    if (name == "tcm") return SchedAlgo::Tcm;
+    if (name == "tcm-crit") return SchedAlgo::TcmCrit;
+    if (name == "ahb") return SchedAlgo::Ahb;
+    if (name == "morse") return SchedAlgo::Morse;
+    if (name == "crit-rl") return SchedAlgo::CritRl;
+    if (name == "atlas") return SchedAlgo::Atlas;
+    if (name == "minimalist") return SchedAlgo::Minimalist;
+    fatal("unknown scheduler '", name, "'");
+}
+
+CritPredictor
+parsePredictor(const std::string &name)
+{
+    if (name == "none") return CritPredictor::None;
+    if (name == "naive") return CritPredictor::NaiveForward;
+    if (name == "binary") return CritPredictor::CbpBinary;
+    if (name == "blockcount") return CritPredictor::CbpBlockCount;
+    if (name == "laststall") return CritPredictor::CbpLastStall;
+    if (name == "maxstall") return CritPredictor::CbpMaxStall;
+    if (name == "totalstall") return CritPredictor::CbpTotalStall;
+    if (name == "clpt-binary") return CritPredictor::ClptBinary;
+    if (name == "clpt-consumers") return CritPredictor::ClptConsumers;
+    fatal("unknown predictor '", name, "'");
+}
+
+DramSpeed
+parseSpeed(const std::string &name)
+{
+    if (name == "ddr3-1066") return DramSpeed::DDR3_1066;
+    if (name == "ddr3-1600") return DramSpeed::DDR3_1600;
+    if (name == "ddr3-2133") return DramSpeed::DDR3_2133;
+    fatal("unknown speed grade '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app;
+    std::string bundleName;
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    std::uint64_t instrs = 24000;
+    std::uint64_t warmup = ~std::uint64_t{0};
+    bool dumpStats = false;
+    bool speedSet = false;
+    DramSpeed speed = DramSpeed::DDR3_2133;
+
+    auto nextArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--app") {
+            app = nextArg(i);
+        } else if (arg == "--bundle") {
+            bundleName = nextArg(i);
+        } else if (arg == "--sched") {
+            cfg.sched.algo = parseSched(nextArg(i));
+        } else if (arg == "--predictor") {
+            cfg.crit.predictor = parsePredictor(nextArg(i));
+        } else if (arg == "--entries") {
+            cfg.crit.tableEntries =
+                static_cast<std::uint32_t>(std::atoll(nextArg(i)));
+        } else if (arg == "--reset") {
+            cfg.crit.resetInterval = std::strtoull(nextArg(i), nullptr,
+                                                   10);
+        } else if (arg == "--instrs") {
+            instrs = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--ranks") {
+            cfg.dram.ranksPerChannel =
+                static_cast<std::uint32_t>(std::atoi(nextArg(i)));
+        } else if (arg == "--channels") {
+            cfg.dram.channels =
+                static_cast<std::uint32_t>(std::atoi(nextArg(i)));
+        } else if (arg == "--speed") {
+            speed = parseSpeed(nextArg(i));
+            speedSet = true;
+        } else if (arg == "--lq") {
+            cfg.core.lqEntries =
+                static_cast<std::uint32_t>(std::atoi(nextArg(i)));
+        } else if (arg == "--prefetch") {
+            cfg.prefetch.enabled = true;
+        } else if (arg == "--closed-page") {
+            cfg.dram.closedPage = true;
+        } else if (arg == "--split-wq") {
+            cfg.dram.unifiedQueue = false;
+        } else if (arg == "--stats") {
+            dumpStats = true;
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else {
+            usage();
+        }
+    }
+    if (app.empty() == bundleName.empty())
+        usage(); // exactly one of --app / --bundle
+
+    if (speedSet) {
+        const DramConfig fresh = DramConfig::preset(speed);
+        cfg.dram.t = fresh.t;
+        cfg.dram.busMHz = fresh.busMHz;
+        cfg.dram.speed = speed;
+    }
+    if (warmup == ~std::uint64_t{0})
+        warmup = instrs / 2;
+
+    std::unique_ptr<System> sys;
+    if (!app.empty()) {
+        sys = std::make_unique<System>(cfg, appParams(app));
+    } else {
+        const Bundle *bundle = nullptr;
+        for (const Bundle &b : multiprogBundles()) {
+            if (b.name == bundleName)
+                bundle = &b;
+        }
+        if (!bundle)
+            fatal("unknown bundle '", bundleName, "'");
+        cfg.numCores = 4;
+        std::vector<AppParams> perCore;
+        for (const std::string &name : bundle->apps)
+            perCore.push_back(appParams(name));
+        sys = std::make_unique<System>(cfg, perCore);
+    }
+
+    sys->prewarmCaches();
+    if (warmup > 0) {
+        sys->run(warmup, /*stopAtQuota=*/false);
+        sys->resetStatsWindow();
+    }
+    sys->run(instrs, /*stopAtQuota=*/!bundleName.empty() ? false : true);
+
+    const RunResult r = collect(*sys);
+    std::printf("workload=%s sched=%s predictor=%s cycles=%llu "
+                "ipc=%.4f\n",
+                app.empty() ? bundleName.c_str() : app.c_str(),
+                toString(cfg.sched.algo), toString(cfg.crit.predictor),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<double>(instrs) * cfg.numCores /
+                    static_cast<double>(r.cycles));
+    std::printf("loads=%llu blocking=%llu (%.2f%%) robBlocked=%.2f%% "
+                "l2missLat crit/non = %.1f / %.1f\n",
+                static_cast<unsigned long long>(r.dynamicLoads),
+                static_cast<unsigned long long>(r.blockingLoads),
+                100.0 * static_cast<double>(r.blockingLoads) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        r.dynamicLoads, 1)),
+                100.0 * static_cast<double>(r.robBlockedCycles) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(r.coreCycles, 1)),
+                r.l2MissLatCrit, r.l2MissLatNonCrit);
+
+    if (dumpStats)
+        sys->statsRoot().print(std::cout);
+    return 0;
+}

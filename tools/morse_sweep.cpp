@@ -1,0 +1,76 @@
+#include <cstdio>
+#include "sim/log.hh"
+#include "system/experiment.hh"
+#include "sched/morse.hh"
+using namespace critmem;
+static RunResult runMorse(const SystemConfig& cfg, const AppParams& app,
+                          std::uint64_t q, float a, float g, float e) {
+    // build manually to control params
+    struct Holder { MorseScheduler s; Holder(const SystemConfig& c, float a, float g, float e)
+        : s(c.dram.channels, c.dram.banksPerRank, c.sched.morseMaxCommands, false, c.seed, a, g, e) {} };
+    Holder h(cfg, a, g, e);
+    System* sys = nullptr; (void)sys;
+    // Can't inject scheduler into System; replicate runParallel manually.
+    // Use a local system assembly:
+    stats::Group root("sys");
+    DramSystem dram(cfg.dram, h.s, root);
+    MemHierarchy hier(cfg, dram, root);
+    std::vector<std::unique_ptr<SyntheticApp>> gens;
+    std::vector<std::unique_ptr<Core>> cores;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i) {
+        gens.push_back(std::make_unique<SyntheticApp>(app, i, cfg.numCores, 0, cfg.seed));
+        cores.push_back(std::make_unique<Core>(cfg, i, *gens.back(), hier, root));
+    }
+    // prewarm
+    {
+        Rng rng(cfg.seed ^ 0x77a12f5ull);
+        std::vector<std::pair<Addr,std::uint64_t>> regions;
+        for (auto& g2 : gens) for (auto& r : g2->farRegions()) regions.push_back(r);
+        const std::uint64_t lines = (std::uint64_t)(0.9 * cfg.l2.sizeBytes / cfg.l2.blockBytes);
+        for (std::uint64_t n = 0; n < lines; ++n) {
+            auto& [base, size] = regions[rng.below(regions.size())];
+            hier.l2().insert(hier.l2().blockAlign(base + rng.below(size)),
+                             rng.chance(0.12) ? LineState::Modified : LineState::Exclusive);
+        }
+    }
+    Cycle cyc = 0; std::uint64_t acc = 0; DramCycle dc = 0;
+    auto tick = [&] {
+        ++cyc; hier.tick(cyc);
+        for (auto& c2 : cores) c2->tick(cyc);
+        acc += cfg.dram.busMHz;
+        if (acc >= cfg.core.freqMHz) { acc -= cfg.core.freqMHz; dram.tick(++dc); }
+    };
+    auto allDone = [&] { for (auto& c2 : cores) if (!c2->finished()) return false; return true; };
+    for (auto& c2 : cores) { c2->setQuota(q/2); c2->setStopAtQuota(false); }
+    while (!allDone()) tick();
+    root.resetAll();
+    for (auto& c2 : cores) c2->resetWindow();
+    Cycle start = cyc;
+    for (auto& c2 : cores) { c2->setQuota(q); c2->setStopAtQuota(true); }
+    while (!allDone()) tick();
+    RunResult r; r.cycles = cyc - start;
+    return r;
+}
+int main() {
+    setQuiet(true);
+    const std::uint64_t q = 24000;
+    const char* apps[] = {"art","mg","radix"};
+    // baselines
+    double base[3];
+    for (int i = 0; i < 3; ++i) {
+        SystemConfig cfg = SystemConfig::parallelDefault();
+        base[i] = (double)runParallel(cfg, appParams(apps[i]), q).cycles;
+    }
+    struct P { float a, g, e; };
+    for (P p : {P{0.1f,0.95f,0.02f}, P{0.3f,0.95f,0.02f}, P{0.1f,0.8f,0.02f},
+                P{0.3f,0.8f,0.05f}, P{0.05f,0.98f,0.01f}, P{0.2f,0.9f,0.03f}}) {
+        double s = 0;
+        for (int i = 0; i < 3; ++i) {
+            SystemConfig cfg = SystemConfig::parallelDefault();
+            RunResult r = runMorse(cfg, appParams(apps[i]), q, p.a, p.g, p.e);
+            s += base[i] / (double)r.cycles;
+        }
+        std::printf("alpha=%.2f gamma=%.2f eps=%.2f avgSp=%.4f\n", p.a, p.g, p.e, s/3);
+    }
+    return 0;
+}
