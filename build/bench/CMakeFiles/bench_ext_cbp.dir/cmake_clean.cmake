@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cbp.dir/bench_ext_cbp.cpp.o"
+  "CMakeFiles/bench_ext_cbp.dir/bench_ext_cbp.cpp.o.d"
+  "bench_ext_cbp"
+  "bench_ext_cbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

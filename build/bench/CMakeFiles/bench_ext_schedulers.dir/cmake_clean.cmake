@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_schedulers.dir/bench_ext_schedulers.cpp.o"
+  "CMakeFiles/bench_ext_schedulers.dir/bench_ext_schedulers.cpp.o.d"
+  "bench_ext_schedulers"
+  "bench_ext_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

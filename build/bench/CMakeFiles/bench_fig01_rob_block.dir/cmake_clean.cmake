@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_rob_block.dir/bench_fig01_rob_block.cpp.o"
+  "CMakeFiles/bench_fig01_rob_block.dir/bench_fig01_rob_block.cpp.o.d"
+  "bench_fig01_rob_block"
+  "bench_fig01_rob_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rob_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_binary.cpp" "bench/CMakeFiles/bench_fig03_binary.dir/bench_fig03_binary.cpp.o" "gcc" "bench/CMakeFiles/bench_fig03_binary.dir/bench_fig03_binary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/critmem_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/critmem_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/critmem_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/critmem_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/critmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/critmem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crit/CMakeFiles/critmem_crit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/critmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

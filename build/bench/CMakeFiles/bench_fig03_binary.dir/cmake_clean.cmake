@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_binary.dir/bench_fig03_binary.cpp.o"
+  "CMakeFiles/bench_fig03_binary.dir/bench_fig03_binary.cpp.o.d"
+  "bench_fig03_binary"
+  "bench_fig03_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_lq.dir/bench_fig09_lq.cpp.o"
+  "CMakeFiles/bench_fig09_lq.dir/bench_fig09_lq.cpp.o.d"
+  "bench_fig09_lq"
+  "bench_fig09_lq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_lq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

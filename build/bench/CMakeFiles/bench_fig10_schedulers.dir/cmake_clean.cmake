@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_schedulers.dir/bench_fig10_schedulers.cpp.o"
+  "CMakeFiles/bench_fig10_schedulers.dir/bench_fig10_schedulers.cpp.o.d"
+  "bench_fig10_schedulers"
+  "bench_fig10_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_morse_cmds.dir/bench_fig11_morse_cmds.cpp.o"
+  "CMakeFiles/bench_fig11_morse_cmds.dir/bench_fig11_morse_cmds.cpp.o.d"
+  "bench_fig11_morse_cmds"
+  "bench_fig11_morse_cmds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_morse_cmds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

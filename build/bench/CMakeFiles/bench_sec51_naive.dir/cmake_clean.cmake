@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_naive.dir/bench_sec51_naive.cpp.o"
+  "CMakeFiles/bench_sec51_naive.dir/bench_sec51_naive.cpp.o.d"
+  "bench_sec51_naive"
+  "bench_sec51_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec532_reset.dir/bench_sec532_reset.cpp.o"
+  "CMakeFiles/bench_sec532_reset.dir/bench_sec532_reset.cpp.o.d"
+  "bench_sec532_reset"
+  "bench_sec532_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec532_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

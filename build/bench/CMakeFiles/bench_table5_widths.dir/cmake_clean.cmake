@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_widths.dir/bench_table5_widths.cpp.o"
+  "CMakeFiles/bench_table5_widths.dir/bench_table5_widths.cpp.o.d"
+  "bench_table5_widths"
+  "bench_table5_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

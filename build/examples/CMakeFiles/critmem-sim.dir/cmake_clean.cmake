@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem-sim.dir/__/tools/critmem_cli.cpp.o"
+  "CMakeFiles/critmem-sim.dir/__/tools/critmem_cli.cpp.o.d"
+  "critmem-sim"
+  "critmem-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

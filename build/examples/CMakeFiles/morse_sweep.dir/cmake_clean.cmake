@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morse_sweep.dir/__/tools/morse_sweep.cpp.o"
+  "CMakeFiles/morse_sweep.dir/__/tools/morse_sweep.cpp.o.d"
+  "morse_sweep"
+  "morse_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morse_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

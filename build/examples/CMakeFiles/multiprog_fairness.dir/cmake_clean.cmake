@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_fairness.dir/multiprog_fairness.cpp.o"
+  "CMakeFiles/multiprog_fairness.dir/multiprog_fairness.cpp.o.d"
+  "multiprog_fairness"
+  "multiprog_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

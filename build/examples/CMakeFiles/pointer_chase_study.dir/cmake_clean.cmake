@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_chase_study.dir/pointer_chase_study.cpp.o"
+  "CMakeFiles/pointer_chase_study.dir/pointer_chase_study.cpp.o.d"
+  "pointer_chase_study"
+  "pointer_chase_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_chase_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

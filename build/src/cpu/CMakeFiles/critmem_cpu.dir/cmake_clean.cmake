@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_cpu.dir/core.cc.o"
+  "CMakeFiles/critmem_cpu.dir/core.cc.o.d"
+  "libcritmem_cpu.a"
+  "libcritmem_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

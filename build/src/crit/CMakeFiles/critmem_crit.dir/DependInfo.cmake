@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crit/cbp.cc" "src/crit/CMakeFiles/critmem_crit.dir/cbp.cc.o" "gcc" "src/crit/CMakeFiles/critmem_crit.dir/cbp.cc.o.d"
+  "/root/repo/src/crit/clpt.cc" "src/crit/CMakeFiles/critmem_crit.dir/clpt.cc.o" "gcc" "src/crit/CMakeFiles/critmem_crit.dir/clpt.cc.o.d"
+  "/root/repo/src/crit/overhead.cc" "src/crit/CMakeFiles/critmem_crit.dir/overhead.cc.o" "gcc" "src/crit/CMakeFiles/critmem_crit.dir/overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/critmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_crit.dir/cbp.cc.o"
+  "CMakeFiles/critmem_crit.dir/cbp.cc.o.d"
+  "CMakeFiles/critmem_crit.dir/clpt.cc.o"
+  "CMakeFiles/critmem_crit.dir/clpt.cc.o.d"
+  "CMakeFiles/critmem_crit.dir/overhead.cc.o"
+  "CMakeFiles/critmem_crit.dir/overhead.cc.o.d"
+  "libcritmem_crit.a"
+  "libcritmem_crit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_crit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

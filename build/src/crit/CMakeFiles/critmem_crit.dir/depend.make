@@ -1,0 +1,2 @@
+# Empty dependencies file for critmem_crit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_dram.dir/address_map.cc.o"
+  "CMakeFiles/critmem_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/critmem_dram.dir/channel.cc.o"
+  "CMakeFiles/critmem_dram.dir/channel.cc.o.d"
+  "CMakeFiles/critmem_dram.dir/dram.cc.o"
+  "CMakeFiles/critmem_dram.dir/dram.cc.o.d"
+  "libcritmem_dram.a"
+  "libcritmem_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_mem.dir/cache.cc.o"
+  "CMakeFiles/critmem_mem.dir/cache.cc.o.d"
+  "CMakeFiles/critmem_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/critmem_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/critmem_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/critmem_mem.dir/prefetcher.cc.o.d"
+  "libcritmem_mem.a"
+  "libcritmem_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

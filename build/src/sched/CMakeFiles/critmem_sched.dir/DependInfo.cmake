@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ahb.cc" "src/sched/CMakeFiles/critmem_sched.dir/ahb.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/ahb.cc.o.d"
+  "/root/repo/src/sched/atlas.cc" "src/sched/CMakeFiles/critmem_sched.dir/atlas.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/atlas.cc.o.d"
+  "/root/repo/src/sched/crit_frfcfs.cc" "src/sched/CMakeFiles/critmem_sched.dir/crit_frfcfs.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/crit_frfcfs.cc.o.d"
+  "/root/repo/src/sched/frfcfs.cc" "src/sched/CMakeFiles/critmem_sched.dir/frfcfs.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/frfcfs.cc.o.d"
+  "/root/repo/src/sched/minimalist.cc" "src/sched/CMakeFiles/critmem_sched.dir/minimalist.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/minimalist.cc.o.d"
+  "/root/repo/src/sched/morse.cc" "src/sched/CMakeFiles/critmem_sched.dir/morse.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/morse.cc.o.d"
+  "/root/repo/src/sched/parbs.cc" "src/sched/CMakeFiles/critmem_sched.dir/parbs.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/parbs.cc.o.d"
+  "/root/repo/src/sched/registry.cc" "src/sched/CMakeFiles/critmem_sched.dir/registry.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/registry.cc.o.d"
+  "/root/repo/src/sched/tcm.cc" "src/sched/CMakeFiles/critmem_sched.dir/tcm.cc.o" "gcc" "src/sched/CMakeFiles/critmem_sched.dir/tcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/critmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/critmem_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_sched.dir/ahb.cc.o"
+  "CMakeFiles/critmem_sched.dir/ahb.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/atlas.cc.o"
+  "CMakeFiles/critmem_sched.dir/atlas.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/crit_frfcfs.cc.o"
+  "CMakeFiles/critmem_sched.dir/crit_frfcfs.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/frfcfs.cc.o"
+  "CMakeFiles/critmem_sched.dir/frfcfs.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/minimalist.cc.o"
+  "CMakeFiles/critmem_sched.dir/minimalist.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/morse.cc.o"
+  "CMakeFiles/critmem_sched.dir/morse.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/parbs.cc.o"
+  "CMakeFiles/critmem_sched.dir/parbs.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/registry.cc.o"
+  "CMakeFiles/critmem_sched.dir/registry.cc.o.d"
+  "CMakeFiles/critmem_sched.dir/tcm.cc.o"
+  "CMakeFiles/critmem_sched.dir/tcm.cc.o.d"
+  "libcritmem_sched.a"
+  "libcritmem_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_sim.dir/config.cc.o"
+  "CMakeFiles/critmem_sim.dir/config.cc.o.d"
+  "CMakeFiles/critmem_sim.dir/log.cc.o"
+  "CMakeFiles/critmem_sim.dir/log.cc.o.d"
+  "CMakeFiles/critmem_sim.dir/stats.cc.o"
+  "CMakeFiles/critmem_sim.dir/stats.cc.o.d"
+  "libcritmem_sim.a"
+  "libcritmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

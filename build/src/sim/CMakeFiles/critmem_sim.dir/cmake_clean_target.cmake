@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcritmem_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_system.dir/experiment.cc.o"
+  "CMakeFiles/critmem_system.dir/experiment.cc.o.d"
+  "CMakeFiles/critmem_system.dir/system.cc.o"
+  "CMakeFiles/critmem_system.dir/system.cc.o.d"
+  "libcritmem_system.a"
+  "libcritmem_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

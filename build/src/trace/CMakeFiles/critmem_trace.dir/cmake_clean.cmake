@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critmem_trace.dir/synthetic.cc.o"
+  "CMakeFiles/critmem_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/critmem_trace.dir/trace_file.cc.o"
+  "CMakeFiles/critmem_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/critmem_trace.dir/workloads.cc.o"
+  "CMakeFiles/critmem_trace.dir/workloads.cc.o.d"
+  "libcritmem_trace.a"
+  "libcritmem_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critmem_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

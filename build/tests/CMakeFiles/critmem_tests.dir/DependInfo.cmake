@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/critmem_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/critmem_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cbp.cc" "tests/CMakeFiles/critmem_tests.dir/test_cbp.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_cbp.cc.o.d"
+  "/root/repo/tests/test_clpt_overhead.cc" "tests/CMakeFiles/critmem_tests.dir/test_clpt_overhead.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_clpt_overhead.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/critmem_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/critmem_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/critmem_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/critmem_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/critmem_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_papershape.cc" "tests/CMakeFiles/critmem_tests.dir/test_papershape.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_papershape.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/critmem_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/critmem_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/critmem_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/critmem_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/critmem_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/critmem_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload_properties.cc" "tests/CMakeFiles/critmem_tests.dir/test_workload_properties.cc.o" "gcc" "tests/CMakeFiles/critmem_tests.dir/test_workload_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/critmem_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/critmem_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/critmem_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/critmem_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/critmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/critmem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crit/CMakeFiles/critmem_crit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/critmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
