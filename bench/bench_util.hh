@@ -11,6 +11,7 @@
 #define CRITMEM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,28 @@ quota(std::uint64_t fallback = 24000)
     return defaultQuota(fallback);
 }
 
+/**
+ * CRITMEM_CHECK=1 in the environment attaches the protocol invariant
+ * checker to every bench run: any violation aborts the bench via
+ * CheckViolation instead of silently producing a bad figure.
+ */
+inline bool
+checkRequested()
+{
+    const char *env = std::getenv("CRITMEM_CHECK");
+    return env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0');
+}
+
+/** Apply checkRequested() to @p cfg. */
+inline SystemConfig
+withCheckEnv(SystemConfig cfg)
+{
+    if (checkRequested())
+        cfg.check.enabled = true;
+    return cfg;
+}
+
 /** The paper's 8-core baseline: FR-FCFS, no criticality. */
 inline SystemConfig
 parallelBase()
@@ -36,7 +59,7 @@ parallelBase()
     SystemConfig cfg = SystemConfig::parallelDefault();
     cfg.sched.algo = SchedAlgo::FrFcfs;
     cfg.crit.predictor = CritPredictor::None;
-    return cfg;
+    return withCheckEnv(cfg);
 }
 
 /** The multiprogrammed baseline (PAR-BS, Section 5.8.2). */
@@ -46,7 +69,7 @@ multiprogBase()
     SystemConfig cfg = SystemConfig::multiprogDefault();
     cfg.sched.algo = SchedAlgo::ParBs;
     cfg.crit.predictor = CritPredictor::None;
-    return cfg;
+    return withCheckEnv(cfg);
 }
 
 /** Attach a criticality predictor + scheduler to a configuration. */

@@ -1,12 +1,36 @@
 #!/usr/bin/env bash
-# Regenerate every artifact: build, test suite, all benches.
+# Regenerate every artifact: build, test suite (plain and sanitized),
+# checked bench smoke runs, then all benches.
 # CRITMEM_INSTRS / CRITMEM_WARMUP scale simulation length.
+# CRITMEM_SKIP_ASAN=1 skips the sanitizer pass (e.g. no clean rebuild
+# budget); CRITMEM_SKIP_CHECKED=1 skips the checked smoke runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+cmake -B build
+cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure | tee test_output.txt
+
+# ASan+UBSan pass: the whole suite again under the sanitizers.
+if [ "${CRITMEM_SKIP_ASAN:-0}" != "1" ]; then
+    cmake -B build-asan -DCRITMEM_SANITIZE=ON
+    cmake --build build-asan -j"$(nproc)"
+    ctest --test-dir build-asan --output-on-failure \
+        | tee test_output_asan.txt
+fi
+
+# Protocol-checked smoke runs: one figure per scheduler family with
+# the invariant checker attached (CRITMEM_CHECK=1 aborts the bench on
+# any violation), plus a CLI run per scheduler.
+if [ "${CRITMEM_SKIP_CHECKED:-0}" != "1" ]; then
+    for sched in fcfs frfcfs crit-casras casras-crit parbs tcm \
+                 tcm-crit ahb morse crit-rl atlas minimalist; do
+        ./build/examples/critmem-sim --app art --sched "$sched" \
+            --instrs 4000 --check --quiet >/dev/null
+    done
+    CRITMEM_CHECK=1 CRITMEM_INSTRS="${CRITMEM_INSTRS:-8000}" \
+        ./build/bench/bench_fig10_schedulers > /dev/null
+fi
 
 {
     for b in $(find ./build/bench -maxdepth 1 -type f -executable | sort); do

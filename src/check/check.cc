@@ -1,0 +1,59 @@
+#include "check/check.hh"
+
+namespace critmem
+{
+
+const char *
+toString(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::Trcd: return "tRCD";
+      case RuleId::Trp: return "tRP";
+      case RuleId::Tras: return "tRAS";
+      case RuleId::Trc: return "tRC";
+      case RuleId::Tccd: return "tCCD";
+      case RuleId::Trrd: return "tRRD";
+      case RuleId::Tfaw: return "tFAW";
+      case RuleId::Twtr: return "tWTR";
+      case RuleId::Trtw: return "tRTW";
+      case RuleId::Trtp: return "tRTP";
+      case RuleId::Twr: return "tWR";
+      case RuleId::Trfc: return "tRFC";
+      case RuleId::RefreshInterval: return "RefreshInterval";
+      case RuleId::ActOnOpenBank: return "ActOnOpenBank";
+      case RuleId::CasIllegal: return "CasIllegal";
+      case RuleId::PreOnClosedBank: return "PreOnClosedBank";
+      case RuleId::RefIllegal: return "RefIllegal";
+      case RuleId::CmdBusConflict: return "CmdBusConflict";
+      case RuleId::DataBusConflict: return "DataBusConflict";
+      case RuleId::DuplicateId: return "DuplicateId";
+      case RuleId::UnknownCompletion: return "UnknownCompletion";
+      case RuleId::LostRequest: return "LostRequest";
+      case RuleId::CritDecrease: return "CritDecrease";
+      case RuleId::Starvation: return "Starvation";
+      case RuleId::Watchdog: return "Watchdog";
+      case RuleId::StatsMismatch: return "StatsMismatch";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::string
+describe(const Violation &v)
+{
+    return std::string("checker violation [") + toString(v.rule) +
+        "] channel " + std::to_string(v.channel) + " cycle " +
+        std::to_string(v.cycle) + ": " + v.message;
+}
+
+} // namespace
+
+CheckViolation::CheckViolation(Violation violation)
+    : std::runtime_error(describe(violation)),
+      violation_(std::move(violation))
+{
+}
+
+} // namespace critmem

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Vocabulary of the validation harness: the rules the protocol
+ * invariant checker enforces, the violation record it produces, and
+ * the exception it throws.
+ *
+ * Timing rules carry the JEDEC DDR3 parameter name they enforce;
+ * structural and conservation rules describe the broken invariant.
+ * See DESIGN.md ("Validation & invariants") for the full catalogue
+ * with sources.
+ */
+
+#ifndef CRITMEM_CHECK_CHECK_HH
+#define CRITMEM_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace critmem
+{
+
+/** Every invariant the ProtocolChecker can report. */
+enum class RuleId
+{
+    // DDR3 timing constraints (independent shadow recomputation).
+    Trcd,            ///< CAS before ACT-to-CAS delay elapsed
+    Trp,             ///< ACT (or REF) before precharge period elapsed
+    Tras,            ///< PRE before minimum row-open time elapsed
+    Trc,             ///< ACT before same-bank ACT-to-ACT time elapsed
+    Tccd,            ///< CAS before same-rank CAS-to-CAS delay elapsed
+    Trrd,            ///< ACT before same-rank ACT-to-ACT delay elapsed
+    Tfaw,            ///< fifth ACT inside the four-activate window
+    Twtr,            ///< read CAS inside the write-to-read turnaround
+    Trtw,            ///< write CAS inside the read-to-write turnaround
+    Trtp,            ///< PRE before read-to-precharge delay elapsed
+    Twr,             ///< PRE before write recovery elapsed
+    Trfc,            ///< ACT before the refresh cycle time elapsed
+    RefreshInterval, ///< a rank went too long without a REF
+    // Structural command legality.
+    ActOnOpenBank,   ///< ACT to a bank that already has an open row
+    CasIllegal,      ///< CAS to a closed bank or the wrong open row
+    PreOnClosedBank, ///< PRE to a bank with no open row
+    RefIllegal,      ///< REF while a bank of the rank is still open
+    CmdBusConflict,  ///< two commands on one command bus in one cycle
+    DataBusConflict, ///< overlapping data bursts on one data bus
+    // Conservation invariants.
+    DuplicateId,     ///< two in-flight requests share one id
+    UnknownCompletion, ///< completion for a request never enqueued
+    LostRequest,     ///< enqueued request never completed (finalize)
+    CritDecrease,    ///< promotion lowered a criticality level
+    Starvation,      ///< a request sat queued past the starvation bound
+    // Liveness and accounting.
+    Watchdog,        ///< forward-progress watchdog tripped
+    StatsMismatch,   ///< channel stats disagree with the shadow counts
+};
+
+/** @return the short printable name of a rule (e.g. "tRCD"). */
+const char *toString(RuleId rule);
+
+/** One detected invariant violation. */
+struct Violation
+{
+    RuleId rule = RuleId::Watchdog;
+    std::uint32_t channel = 0;
+    DramCycle cycle = 0;
+    std::string message;
+};
+
+/**
+ * Thrown on the first violation when CheckConfig::failFast is set,
+ * and always by the forward-progress watchdog (recording a stall and
+ * carrying on would simply hang again).
+ */
+class CheckViolation : public std::runtime_error
+{
+  public:
+    explicit CheckViolation(Violation violation);
+
+    const Violation &violation() const { return violation_; }
+
+  private:
+    Violation violation_;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_CHECK_CHECK_HH

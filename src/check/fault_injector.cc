@@ -1,0 +1,76 @@
+#include "check/fault_injector.hh"
+
+namespace critmem
+{
+
+ScriptedFaultInjector::ScriptedFaultInjector(const CheckConfig &cfg)
+    : kind_(cfg.fault), period_(cfg.faultPeriod),
+      victim_(cfg.faultVictim), rng_(cfg.faultSeed)
+{
+}
+
+bool
+ScriptedFaultInjector::roll()
+{
+    if (period_ <= 1)
+        return true;
+    return rng_.below(period_) == 0;
+}
+
+bool
+ScriptedFaultInjector::dropCompletion(const MemRequest &req,
+                                      DramCycle now)
+{
+    (void)now;
+    // Only reads have a consumer waiting on the callback; dropping a
+    // writeback completion would be invisible to the processor side.
+    if (kind_ != FaultKind::DropCompletion || req.type == ReqType::Write)
+        return false;
+    if (!roll())
+        return false;
+    ++injections_;
+    return true;
+}
+
+std::uint32_t
+ScriptedFaultInjector::casSlack(DramCycle now)
+{
+    (void)now;
+    if (kind_ != FaultKind::EarlyCas || !roll())
+        return 0;
+    ++injections_;
+    return 1; // CAS eligibility opens one DRAM cycle early
+}
+
+bool
+ScriptedFaultInjector::skipRefresh(std::uint32_t rank, DramCycle now)
+{
+    (void)rank; (void)now;
+    if (kind_ != FaultKind::SkipRefresh || !roll())
+        return false;
+    ++injections_;
+    return true;
+}
+
+bool
+ScriptedFaultInjector::starveCore(CoreId core)
+{
+    // Deterministic (no roll): starvation only manifests when the
+    // victim's requests are hidden persistently, not intermittently.
+    if (kind_ != FaultKind::StarveCore || core != victim_)
+        return false;
+    ++injections_;
+    return true;
+}
+
+bool
+ScriptedFaultInjector::corruptPromotion(DramCycle now)
+{
+    (void)now;
+    if (kind_ != FaultKind::FlipCrit || !roll())
+        return false;
+    ++injections_;
+    return true;
+}
+
+} // namespace critmem

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Configurable fault injector: deliberately corrupts one aspect of
+ * channel behaviour (per CheckConfig::fault) so tests can prove the
+ * matching ProtocolChecker rule fires. Stochastic faults draw from a
+ * private seeded Rng, so every run is reproducible.
+ */
+
+#ifndef CRITMEM_CHECK_FAULT_INJECTOR_HH
+#define CRITMEM_CHECK_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "dram/observer.hh"
+#include "sim/config.hh"
+#include "sim/random.hh"
+
+namespace critmem
+{
+
+/** FaultInjector driven by a CheckConfig fault description. */
+class ScriptedFaultInjector : public FaultInjector
+{
+  public:
+    explicit ScriptedFaultInjector(const CheckConfig &cfg);
+
+    bool dropCompletion(const MemRequest &req, DramCycle now) override;
+    std::uint32_t casSlack(DramCycle now) override;
+    bool skipRefresh(std::uint32_t rank, DramCycle now) override;
+    bool starveCore(CoreId core) override;
+    bool corruptPromotion(DramCycle now) override;
+
+    /** Number of faults actually injected so far. */
+    std::uint64_t injections() const { return injections_; }
+
+  private:
+    /** One Bernoulli(1/faultPeriod) draw; period <= 1 always fires. */
+    bool roll();
+
+    FaultKind kind_;
+    std::uint64_t period_;
+    CoreId victim_;
+    Rng rng_;
+    std::uint64_t injections_ = 0;
+};
+
+} // namespace critmem
+
+#endif // CRITMEM_CHECK_FAULT_INJECTOR_HH

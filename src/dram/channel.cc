@@ -61,9 +61,13 @@ DramChannel::enqueue(MemRequest req, const DramCoord &coord,
         : queue.size();
     if (used >= cfg_.queueEntries) {
         ++stats_.enqueueRejects;
+        if (observer_)
+            observer_->onReject(id_, req, now);
         return false;
     }
     sched_.onEnqueue(id_, req, coord, now);
+    if (observer_)
+        observer_->onEnqueue(id_, req, coord, now);
     queue.push_back(Transaction{std::move(req), coord, now});
     return true;
 }
@@ -74,7 +78,15 @@ DramChannel::promote(Addr addr, CoreId core, CritLevel crit)
     for (auto &trans : readQ_) {
         if (trans.req.addr == addr && trans.req.core == core &&
             trans.req.type == ReqType::Read) {
-            trans.req.crit = std::max(trans.req.crit, crit);
+            const CritLevel previous = trans.req.crit;
+            CritLevel applied = std::max(previous, crit);
+            if (injector_ && injector_->corruptPromotion(lastTick_))
+                applied = 0;
+            trans.req.crit = applied;
+            if (observer_) {
+                observer_->onPromote(id_, addr, core, previous, crit,
+                                     applied, lastTick_);
+            }
             return true;
         }
     }
@@ -100,9 +112,14 @@ DramChannel::popCompletions(DramCycle now)
         const DramCycle arrival = entry.arrival;
         const DramCycle at = entry.at;
         completions_.pop();
+        if (injector_ && injector_->dropCompletion(req, now))
+            continue; // fault: the data burst vanishes untraced
+        lastProgress_ = now;
         if (req.type != ReqType::Write)
             stats_.readLatency.sample(at - arrival);
         sched_.onComplete(id_, req, now);
+        if (observer_)
+            observer_->onComplete(id_, req, now);
         if (req.onComplete)
             req.onComplete(req);
     }
@@ -114,10 +131,16 @@ DramChannel::refreshTick(DramCycle now)
     for (std::uint32_t r = 0; r < cfg_.ranksPerChannel; ++r) {
         RankState &rank = ranks_[r];
         if (!rank.refreshPending) {
-            if (now >= rank.refreshDue)
+            if (now >= rank.refreshDue) {
+                if (injector_ && injector_->skipRefresh(r, now)) {
+                    // Fault: the due refresh silently never happens.
+                    rank.refreshDue += cfg_.t.tREFI;
+                    continue;
+                }
                 rank.refreshPending = true;
-            else
+            } else {
                 continue;
+            }
         }
         // Close any open bank as soon as its precharge is legal.
         bool allClosed = true;
@@ -127,10 +150,20 @@ DramChannel::refreshTick(DramCycle now)
             if (bank.open) {
                 allClosed = false;
                 if (now >= bank.readyPre) {
+                    if (observer_) {
+                        DramCoord coord;
+                        coord.channel = id_;
+                        coord.rank = r;
+                        coord.bank = b;
+                        coord.row = bank.row;
+                        observer_->onCommand(id_, DramCmd::Pre, coord,
+                                             now);
+                    }
                     bank.open = false;
                     bank.readyAct =
                         std::max(bank.readyAct, now + cfg_.t.tRP);
                     ++stats_.precharges;
+                    lastProgress_ = now;
                     return true; // consumed the command bus
                 }
             } else {
@@ -143,6 +176,13 @@ DramChannel::refreshTick(DramCycle now)
             rank.refreshPending = false;
             rank.refreshDue += cfg_.t.tREFI;
             ++stats_.refreshes;
+            lastProgress_ = now;
+            if (observer_) {
+                DramCoord coord;
+                coord.channel = id_;
+                coord.rank = r;
+                observer_->onCommand(id_, DramCmd::Ref, coord, now);
+            }
             return true;
         }
         // A pending refresh that cannot act yet does not consume the
@@ -170,6 +210,11 @@ DramChannel::buildCandidates(DramCycle now)
             draining_ || (readQ_.empty() && !writeQ_.empty());
     }
 
+    // EarlyCas fault: pretend CAS timing windows open `slack` cycles
+    // sooner than they really do. issue() applies honest timings, so
+    // the shadow checker sees a genuinely premature command.
+    const std::uint32_t slack = injector_ ? injector_->casSlack(now) : 0;
+
     auto consider = [&](const std::vector<Transaction> &queue,
                         bool isWrite) {
         for (std::uint32_t i = 0; i < queue.size(); ++i) {
@@ -177,6 +222,8 @@ DramChannel::buildCandidates(DramCycle now)
             const DramCoord &c = trans.coord;
             if (ranks_[c.rank].refreshPending)
                 continue;
+            if (injector_ && injector_->starveCore(trans.req.core))
+                continue; // fault: scheduler never sees this core
             const BankState &bank =
                 banks_[c.rank * cfg_.banksPerRank + c.bank];
 
@@ -191,18 +238,19 @@ DramChannel::buildCandidates(DramCycle now)
             cand.seq = trans.req.id;
 
             if (!bank.open) {
-                if (now < bank.readyAct)
+                if (now < bank.readyAct ||
+                    !ranks_[c.rank].fawOk(now, cfg_.t.tFAW))
                     continue;
                 cand.cmd = DramCmd::Act;
             } else if (bank.row == c.row) {
                 if (isWrite) {
-                    if (now < bank.readyWrite ||
-                        now + cfg_.t.tWL < dataBusFreeFor(c.rank))
+                    if (now + slack < bank.readyWrite ||
+                        now + cfg_.t.tWL + slack < dataBusFreeFor(c.rank))
                         continue;
                     cand.cmd = DramCmd::Write;
                 } else {
-                    if (now < bank.readyRead ||
-                        now + cfg_.t.tCL < dataBusFreeFor(c.rank))
+                    if (now + slack < bank.readyRead ||
+                        now + cfg_.t.tCL + slack < dataBusFreeFor(c.rank))
                         continue;
                     cand.cmd = DramCmd::Read;
                 }
@@ -287,8 +335,9 @@ DramChannel::maybeAutoPrecharge(const DramCoord &coord, DramCycle now)
     BankState &bank = this->bank(coord.rank, coord.bank);
     bank.open = false;
     bank.readyAct = std::max(bank.readyAct, bank.readyPre + cfg_.t.tRP);
-    (void)now;
     ++stats_.autoPrecharges;
+    if (observer_)
+        observer_->onAutoPrecharge(id_, coord, now);
 }
 
 void
@@ -298,8 +347,13 @@ DramChannel::issue(const SchedCandidate &cand, DramCycle now)
     auto &queue = cand.isWrite ? writeQ_ : readQ_;
     BankState &b = bank(cand.coord.rank, cand.coord.bank);
 
+    lastProgress_ = now;
+    if (observer_)
+        observer_->onCommand(id_, cand.cmd, cand.coord, now);
+
     switch (cand.cmd) {
       case DramCmd::Act:
+        ranks_[cand.coord.rank].recordAct(now);
         b.open = true;
         b.row = cand.coord.row;
         b.readyRead = std::max(b.readyRead, now + t.tRCD);
@@ -362,6 +416,7 @@ DramChannel::issue(const SchedCandidate &cand, DramCycle now)
 void
 DramChannel::tick(DramCycle now)
 {
+    lastTick_ = now;
     popCompletions(now);
 
     stats_.readQueueOcc.sample(static_cast<double>(readQ_.size()));
@@ -373,23 +428,89 @@ DramChannel::tick(DramCycle now)
     if (refreshTick(now))
         return;
 
-    if (readQ_.empty() && writeQ_.empty())
+    if (readQ_.empty() && writeQ_.empty()) {
+        // No queued work: idling is progress, not a stall.
+        lastProgress_ = now;
         return;
+    }
 
     buildCandidates(now);
     if (cands_.empty()) {
         ++stats_.idleNoCandidate;
+        checkWatchdog(now);
         return;
     }
 
     const int choice =
         sched_.pick(id_, cands_, now);
-    if (choice < 0)
+    if (choice < 0) {
+        checkWatchdog(now);
         return;
+    }
     if (static_cast<std::size_t>(choice) >= cands_.size())
         panic("scheduler '", sched_.name(), "' picked candidate ",
               choice, " of ", cands_.size());
     issue(cands_[choice], now);
+}
+
+void
+DramChannel::checkWatchdog(DramCycle now)
+{
+    if (cfg_.watchdogCycles == 0 || !observer_)
+        return;
+    if (now - lastProgress_ >= cfg_.watchdogCycles)
+        observer_->onStall(*this, now);
+}
+
+ChannelSnapshot
+DramChannel::snapshot(DramCycle now) const
+{
+    ChannelSnapshot snap;
+    snap.channel = id_;
+    snap.now = now;
+    snap.scheduler = sched_.name();
+    snap.completionsPending = completions_.size();
+    snap.busFreeAt = busFreeAt_;
+    snap.draining = draining_;
+
+    auto capture = [](const std::vector<Transaction> &queue) {
+        std::vector<ChannelSnapshot::QueueEntry> out;
+        out.reserve(queue.size());
+        for (const Transaction &trans : queue) {
+            ChannelSnapshot::QueueEntry e;
+            e.addr = trans.req.addr;
+            e.type = trans.req.type;
+            e.core = trans.req.core;
+            e.crit = trans.req.crit;
+            e.arrival = trans.arrival;
+            e.id = trans.req.id;
+            e.coord = trans.coord;
+            out.push_back(e);
+        }
+        return out;
+    };
+    snap.readQ = capture(readQ_);
+    snap.writeQ = capture(writeQ_);
+
+    snap.banks.reserve(banks_.size());
+    for (const BankState &b : banks_) {
+        ChannelSnapshot::Bank bank;
+        bank.open = b.open;
+        bank.row = b.row;
+        bank.readyAct = b.readyAct;
+        bank.readyRead = b.readyRead;
+        bank.readyWrite = b.readyWrite;
+        bank.readyPre = b.readyPre;
+        snap.banks.push_back(bank);
+    }
+    snap.ranks.reserve(ranks_.size());
+    for (const RankState &r : ranks_) {
+        ChannelSnapshot::Rank rank;
+        rank.refreshDue = r.refreshDue;
+        rank.refreshPending = r.refreshPending;
+        snap.ranks.push_back(rank);
+    }
+    return snap;
 }
 
 } // namespace critmem

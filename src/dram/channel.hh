@@ -7,11 +7,13 @@
 #ifndef CRITMEM_DRAM_CHANNEL_HH
 #define CRITMEM_DRAM_CHANNEL_HH
 
+#include <array>
 #include <cstdint>
 #include <queue>
 #include <vector>
 
 #include "dram/command.hh"
+#include "dram/observer.hh"
 #include "mem/request.hh"
 #include "sched/scheduler.hh"
 #include "sim/config.hh"
@@ -35,11 +37,34 @@ struct BankState
     DramCycle readyPre = 0;
 };
 
-/** Refresh bookkeeping for one rank. */
+/** Refresh and activate-window bookkeeping for one rank. */
 struct RankState
 {
     DramCycle refreshDue = 0;  ///< next tREFI deadline
     bool refreshPending = false;
+    /**
+     * Issue times of the last four ACTs to this rank (tFAW sliding
+     * window); actHead_ points at the oldest slot. 0 means "never"
+     * (the DRAM clock starts at cycle 1).
+     */
+    std::array<DramCycle, 4> actTimes{};
+    std::uint32_t actHead = 0;
+
+    /** @return true when a fifth ACT would not violate tFAW. */
+    bool
+    fawOk(DramCycle now, std::uint32_t tFAW) const
+    {
+        const DramCycle oldest = actTimes[actHead];
+        return oldest == 0 || now >= oldest + tFAW;
+    }
+
+    /** Record an ACT issued to this rank at @p now. */
+    void
+    recordAct(DramCycle now)
+    {
+        actTimes[actHead] = now;
+        actHead = (actHead + 1) % actTimes.size();
+    }
 };
 
 /**
@@ -99,6 +124,22 @@ class DramChannel
         return readQ_.empty() && writeQ_.empty() && completions_.empty();
     }
 
+    /**
+     * Attach a passive observer notified of every enqueue, command,
+     * completion, promotion and watchdog trip. Pass nullptr to detach;
+     * the observer must outlive its attachment.
+     */
+    void setObserver(ChannelObserver *observer) { observer_ = observer; }
+
+    /** Attach a fault injector (nullptr = honest channel). */
+    void setFaultInjector(FaultInjector *inj) { injector_ = inj; }
+
+    /** Capture a diagnostic snapshot of all channel state. */
+    ChannelSnapshot snapshot(DramCycle now) const;
+
+    /** Name of the scheduling policy serving this channel. */
+    const char *schedulerName() const { return sched_.name(); }
+
     /** Statistics for this channel. */
     struct Stats
     {
@@ -157,6 +198,9 @@ class DramChannel
     /** Handle due refreshes; @return true when the bus was consumed. */
     bool refreshTick(DramCycle now);
 
+    /** Report a stall when the forward-progress bound is exceeded. */
+    void checkWatchdog(DramCycle now);
+
     void buildCandidates(DramCycle now);
     void maybeAutoPrecharge(const DramCoord &coord, DramCycle now);
     void issue(const SchedCandidate &cand, DramCycle now);
@@ -181,6 +225,13 @@ class DramChannel
     std::uint32_t lastBusRank_ = 0;
     bool draining_ = false;
     std::uint64_t completionOrder_ = 0;
+
+    ChannelObserver *observer_ = nullptr;
+    FaultInjector *injector_ = nullptr;
+    /** Last cycle this channel issued, completed, or was work-free. */
+    DramCycle lastProgress_ = 0;
+    /** Most recent tick() cycle (timestamps promote() events). */
+    DramCycle lastTick_ = 0;
 
     Stats stats_;
 };

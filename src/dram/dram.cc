@@ -58,4 +58,18 @@ DramSystem::pendingReads() const
     return total;
 }
 
+void
+DramSystem::setObserver(ChannelObserver *observer)
+{
+    for (auto &channel : channels_)
+        channel->setObserver(observer);
+}
+
+void
+DramSystem::setFaultInjector(FaultInjector *injector)
+{
+    for (auto &channel : channels_)
+        channel->setFaultInjector(injector);
+}
+
 } // namespace critmem

@@ -68,6 +68,12 @@ class DramSystem
     /** Sum of queued reads across channels. */
     std::uint32_t pendingReads() const;
 
+    /** Attach @p observer to every channel (nullptr detaches). */
+    void setObserver(ChannelObserver *observer);
+
+    /** Attach @p injector to every channel (nullptr detaches). */
+    void setFaultInjector(FaultInjector *injector);
+
   private:
     DramConfig cfg_;
     AddressMap map_;

@@ -70,6 +70,20 @@ toString(SchedAlgo algo)
     return "?";
 }
 
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:           return "none";
+      case FaultKind::DropCompletion: return "drop-completion";
+      case FaultKind::EarlyCas:       return "early-cas";
+      case FaultKind::SkipRefresh:    return "skip-refresh";
+      case FaultKind::StarveCore:     return "starve-core";
+      case FaultKind::FlipCrit:       return "flip-crit";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -108,9 +122,14 @@ DramConfig::preset(DramSpeed speed)
         cfg.t.tRTP = scaleCycles(t.tRTP, cfg.busMHz);
         cfg.t.tRP = scaleCycles(t.tRP, cfg.busMHz);
         cfg.t.tRRD = scaleCycles(t.tRRD, cfg.busMHz);
+        cfg.t.tFAW = scaleCycles(t.tFAW, cfg.busMHz);
         cfg.t.tRTRS = scaleCycles(t.tRTRS, cfg.busMHz);
         cfg.t.tRAS = scaleCycles(t.tRAS, cfg.busMHz);
-        cfg.t.tRC = scaleCycles(t.tRC, cfg.busMHz);
+        // Independent round-up can leave tRC a cycle short of
+        // tRAS + tRP (e.g. DDR3-1600: 38 < 28 + 11); a real row
+        // cycle can never beat restore + precharge, so clamp.
+        cfg.t.tRC = std::max(scaleCycles(t.tRC, cfg.busMHz),
+                             cfg.t.tRAS + cfg.t.tRP);
         cfg.t.tRFC = scaleCycles(t.tRFC, cfg.busMHz);
         cfg.t.tREFI = scaleCycles(t.tREFI, cfg.busMHz);
     }
@@ -156,6 +175,202 @@ SystemConfig::multiprogDefault()
     cfg.dram.channels = 2;
     cfg.l2.mshrs = 32;
     return cfg;
+}
+
+namespace
+{
+
+void
+addError(ConfigErrors &errors, std::string field, std::string message)
+{
+    errors.push_back(ConfigError{std::move(field), std::move(message)});
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+DramTiming::validate(ConfigErrors &errors) const
+{
+    const struct { const char *name; std::uint32_t value; } nonzero[] = {
+        {"tRCD", tRCD}, {"tCL", tCL}, {"tWL", tWL}, {"tCCD", tCCD},
+        {"tWTR", tWTR}, {"tWR", tWR}, {"tRTP", tRTP}, {"tRP", tRP},
+        {"tRRD", tRRD}, {"tFAW", tFAW}, {"tRAS", tRAS}, {"tRC", tRC},
+        {"tRFC", tRFC}, {"tREFI", tREFI},
+    };
+    for (const auto &[name, value] : nonzero) {
+        if (value == 0)
+            addError(errors, std::string("dram.t.") + name,
+                     "must be nonzero");
+    }
+    if (burstLength == 0 || burstLength % 2 != 0)
+        addError(errors, "dram.t.burstLength",
+                 "must be a nonzero even burst length");
+    if (tRAS < tRCD + tCCD)
+        addError(errors, "dram.t.tRAS",
+                 "row must stay open at least tRCD + tCCD to serve one "
+                 "CAS (tRAS >= tRCD + tCCD)");
+    if (tRC < tRAS + tRP)
+        addError(errors, "dram.t.tRC",
+                 "ACT-to-ACT must cover the row cycle (tRC >= tRAS + "
+                 "tRP)");
+    if (tFAW < tRRD)
+        addError(errors, "dram.t.tFAW",
+                 "four-activate window cannot be shorter than tRRD");
+    if (tREFI <= tRFC)
+        addError(errors, "dram.t.tREFI",
+                 "refresh interval must exceed the refresh cycle time");
+}
+
+void
+DramConfig::validate(ConfigErrors &errors) const
+{
+    if (busMHz == 0)
+        addError(errors, "dram.busMHz", "must be nonzero");
+    if (channels == 0)
+        addError(errors, "dram.channels", "must be nonzero");
+    if (ranksPerChannel == 0)
+        addError(errors, "dram.ranksPerChannel", "must be nonzero");
+    if (banksPerRank == 0)
+        addError(errors, "dram.banksPerRank", "must be nonzero");
+    if (!isPow2(rowBytes))
+        addError(errors, "dram.rowBytes",
+                 "must be a nonzero power of two");
+    if (queueEntries == 0)
+        addError(errors, "dram.queueEntries", "must be nonzero");
+    t.validate(errors);
+}
+
+void
+CacheConfig::validate(const std::string &name,
+                      ConfigErrors &errors) const
+{
+    if (!isPow2(blockBytes))
+        addError(errors, name + ".blockBytes",
+                 "must be a nonzero power of two");
+    if (ways == 0)
+        addError(errors, name + ".ways", "must be nonzero");
+    if (sizeBytes == 0)
+        addError(errors, name + ".sizeBytes", "must be nonzero");
+    else if (blockBytes != 0 && ways != 0 &&
+             (sizeBytes % (blockBytes * ways) != 0 ||
+              sets() == 0 || !isPow2(sets())))
+        addError(errors, name + ".sizeBytes",
+                 "must yield a nonzero power-of-two set count "
+                 "(sizeBytes / (blockBytes * ways))");
+    if (mshrs == 0)
+        addError(errors, name + ".mshrs", "must be nonzero");
+    if (ports == 0)
+        addError(errors, name + ".ports", "must be nonzero");
+}
+
+void
+CoreConfig::validate(ConfigErrors &errors) const
+{
+    const struct { const char *name; std::uint32_t value; } nonzero[] = {
+        {"freqMHz", freqMHz}, {"fetchWidth", fetchWidth},
+        {"issueWidth", issueWidth}, {"commitWidth", commitWidth},
+        {"robEntries", robEntries}, {"intIqEntries", intIqEntries},
+        {"fpIqEntries", fpIqEntries}, {"lqEntries", lqEntries},
+        {"sqEntries", sqEntries}, {"intAlus", intAlus},
+        {"fpAlus", fpAlus}, {"loadPorts", loadPorts},
+        {"storePorts", storePorts}, {"branchUnits", branchUnits},
+        {"intMuls", intMuls}, {"fpMuls", fpMuls},
+        {"maxUnresolvedBranches", maxUnresolvedBranches},
+    };
+    for (const auto &[name, value] : nonzero) {
+        if (value == 0)
+            addError(errors, std::string("core.") + name,
+                     "must be nonzero");
+    }
+    if (robEntries < fetchWidth)
+        addError(errors, "core.robEntries",
+                 "must hold at least one fetch group");
+}
+
+void
+CheckConfig::validate(ConfigErrors &errors) const
+{
+    if (enabled && watchdogCycles == 0)
+        addError(errors, "check.watchdogCycles",
+                 "must be nonzero when checking is enabled");
+    if (enabled && commitWatchdogCycles == 0)
+        addError(errors, "check.commitWatchdogCycles",
+                 "must be nonzero when checking is enabled");
+    if (enabled && starvationCycles == 0)
+        addError(errors, "check.starvationCycles",
+                 "must be nonzero when checking is enabled");
+    if (fault != FaultKind::None && faultPeriod == 0)
+        addError(errors, "check.faultPeriod",
+                 "must be nonzero when a fault is injected");
+}
+
+ConfigErrors
+SystemConfig::validate() const
+{
+    ConfigErrors errors;
+    if (numCores == 0)
+        addError(errors, "numCores", "must be nonzero");
+    core.validate(errors);
+    il1.validate("il1", errors);
+    dl1.validate("dl1", errors);
+    l2.validate("l2", errors);
+    dram.validate(errors);
+    check.validate(errors);
+    if (core.freqMHz != 0 && dram.busMHz != 0 &&
+        core.freqMHz < dram.busMHz)
+        addError(errors, "core.freqMHz",
+                 "CPU clock must be at least the DRAM bus clock");
+    if (prefetch.enabled) {
+        if (prefetch.streams == 0)
+            addError(errors, "prefetch.streams", "must be nonzero");
+        if (prefetch.distance == 0)
+            addError(errors, "prefetch.distance", "must be nonzero");
+        if (prefetch.degree == 0)
+            addError(errors, "prefetch.degree", "must be nonzero");
+    }
+    if (crit.probShift >= 32)
+        addError(errors, "crit.probShift", "must be below 32");
+    if (crit.counterWidth > 64)
+        addError(errors, "crit.counterWidth", "must be at most 64");
+    if (sched.starvationCap == 0)
+        addError(errors, "sched.starvationCap", "must be nonzero");
+    if (sched.parbsMarkingCap == 0)
+        addError(errors, "sched.parbsMarkingCap", "must be nonzero");
+    if (sched.tcmQuantum == 0)
+        addError(errors, "sched.tcmQuantum", "must be nonzero");
+    if (sched.tcmClusterThresh <= 0.0 || sched.tcmClusterThresh >= 1.0)
+        addError(errors, "sched.tcmClusterThresh",
+                 "must lie strictly between 0 and 1");
+    if (sched.morseMaxCommands == 0)
+        addError(errors, "sched.morseMaxCommands", "must be nonzero");
+    if (check.fault == FaultKind::StarveCore &&
+        check.faultVictim >= numCores)
+        addError(errors, "check.faultVictim",
+                 "victim core id must be below numCores");
+    return errors;
+}
+
+void
+validateOrFatal(const SystemConfig &cfg)
+{
+    const ConfigErrors errors = cfg.validate();
+    if (errors.empty())
+        return;
+    std::string joined;
+    for (const ConfigError &error : errors) {
+        joined += "\n  ";
+        joined += error.field;
+        joined += ": ";
+        joined += error.message;
+    }
+    fatal("invalid configuration (", errors.size(), " error",
+          errors.size() == 1 ? "" : "s", "):", joined);
 }
 
 } // namespace critmem

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -32,6 +33,19 @@ enum class AddressMapKind { PageInterleave, BlockInterleave };
 const char *toString(DramSpeed speed);
 
 /**
+ * One structured configuration error: the offending field and a
+ * human-readable explanation. validate() returns every problem at
+ * once so a user can fix a config in one pass.
+ */
+struct ConfigError
+{
+    std::string field;
+    std::string message;
+};
+
+using ConfigErrors = std::vector<ConfigError>;
+
+/**
  * DDR3 timing parameters, all expressed in DRAM (bus) clock cycles.
  * Values for DDR3-2133 come directly from Table 3; the slower grades
  * scale to (approximately) constant nanoseconds.
@@ -47,6 +61,7 @@ struct DramTiming
     std::uint32_t tRTP = 8;   ///< read-to-precharge
     std::uint32_t tRP = 14;   ///< precharge period
     std::uint32_t tRRD = 6;   ///< ACT-to-ACT, same rank
+    std::uint32_t tFAW = 27;  ///< four-activate window, same rank (25ns)
     std::uint32_t tRTRS = 2;  ///< rank-to-rank data-bus switch
     std::uint32_t tRAS = 36;  ///< ACT-to-PRE minimum
     std::uint32_t tRC = 50;   ///< ACT-to-ACT, same bank
@@ -56,6 +71,9 @@ struct DramTiming
 
     /** Bus cycles the data bus is busy per CAS (DDR: BL/2). */
     std::uint32_t dataCycles() const { return burstLength / 2; }
+
+    /** Append structured errors for inconsistent timing parameters. */
+    void validate(ConfigErrors &errors) const;
 };
 
 /** DRAM organization + timing (Table 3). */
@@ -84,10 +102,21 @@ struct DramConfig
      * high/low watermark, which keeps writes off the read path.
      */
     bool unifiedQueue = true;
+    /**
+     * Forward-progress watchdog: a channel with queued work that
+     * issues no command and pops no completion for this many DRAM
+     * cycles reports a stall to its observer (see src/check/).
+     * 0 disables the watchdog; CheckConfig::watchdogCycles is copied
+     * here when checking is enabled system-wide.
+     */
+    std::uint64_t watchdogCycles = 0;
     DramTiming t;
 
     /** Construct the timing/bus parameters for a speed grade. */
     static DramConfig preset(DramSpeed speed);
+
+    /** Append structured errors for out-of-range geometry/timing. */
+    void validate(ConfigErrors &errors) const;
 };
 
 /** One level of cache (Tables 1 and 3). */
@@ -101,6 +130,9 @@ struct CacheConfig
     std::uint32_t ports = 1;
 
     std::uint32_t sets() const { return sizeBytes / (blockBytes * ways); }
+
+    /** Append structured errors; @p name labels the cache level. */
+    void validate(const std::string &name, ConfigErrors &errors) const;
 };
 
 /** L2 stream prefetcher (Section 5.5; Srinath et al. style). */
@@ -140,6 +172,9 @@ struct CoreConfig
     std::uint32_t fpMuls = 1;
     std::uint32_t maxUnresolvedBranches = 24;
     std::uint32_t mispredictPenalty = 9;
+
+    /** Append structured errors for degenerate core parameters. */
+    void validate(ConfigErrors &errors) const;
 };
 
 /** Which criticality source feeds the memory scheduler (Section 2/3). */
@@ -224,6 +259,56 @@ struct SchedConfig
     std::uint32_t morseMaxCommands = 24;
 };
 
+/**
+ * Deliberate misbehaviours the fault-injection layer can introduce,
+ * used to prove that each checker rule actually fires (src/check/).
+ */
+enum class FaultKind
+{
+    None,            ///< no fault injection
+    DropCompletion,  ///< swallow a finished read's completion callback
+    EarlyCas,        ///< issue a CAS one DRAM cycle before it is legal
+    SkipRefresh,     ///< silently skip a due refresh
+    StarveCore,      ///< never schedule requests from a victim core
+    FlipCrit,        ///< zero a criticality level during promotion
+};
+
+const char *toString(FaultKind kind);
+
+/**
+ * Validation-harness configuration: the DRAM protocol invariant
+ * checker, the forward-progress watchdog, and fault injection.
+ */
+struct CheckConfig
+{
+    /** Attach the ProtocolChecker (and watchdog) to every channel. */
+    bool enabled = false;
+    /** Throw CheckViolation on the first violation (else record). */
+    bool failFast = true;
+    /** DRAM cycles a non-idle channel may go without any command. */
+    std::uint64_t watchdogCycles = 200000;
+    /** CPU cycles the whole system may go without a single commit. */
+    std::uint64_t commitWatchdogCycles = 4'000'000;
+    /** Max DRAM cycles any request may sit in a transaction queue. */
+    std::uint64_t starvationCycles = 200000;
+    /** Allowed refresh-interval overshoot past tREFI, DRAM cycles. */
+    std::uint64_t refreshSlack = 2000;
+    /** Cap on stored violation records (counting continues past it). */
+    std::uint32_t maxViolations = 64;
+
+    /** Which fault to inject; None leaves the channel honest. */
+    FaultKind fault = FaultKind::None;
+    /** Mean opportunities between injections (1 = every time). */
+    std::uint64_t faultPeriod = 64;
+    /** Seed of the injector's private Rng. */
+    std::uint64_t faultSeed = 12345;
+    /** Victim core for FaultKind::StarveCore. */
+    CoreId faultVictim = 0;
+
+    /** Append structured errors for inconsistent checker settings. */
+    void validate(ConfigErrors &errors) const;
+};
+
 /** Whole-system configuration. */
 struct SystemConfig
 {
@@ -237,6 +322,7 @@ struct SystemConfig
     DramConfig dram;
     SchedConfig sched;
     CritConfig crit;
+    CheckConfig check;
 
     /** CPU cycles per DRAM bus cycle, rounded to nearest integer. */
     std::uint32_t
@@ -257,7 +343,17 @@ struct SystemConfig
      * ratio.
      */
     static SystemConfig multiprogDefault();
+
+    /**
+     * Validate every configuration block. Returns all problems found
+     * (empty = valid). Call before constructing a System; every entry
+     * point (critmem_cli, experiment helpers, bench harness) does.
+     */
+    ConfigErrors validate() const;
 };
+
+/** fatal() with every validation error when @p cfg is inconsistent. */
+void validateOrFatal(const SystemConfig &cfg);
 
 } // namespace critmem
 

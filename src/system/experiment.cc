@@ -31,6 +31,11 @@ defaultWarmup(std::uint64_t quota)
 RunResult
 collect(System &sys)
 {
+    // With checking enabled, a run only yields numbers after the
+    // checker signs off (requests still queued at the quota are in
+    // flight, not lost, so drainage is not required here).
+    sys.finalizeChecks(/*requireDrained=*/false);
+
     RunResult result;
     result.cycles = sys.windowCycles();
 
@@ -76,6 +81,7 @@ RunResult
 runParallel(const SystemConfig &cfg, const AppParams &app,
             std::uint64_t quota)
 {
+    validateOrFatal(cfg);
     System sys(cfg, app);
     sys.prewarmCaches();
     if (const std::uint64_t warmup = defaultWarmup(quota)) {
@@ -90,6 +96,7 @@ RunResult
 runBundle(const SystemConfig &cfg, const Bundle &bundle,
           std::uint64_t quota)
 {
+    validateOrFatal(cfg);
     if (cfg.numCores != bundle.apps.size())
         fatal("bundle '", bundle.name, "' needs ", bundle.apps.size(),
               " cores, config has ", cfg.numCores);
@@ -110,6 +117,7 @@ double
 runAlone(const SystemConfig &cfg, const AppParams &app,
          std::uint64_t quota)
 {
+    validateOrFatal(cfg);
     std::vector<AppParams> perCore(cfg.numCores);
     perCore[0] = app;
     // Remaining cores stay idle: default AppParams with empty name.

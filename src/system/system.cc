@@ -1,5 +1,6 @@
 #include "system.hh"
 
+#include "check/diagnostics.hh"
 #include "sim/log.hh"
 
 namespace critmem
@@ -25,8 +26,25 @@ System::System(const SystemConfig &cfg,
 void
 System::build(const std::vector<AppParams> &perCore, bool parallel)
 {
+    validateOrFatal(cfg_);
+
+    // The channel-side watchdog defaults to the harness bound when
+    // checking is on and the DRAM config did not set its own.
+    if (cfg_.check.enabled && cfg_.dram.watchdogCycles == 0)
+        cfg_.dram.watchdogCycles = cfg_.check.watchdogCycles;
+
     sched_ = makeScheduler(cfg_);
     dram_ = std::make_unique<DramSystem>(cfg_.dram, *sched_, root_);
+    if (cfg_.check.enabled) {
+        checker_ =
+            std::make_unique<ProtocolChecker>(cfg_.check, cfg_.dram);
+        checker_->attach(*dram_);
+    }
+    if (cfg_.check.fault != FaultKind::None) {
+        injector_ =
+            std::make_unique<ScriptedFaultInjector>(cfg_.check);
+        dram_->setFaultInjector(injector_.get());
+    }
     hier_ = std::make_unique<MemHierarchy>(cfg_, *dram_, root_);
 
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
@@ -79,9 +97,20 @@ void
 System::resetStatsWindow()
 {
     root_.resetAll();
+    if (checker_)
+        checker_->onStatsReset();
     for (auto &core : cores_)
         core->resetWindow();
     windowStart_ = cycle_;
+}
+
+void
+System::finalizeChecks(bool requireDrained)
+{
+    if (!checker_)
+        return;
+    checker_->finalize(requireDrained);
+    checker_->crossCheckStats(root_);
 }
 
 void
@@ -115,6 +144,15 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
         core->setStopAtQuota(stopAtQuota);
     }
 
+    // Commit-level forward-progress watchdog: catches system-wide
+    // deadlocks (e.g. a lost completion wedging a core's ROB) that
+    // the DRAM-side watchdog cannot see because the channel looks
+    // legitimately idle.
+    const bool watchCommits =
+        checker_ != nullptr && cfg_.check.commitWatchdogCycles != 0;
+    std::uint64_t lastCommitTotal = 0;
+    Cycle lastCommitCycle = cycle_;
+
     const Cycle limit = cycle_ + maxCycles;
     while (true) {
         bool allDone = true;
@@ -132,6 +170,27 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
             break;
         }
         tickOnce();
+
+        if (watchCommits && (cycle_ & 0x3ff) == 0) {
+            std::uint64_t committed = 0;
+            for (const auto &core : cores_)
+                committed += core->committed();
+            if (committed != lastCommitTotal) {
+                lastCommitTotal = committed;
+                lastCommitCycle = cycle_;
+            } else if (cycle_ - lastCommitCycle >=
+                       cfg_.check.commitWatchdogCycles) {
+                std::string dump;
+                for (std::uint32_t c = 0; c < dram_->numChannels(); ++c)
+                    dump += formatSnapshot(
+                        dram_->channel(c).snapshot(dramCycle_));
+                throw CheckViolation(Violation{
+                    RuleId::Watchdog, 0, dramCycle_,
+                    "no core committed for " +
+                        std::to_string(cycle_ - lastCommitCycle) +
+                        " CPU cycles; channel snapshots:\n" + dump});
+            }
+        }
     }
     return cycle_;
 }

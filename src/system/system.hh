@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_injector.hh"
+#include "check/protocol_checker.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
 #include "mem/hierarchy.hh"
@@ -89,6 +91,19 @@ class System
     MemHierarchy &hierarchy() { return *hier_; }
     DramSystem &dram() { return *dram_; }
     Scheduler &scheduler() { return *sched_; }
+
+    /** The attached checker, or nullptr when checking is disabled. */
+    ProtocolChecker *checker() { return checker_.get(); }
+
+    /** The attached injector, or nullptr when no fault is configured. */
+    ScriptedFaultInjector *faultInjector() { return injector_.get(); }
+
+    /**
+     * End-of-run validation: conservation + refresh-deadline checks
+     * and the stats cross-check. No-op when checking is disabled.
+     * @param requireDrained Report still-outstanding requests as lost.
+     */
+    void finalizeChecks(bool requireDrained = true);
     stats::Group &statsRoot() { return root_; }
     const stats::Group &statsRoot() const { return root_; }
     const SystemConfig &config() const { return cfg_; }
@@ -102,6 +117,8 @@ class System
     stats::Group root_;
     std::unique_ptr<Scheduler> sched_;
     std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<ProtocolChecker> checker_;
+    std::unique_ptr<ScriptedFaultInjector> injector_;
     std::unique_ptr<MemHierarchy> hier_;
     std::vector<std::unique_ptr<SyntheticApp>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;

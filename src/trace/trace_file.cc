@@ -42,7 +42,17 @@ decode(const std::uint8_t *in, MicroOp &op)
     op.mispredict = in[22] != 0;
 }
 
+constexpr std::size_t kHeaderBytes = 16;
+
 } // namespace
+
+TraceError::TraceError(const std::string &message,
+                       std::uint64_t byteOffset)
+    : std::runtime_error(message + " (byte offset " +
+                         std::to_string(byteOffset) + ")"),
+      byteOffset_(byteOffset)
+{
+}
 
 TraceWriter::TraceWriter(const std::string &path)
     : file_(std::fopen(path.c_str(), "wb"))
@@ -88,32 +98,83 @@ TraceReader::TraceReader(const std::string &path) : name_(path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        fatal("cannot open trace file '", path, "'");
+        throw TraceError("cannot open trace file '" + path + "'", 0);
+    // RAII so every throw below closes the handle.
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{file};
+
+    // Validate against the real file size before trusting any header
+    // field, so a corrupt count cannot drive a huge allocation.
+    if (std::fseek(file, 0, SEEK_END) != 0)
+        throw TraceError("cannot seek in trace '" + path + "'", 0);
+    const long fileSize = std::ftell(file);
+    std::rewind(file);
+    if (fileSize < 0 ||
+        static_cast<std::uint64_t>(fileSize) < kHeaderBytes) {
+        throw TraceError("trace '" + path + "' is shorter than the " +
+                             std::to_string(kHeaderBytes) +
+                             "-byte header",
+                         static_cast<std::uint64_t>(
+                             fileSize < 0 ? 0 : fileSize));
+    }
+
     std::uint32_t magic = 0, version = 0;
     std::uint64_t count = 0;
     if (std::fread(&magic, 4, 1, file) != 1 ||
         std::fread(&version, 4, 1, file) != 1 ||
-        std::fread(&count, 8, 1, file) != 1) {
-        std::fclose(file);
-        fatal("trace file '", path, "' is truncated");
+        std::fread(&count, 8, 1, file) != 1)
+        throw TraceError("trace '" + path + "' header unreadable", 0);
+    if (magic != TraceWriter::kMagic) {
+        throw TraceError("'" + path +
+                             "' is not a critmem trace (bad magic)",
+                         0);
     }
-    if (magic != TraceWriter::kMagic)
-        fatal("'", path, "' is not a critmem trace (bad magic)");
-    if (version != TraceWriter::kVersion)
-        fatal("trace '", path, "' has unsupported version ", version);
+    if (version != TraceWriter::kVersion) {
+        throw TraceError("trace '" + path + "' has unsupported version " +
+                             std::to_string(version),
+                         4);
+    }
     if (count == 0)
-        fatal("trace '", path, "' is empty");
+        throw TraceError("trace '" + path + "' is empty", 8);
+
+    const std::uint64_t body =
+        static_cast<std::uint64_t>(fileSize) - kHeaderBytes;
+    if (count > body / kRecordBytes) {
+        throw TraceError("trace '" + path + "' declares " +
+                             std::to_string(count) + " records but only " +
+                             std::to_string(body / kRecordBytes) +
+                             " fit in the file",
+                         8);
+    }
+    if (body != count * kRecordBytes) {
+        throw TraceError("trace '" + path + "' has " +
+                             std::to_string(body - count * kRecordBytes) +
+                             " trailing bytes after the last record",
+                         kHeaderBytes + count * kRecordBytes);
+    }
 
     ops_.resize(count);
     std::array<std::uint8_t, kRecordBytes> record{};
     for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t offset = kHeaderBytes + i * kRecordBytes;
         if (std::fread(record.data(), record.size(), 1, file) != 1) {
-            std::fclose(file);
-            fatal("trace '", path, "' ends early at record ", i);
+            throw TraceError("trace '" + path +
+                                 "' ends early at record " +
+                                 std::to_string(i),
+                             offset);
+        }
+        if (record[16] > static_cast<std::uint8_t>(OpClass::Branch)) {
+            throw TraceError("trace '" + path + "' record " +
+                                 std::to_string(i) +
+                                 " has invalid op class " +
+                                 std::to_string(record[16]),
+                             offset + 16);
         }
         decode(record.data(), ops_[i]);
     }
-    std::fclose(file);
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,22 @@
 
 namespace critmem
 {
+
+/**
+ * A malformed or unreadable trace file. Carries the byte offset of
+ * the offending field so tooling can point at the corruption.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    TraceError(const std::string &message, std::uint64_t byteOffset);
+
+    /** Offset into the file of the field that failed validation. */
+    std::uint64_t byteOffset() const { return byteOffset_; }
+
+  private:
+    std::uint64_t byteOffset_;
+};
 
 /** Writes micro-ops to a trace file. */
 class TraceWriter
@@ -58,7 +75,12 @@ class TraceWriter
 class TraceReader : public TraceGenerator
 {
   public:
-    /** Load @p path entirely; fatal on malformed files. */
+    /**
+     * Load @p path entirely. Every field of the header and each
+     * record is validated; throws TraceError (with the byte offset of
+     * the problem) on unopenable, truncated, oversized or otherwise
+     * malformed input.
+     */
     explicit TraceReader(const std::string &path);
 
     void next(MicroOp &op) override;

@@ -126,3 +126,122 @@ TEST(Config, IsCbpClassification)
     EXPECT_FALSE(isCbp(CritPredictor::ClptBinary));
     EXPECT_FALSE(isCbp(CritPredictor::NaiveForward));
 }
+
+// ---------------------------------------------------------------------
+// Structured validation (SystemConfig::validate).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** True when some error names @p field. */
+bool
+hasField(const ConfigErrors &errors, const std::string &field)
+{
+    for (const ConfigError &error : errors) {
+        if (error.field == field)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ConfigValidate, DefaultsAreValid)
+{
+    EXPECT_TRUE(SystemConfig::parallelDefault().validate().empty());
+    EXPECT_TRUE(SystemConfig::multiprogDefault().validate().empty());
+}
+
+TEST(ConfigValidate, AllPresetsAndCheckModesAreValid)
+{
+    for (const DramSpeed speed :
+         {DramSpeed::DDR3_1066, DramSpeed::DDR3_1600,
+          DramSpeed::DDR3_2133}) {
+        SystemConfig cfg = SystemConfig::parallelDefault();
+        cfg.dram = DramConfig::preset(speed);
+        cfg.check.enabled = true;
+        cfg.check.fault = FaultKind::EarlyCas;
+        EXPECT_TRUE(cfg.validate().empty()) << toString(speed);
+    }
+}
+
+TEST(ConfigValidate, ZeroFieldsAreEachReported)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.numCores = 0;
+    cfg.core.robEntries = 0;
+    cfg.dram.channels = 0;
+    cfg.dram.t.tRCD = 0;
+    cfg.l2.mshrs = 0;
+    const ConfigErrors errors = cfg.validate();
+    EXPECT_TRUE(hasField(errors, "numCores"));
+    EXPECT_TRUE(hasField(errors, "core.robEntries"));
+    EXPECT_TRUE(hasField(errors, "dram.channels"));
+    EXPECT_TRUE(hasField(errors, "dram.t.tRCD"));
+    EXPECT_TRUE(hasField(errors, "l2.mshrs"));
+    EXPECT_GE(errors.size(), 5u);
+}
+
+TEST(ConfigValidate, TimingRelationsAreEnforced)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.dram.t.tRAS = 5; // below tRCD + tCCD
+    cfg.dram.t.tRC = 10; // below tRAS + tRP
+    cfg.dram.t.tFAW = 2; // below tRRD
+    cfg.dram.t.tREFI = cfg.dram.t.tRFC; // not past the refresh time
+    const ConfigErrors errors = cfg.validate();
+    EXPECT_TRUE(hasField(errors, "dram.t.tRAS"));
+    EXPECT_TRUE(hasField(errors, "dram.t.tRC"));
+    EXPECT_TRUE(hasField(errors, "dram.t.tFAW"));
+    EXPECT_TRUE(hasField(errors, "dram.t.tREFI"));
+}
+
+TEST(ConfigValidate, GeometryMustBePowerOfTwoWhereRequired)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.dram.rowBytes = 1000;  // not a power of two
+    cfg.dl1.blockBytes = 48;   // not a power of two
+    cfg.l2.sizeBytes = 3u * 1024 * 1024 + 5; // non-pow2 set count
+    const ConfigErrors errors = cfg.validate();
+    EXPECT_TRUE(hasField(errors, "dram.rowBytes"));
+    EXPECT_TRUE(hasField(errors, "dl1.blockBytes"));
+    EXPECT_TRUE(hasField(errors, "l2.sizeBytes"));
+}
+
+TEST(ConfigValidate, ClockRelationIsEnforced)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.core.freqMHz = cfg.dram.busMHz / 2;
+    EXPECT_TRUE(hasField(cfg.validate(), "core.freqMHz"));
+}
+
+TEST(ConfigValidate, CheckBlockIsValidated)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.check.enabled = true;
+    cfg.check.watchdogCycles = 0;
+    cfg.check.starvationCycles = 0;
+    ConfigErrors errors = cfg.validate();
+    EXPECT_TRUE(hasField(errors, "check.watchdogCycles"));
+    EXPECT_TRUE(hasField(errors, "check.starvationCycles"));
+
+    cfg = SystemConfig::parallelDefault();
+    cfg.check.fault = FaultKind::StarveCore;
+    cfg.check.faultVictim = cfg.numCores; // out of range
+    EXPECT_TRUE(hasField(cfg.validate(), "check.faultVictim"));
+
+    cfg.check.faultVictim = 0;
+    cfg.check.faultPeriod = 0;
+    EXPECT_TRUE(hasField(cfg.validate(), "check.faultPeriod"));
+}
+
+TEST(ConfigValidate, SchedulerKnobsAreValidated)
+{
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.sched.starvationCap = 0;
+    cfg.sched.tcmClusterThresh = 1.5;
+    const ConfigErrors errors = cfg.validate();
+    EXPECT_TRUE(hasField(errors, "sched.starvationCap"));
+    EXPECT_TRUE(hasField(errors, "sched.tcmClusterThresh"));
+}

@@ -59,8 +59,28 @@ usage()
         "  --closed-page      closed-page row policy\n"
         "  --split-wq         modern split write buffer\n"
         "  --stats            dump the full statistics tree\n"
-        "  --quiet            suppress informational logging\n");
+        "  --quiet            suppress informational logging\n"
+        "  --check            enable the DRAM protocol invariant\n"
+        "                     checker and forward-progress watchdog\n"
+        "                     (exit 2 on violation)\n"
+        "  --inject KIND      inject faults (implies --check):\n"
+        "                     drop-completion | early-cas |"
+        " skip-refresh |\n"
+        "                     starve-core | flip-crit\n"
+        "  --inject-period N  mean opportunities between faults"
+        " (default 64)\n");
     std::exit(1);
+}
+
+FaultKind
+parseFault(const std::string &name)
+{
+    if (name == "drop-completion") return FaultKind::DropCompletion;
+    if (name == "early-cas") return FaultKind::EarlyCas;
+    if (name == "skip-refresh") return FaultKind::SkipRefresh;
+    if (name == "starve-core") return FaultKind::StarveCore;
+    if (name == "flip-crit") return FaultKind::FlipCrit;
+    fatal("unknown fault kind '", name, "'");
 }
 
 SchedAlgo
@@ -167,6 +187,14 @@ main(int argc, char **argv)
             cfg.dram.unifiedQueue = false;
         } else if (arg == "--stats") {
             dumpStats = true;
+        } else if (arg == "--check") {
+            cfg.check.enabled = true;
+        } else if (arg == "--inject") {
+            cfg.check.enabled = true;
+            cfg.check.fault = parseFault(nextArg(i));
+        } else if (arg == "--inject-period") {
+            cfg.check.faultPeriod = std::strtoull(nextArg(i), nullptr,
+                                                  10);
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else {
@@ -184,6 +212,8 @@ main(int argc, char **argv)
     }
     if (warmup == ~std::uint64_t{0})
         warmup = instrs / 2;
+
+    validateOrFatal(cfg);
 
     std::unique_ptr<System> sys;
     if (!app.empty()) {
@@ -203,12 +233,32 @@ main(int argc, char **argv)
         sys = std::make_unique<System>(cfg, perCore);
     }
 
-    sys->prewarmCaches();
-    if (warmup > 0) {
-        sys->run(warmup, /*stopAtQuota=*/false);
-        sys->resetStatsWindow();
+    try {
+        sys->prewarmCaches();
+        if (warmup > 0) {
+            sys->run(warmup, /*stopAtQuota=*/false);
+            sys->resetStatsWindow();
+        }
+        sys->run(instrs,
+                 /*stopAtQuota=*/!bundleName.empty() ? false : true);
+        // Requests still queued at the quota are in flight, not lost.
+        sys->finalizeChecks(/*requireDrained=*/false);
+    } catch (const CheckViolation &err) {
+        std::fprintf(stderr, "CHECK FAILED: %s\n", err.what());
+        if (sys->checker())
+            std::fputs(sys->checker()->report().c_str(), stderr);
+        return 2;
     }
-    sys->run(instrs, /*stopAtQuota=*/!bundleName.empty() ? false : true);
+    if (sys->checker()) {
+        if (sys->checker()->totalViolations() != 0) {
+            std::fputs(sys->checker()->report().c_str(), stderr);
+            return 2;
+        }
+        std::fprintf(stderr, "checker: 0 violations%s\n",
+                     cfg.check.fault != FaultKind::None
+                         ? " (fault injection armed but never fired)"
+                         : "");
+    }
 
     const RunResult r = collect(*sys);
     std::printf("workload=%s sched=%s predictor=%s cycles=%llu "
