@@ -6,6 +6,11 @@
  * averages: MaxStallTime 1.093, AHB 1.016, MORSE-P 1.112, Crit-RL
  * matching MORSE-P (its features already capture criticality
  * implicitly).
+ *
+ * Runs on the execution engine: the whole app × scheduler
+ * cross-product executes as one parallel campaign (CRITMEM_JOBS
+ * worker threads), then the table is assembled from the buffered
+ * records. Output is identical to the former serial loop.
  */
 
 #include "bench_util.hh"
@@ -23,33 +28,46 @@ main()
                 static_cast<unsigned long long>(q));
     printHeader({"MaxStall", "AHB", "MORSE-P", "Crit-RL"});
 
+    SystemConfig ahb = parallelBase();
+    ahb.sched.algo = SchedAlgo::Ahb;
+
+    SystemConfig morse = parallelBase();
+    morse.sched.algo = SchedAlgo::Morse;
+    morse.sched.morseMaxCommands = 24;
+
+    // Crit-RL: the RL scheduler consumes the 64-entry Binary CBP
+    // prediction as an input feature (Table 6).
+    SystemConfig critRl = withPredictor(
+        parallelBase(), CritPredictor::CbpBinary, 64,
+        SchedAlgo::CritRl);
+    critRl.sched.morseMaxCommands = 24;
+
+    const std::vector<std::pair<std::string, SystemConfig>> variants =
+        {{"base", parallelBase()},
+         {"maxstall", withPredictor(parallelBase(),
+                                    CritPredictor::CbpMaxStall)},
+         {"ahb", ahb},
+         {"morse", morse},
+         {"crit-rl", critRl}};
+
+    std::vector<exec::JobSpec> jobs;
+    for (const AppParams &app : parallelApps()) {
+        for (const auto &[key, cfg] : variants) {
+            jobs.push_back(makeJob(app.name + "/" + key,
+                                   exec::RunKind::Parallel, app.name,
+                                   cfg, q));
+        }
+    }
+    exec::MemorySink sink;
+    runCampaign(jobs, sink);
+
     Averager avg;
     for (const AppParams &app : parallelApps()) {
-        const RunResult base = runParallel(parallelBase(), app, q);
+        const RunResult &base = sink.result(app.name + "/base");
         std::vector<double> row;
-        row.push_back(speedup(
-            base,
-            runParallel(withPredictor(parallelBase(),
-                                      CritPredictor::CbpMaxStall),
-                        app, q)));
-
-        SystemConfig ahb = parallelBase();
-        ahb.sched.algo = SchedAlgo::Ahb;
-        row.push_back(speedup(base, runParallel(ahb, app, q)));
-
-        SystemConfig morse = parallelBase();
-        morse.sched.algo = SchedAlgo::Morse;
-        morse.sched.morseMaxCommands = 24;
-        row.push_back(speedup(base, runParallel(morse, app, q)));
-
-        // Crit-RL: the RL scheduler consumes the 64-entry Binary CBP
-        // prediction as an input feature (Table 6).
-        SystemConfig critRl = withPredictor(
-            parallelBase(), CritPredictor::CbpBinary, 64,
-            SchedAlgo::CritRl);
-        critRl.sched.morseMaxCommands = 24;
-        row.push_back(speedup(base, runParallel(critRl, app, q)));
-
+        for (const char *key : {"maxstall", "ahb", "morse", "crit-rl"})
+            row.push_back(speedup(
+                base, sink.result(app.name + "/" + key)));
         printRow(app.name, row);
         avg.add(row);
     }

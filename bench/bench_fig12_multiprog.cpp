@@ -7,7 +7,14 @@
  * MaxStallTime vs TCM. Paper reference: MaxStallTime +6.0% weighted
  * speedup over PAR-BS (Binary +5.2%), TCM +1.9%, hybrid ~TCM, and
  * MaxStallTime improving max slowdown by 11.6% over TCM.
+ *
+ * Runs on the execution engine: alone-IPC baselines are deduplicated
+ * per distinct app (an app appearing in several bundles runs alone
+ * once), then all bundle × scheduler jobs execute as one campaign.
+ * Output is identical to the former serial loop.
  */
+
+#include <set>
 
 #include "bench_util.hh"
 
@@ -26,50 +33,68 @@ main()
                  "maxSlowdown"},
                 "bundle");
 
+    SystemConfig frf = multiprogBase();
+    frf.sched.algo = SchedAlgo::FrFcfs;
+
+    SystemConfig tcm = multiprogBase();
+    tcm.sched.algo = SchedAlgo::Tcm;
+
+    const std::vector<std::pair<std::string, SystemConfig>> variants =
+        {{"parbs", multiprogBase()},
+         {"frfcfs", frf},
+         {"tcm", tcm},
+         {"maxstall", withPredictor(multiprogBase(),
+                                    CritPredictor::CbpMaxStall, 64,
+                                    SchedAlgo::CasRasCrit)},
+         {"hybrid", withPredictor(multiprogBase(),
+                                  CritPredictor::CbpMaxStall, 64,
+                                  SchedAlgo::TcmCrit)}};
+
+    std::vector<exec::JobSpec> jobs;
+    std::set<std::string> aloneApps;
+    for (const Bundle &bundle : multiprogBundles()) {
+        for (const std::string &app : bundle.apps) {
+            if (aloneApps.insert(app).second) {
+                jobs.push_back(makeJob("alone/" + app,
+                                       exec::RunKind::Alone, app,
+                                       multiprogBase(), q,
+                                       /*multiprog=*/true));
+            }
+        }
+        for (const auto &[key, cfg] : variants) {
+            jobs.push_back(makeJob(bundle.name + "/" + key,
+                                   exec::RunKind::Bundle, bundle.name,
+                                   cfg, q, /*multiprog=*/true));
+        }
+    }
+    exec::MemorySink sink;
+    runCampaign(jobs, sink);
+
     Averager avg;
     for (const Bundle &bundle : multiprogBundles()) {
         // Alone-IPC baselines under the PAR-BS configuration.
         std::array<double, 4> alone{};
-        for (std::size_t i = 0; i < bundle.apps.size(); ++i) {
+        for (std::size_t i = 0; i < bundle.apps.size(); ++i)
             alone[i] =
-                runAlone(multiprogBase(), appParams(bundle.apps[i]), q);
-        }
+                sink.result("alone/" + bundle.apps[i]).ipc(0, q);
 
-        const RunResult parbs = runBundle(multiprogBase(), bundle, q);
-        const double wsParbs = weightedSpeedup(parbs, alone, q);
+        const double wsParbs = weightedSpeedup(
+            sink.result(bundle.name + "/parbs"), alone, q);
 
-        auto wsOf = [&](const SystemConfig &cfg, RunResult *out =
-                                                     nullptr) {
-            const RunResult run = runBundle(cfg, bundle, q);
-            if (out)
-                *out = run;
-            return weightedSpeedup(run, alone, q) / wsParbs;
+        auto wsOf = [&](const char *key) {
+            return weightedSpeedup(sink.result(bundle.name + "/" + key),
+                                   alone, q) /
+                wsParbs;
         };
 
-        SystemConfig frf = multiprogBase();
-        frf.sched.algo = SchedAlgo::FrFcfs;
-
-        SystemConfig tcm = multiprogBase();
-        tcm.sched.algo = SchedAlgo::Tcm;
-        RunResult tcmRun;
-        const double wsTcm = wsOf(tcm, &tcmRun);
-
-        const SystemConfig maxStall = withPredictor(
-            multiprogBase(), CritPredictor::CbpMaxStall, 64,
-            SchedAlgo::CasRasCrit);
-        RunResult maxRun;
-        const double wsMax = wsOf(maxStall, &maxRun);
-
-        const SystemConfig hybrid = withPredictor(
-            multiprogBase(), CritPredictor::CbpMaxStall, 64,
-            SchedAlgo::TcmCrit);
-
         const double slowdownRatio =
-            maxSlowdown(maxRun, alone, q) /
-            maxSlowdown(tcmRun, alone, q);
+            maxSlowdown(sink.result(bundle.name + "/maxstall"), alone,
+                        q) /
+            maxSlowdown(sink.result(bundle.name + "/tcm"), alone, q);
 
         const std::vector<double> row = {
-            wsOf(frf), wsTcm, wsMax, wsOf(hybrid), slowdownRatio};
+            wsOf("frfcfs"), wsOf("tcm"), wsOf("maxstall"),
+            wsOf("hybrid"), slowdownRatio};
         printRow(bundle.name, row);
         avg.add(row);
     }

@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/job_runner.hh"
+#include "exec/table.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
 #include "system/experiment.hh"
@@ -22,6 +25,11 @@
 
 namespace critmem::bench
 {
+
+// Row formatting lives in the exec layer (shared with critmem-sweep).
+using exec::Averager;
+using exec::printHeader;
+using exec::printRow;
 
 /** Default per-core quota for bench runs (scaled by CRITMEM_INSTRS). */
 inline std::uint64_t
@@ -84,55 +92,37 @@ withPredictor(SystemConfig cfg, CritPredictor pred,
     return cfg;
 }
 
-/** Print a row header: app column plus one column per config. */
-inline void
-printHeader(const std::vector<std::string> &columns,
-            const char *first = "app")
+/** One engine job for a bench campaign. */
+inline exec::JobSpec
+makeJob(std::string name, exec::RunKind kind, std::string workload,
+        SystemConfig cfg, std::uint64_t quota, bool multiprog = false)
 {
-    std::printf("%-10s", first);
-    for (const std::string &col : columns)
-        std::printf(" %12s", col.c_str());
-    std::printf("\n");
+    exec::JobSpec spec;
+    spec.name = std::move(name);
+    spec.kind = kind;
+    spec.workload = std::move(workload);
+    spec.cfg = std::move(cfg);
+    spec.quota = quota;
+    spec.multiprogPreset = multiprog;
+    return spec;
 }
 
-/** Print one row of values. */
+/**
+ * Run a bench campaign on the execution engine and buffer the results
+ * for table construction. CRITMEM_JOBS caps the worker threads
+ * (default: all cores); the numbers are identical either way.
+ */
 inline void
-printRow(const std::string &label, const std::vector<double> &values,
-         const char *fmt = " %12.4f")
+runCampaign(const std::vector<exec::JobSpec> &jobs,
+            exec::MemorySink &sink)
 {
-    std::printf("%-10s", label.c_str());
-    for (const double value : values)
-        std::printf(fmt, value);
-    std::printf("\n");
+    exec::RunnerOptions opts;
+    if (const char *env = std::getenv("CRITMEM_JOBS"))
+        opts.threads = static_cast<unsigned>(std::atoi(env));
+    exec::JobRunner runner(opts);
+    const std::vector<exec::ResultSink *> sinks{&sink};
+    runner.run(jobs, sinks);
 }
-
-/** Geometric-mean-free average row across previously printed rows. */
-class Averager
-{
-  public:
-    void
-    add(const std::vector<double> &row)
-    {
-        if (sums_.empty())
-            sums_.assign(row.size(), 0.0);
-        for (std::size_t i = 0; i < row.size(); ++i)
-            sums_[i] += row[i];
-        ++count_;
-    }
-
-    std::vector<double>
-    average() const
-    {
-        std::vector<double> avg(sums_);
-        for (double &value : avg)
-            value /= count_ ? count_ : 1;
-        return avg;
-    }
-
-  private:
-    std::vector<double> sums_;
-    std::size_t count_ = 0;
-};
 
 } // namespace critmem::bench
 

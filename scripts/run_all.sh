@@ -2,8 +2,9 @@
 # Regenerate every artifact: build, test suite (plain and sanitized),
 # checked bench smoke runs, then all benches.
 # CRITMEM_INSTRS / CRITMEM_WARMUP scale simulation length.
-# CRITMEM_SKIP_ASAN=1 skips the sanitizer pass (e.g. no clean rebuild
-# budget); CRITMEM_SKIP_CHECKED=1 skips the checked smoke runs.
+# CRITMEM_SKIP_ASAN=1 / CRITMEM_SKIP_TSAN=1 skip the sanitizer passes
+# (e.g. no clean rebuild budget); CRITMEM_SKIP_CHECKED=1 skips the
+# checked smoke runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,17 @@ if [ "${CRITMEM_SKIP_ASAN:-0}" != "1" ]; then
     cmake --build build-asan -j"$(nproc)"
     ctest --test-dir build-asan --output-on-failure \
         | tee test_output_asan.txt
+fi
+
+# TSan pass: the execution engine's worker pool and a parallel sweep
+# under ThreadSanitizer.
+if [ "${CRITMEM_SKIP_TSAN:-0}" != "1" ]; then
+    cmake -B build-tsan -DCRITMEM_SANITIZE=thread
+    cmake --build build-tsan -j"$(nproc)"
+    ctest --test-dir build-tsan -R '^Exec' --output-on-failure \
+        | tee test_output_tsan.txt
+    ./build-tsan/examples/critmem-sweep --spec specs/fig10.sweep \
+        --quota 1000 --jobs 4 --out /dev/null
 fi
 
 # Protocol-checked smoke runs: one figure per scheduler family with

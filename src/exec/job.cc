@@ -1,0 +1,171 @@
+#include "job.hh"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/registry.hh"
+#include "system/system.hh"
+#include "trace/workloads.hh"
+
+namespace critmem::exec
+{
+
+const char *
+toString(RunKind kind)
+{
+    switch (kind) {
+      case RunKind::Parallel: return "parallel";
+      case RunKind::Bundle:   return "bundle";
+      case RunKind::Alone:    return "alone";
+    }
+    return "?";
+}
+
+const char *
+toString(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:             return "ok";
+      case JobStatus::CheckViolation: return "check_violation";
+      case JobStatus::TraceError:     return "trace_error";
+      case JobStatus::Error:          return "error";
+    }
+    return "?";
+}
+
+std::string
+reproCommand(const JobSpec &spec)
+{
+    const SystemConfig base = spec.multiprogPreset
+        ? SystemConfig::multiprogDefault()
+        : SystemConfig::parallelDefault();
+    const SystemConfig &cfg = spec.cfg;
+
+    std::ostringstream cmd;
+    cmd << "critmem-sim";
+    if (spec.multiprogPreset)
+        cmd << " --preset multiprog";
+    if (spec.kind == RunKind::Bundle)
+        cmd << " --bundle " << spec.workload;
+    else
+        cmd << " --app " << spec.workload;
+    if (spec.kind == RunKind::Alone)
+        cmd << " --alone";
+    cmd << " --sched " << cliName(cfg.sched.algo);
+    if (cfg.crit.predictor != CritPredictor::None) {
+        cmd << " --predictor " << cliName(cfg.crit.predictor)
+            << " --entries " << cfg.crit.tableEntries;
+    }
+    if (cfg.crit.resetInterval != 0)
+        cmd << " --reset " << cfg.crit.resetInterval;
+    cmd << " --instrs " << spec.quota;
+    if (spec.warmup != kDefaultWarmup)
+        cmd << " --warmup " << spec.warmup;
+    cmd << " --seed " << cfg.seed;
+    if (cfg.dram.ranksPerChannel != base.dram.ranksPerChannel)
+        cmd << " --ranks " << cfg.dram.ranksPerChannel;
+    if (cfg.dram.channels != base.dram.channels)
+        cmd << " --channels " << cfg.dram.channels;
+    if (cfg.dram.speed != base.dram.speed)
+        cmd << " --speed " << cliName(cfg.dram.speed);
+    if (cfg.core.lqEntries != base.core.lqEntries)
+        cmd << " --lq " << cfg.core.lqEntries;
+    if (cfg.prefetch.enabled)
+        cmd << " --prefetch";
+    if (cfg.dram.closedPage)
+        cmd << " --closed-page";
+    if (!cfg.dram.unifiedQueue)
+        cmd << " --split-wq";
+    if (cfg.check.fault != FaultKind::None) {
+        cmd << " --inject " << toString(cfg.check.fault)
+            << " --inject-period " << cfg.check.faultPeriod;
+    } else if (cfg.check.enabled) {
+        cmd << " --check";
+    }
+    return cmd.str();
+}
+
+RunResult
+executeJob(const JobSpec &spec, std::string *statsJson)
+{
+    // Validate up front and throw instead of letting the harness
+    // fatal(): a malformed job must not take the campaign down.
+    const ConfigErrors errors = spec.cfg.validate();
+    if (!errors.empty()) {
+        std::ostringstream msg;
+        msg << "invalid config for job '" << spec.name << "':";
+        for (const ConfigError &err : errors)
+            msg << ' ' << err.field << ": " << err.message << ';';
+        throw std::runtime_error(msg.str());
+    }
+
+    std::unique_ptr<System> sys;
+    bool stopAtQuota = true;
+    switch (spec.kind) {
+      case RunKind::Parallel:
+      case RunKind::Alone: {
+        if (!haveApp(spec.workload)) {
+            throw std::runtime_error("unknown application '" +
+                                     spec.workload + "'");
+        }
+        const AppParams &app = appParams(spec.workload);
+        if (spec.kind == RunKind::Parallel) {
+            sys = std::make_unique<System>(spec.cfg, app);
+        } else {
+            std::vector<AppParams> perCore(spec.cfg.numCores);
+            perCore[0] = app;
+            sys = std::make_unique<System>(spec.cfg, perCore);
+        }
+        break;
+      }
+      case RunKind::Bundle: {
+        const Bundle *bundle = findBundle(spec.workload);
+        if (!bundle) {
+            throw std::runtime_error("unknown bundle '" +
+                                     spec.workload + "'");
+        }
+        if (spec.cfg.numCores != bundle->apps.size()) {
+            throw std::runtime_error(
+                "bundle job '" + spec.name + "' needs " +
+                std::to_string(bundle->apps.size()) + " cores");
+        }
+        std::vector<AppParams> perCore;
+        for (const std::string &name : bundle->apps)
+            perCore.push_back(appParams(name));
+        sys = std::make_unique<System>(spec.cfg, perCore);
+        stopAtQuota = false;
+        break;
+      }
+    }
+    if (!sys)
+        throw std::runtime_error("unknown run kind");
+
+    const RunResult result =
+        runSystem(*sys, spec.quota, spec.warmup, stopAtQuota);
+    if (statsJson && spec.captureStats) {
+        std::ostringstream os;
+        sys->statsRoot().printJson(os);
+        *statsJson = os.str();
+    }
+    return result;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t campaignSeed, const std::string &jobName)
+{
+    // FNV-1a over the job name...
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : jobName) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    // ...then one splitmix64 step over the combination.
+    std::uint64_t z = campaignSeed ^ hash;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace critmem::exec

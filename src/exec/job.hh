@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Job model of the experiment-execution engine.
+ *
+ * A JobSpec is one isolated simulation: a complete SystemConfig, a
+ * workload (parallel app, Table 4 bundle, or an alone-run baseline),
+ * a quota/warmup pair and a seed. Jobs share nothing at run time —
+ * every execution constructs its own System — so a campaign's results
+ * are bit-identical regardless of worker-thread count or completion
+ * order. See DESIGN.md ("Experiment execution engine").
+ */
+
+#ifndef CRITMEM_EXEC_JOB_HH
+#define CRITMEM_EXEC_JOB_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/config.hh"
+#include "system/experiment.hh"
+
+namespace critmem::exec
+{
+
+/** Which experiment-harness entry point a job drives. */
+enum class RunKind
+{
+    Parallel, ///< runParallel: all cores run one app to the quota
+    Bundle,   ///< runBundle: Table 4 multiprogrammed methodology
+    Alone,    ///< runAloneResult: app on core 0, others idle
+};
+
+const char *toString(RunKind kind);
+
+/** Terminal outcome of a job (after any retries). */
+enum class JobStatus
+{
+    Ok,             ///< completed, result is valid
+    CheckViolation, ///< the protocol checker/watchdog fired
+    TraceError,     ///< a trace file failed to parse
+    Error,          ///< any other exception (bad spec, ...)
+};
+
+const char *toString(JobStatus status);
+
+/** One simulation to run, self-contained and immutable once queued. */
+struct JobSpec
+{
+    /** Unique campaign-wide key, e.g. "art/maxstall". */
+    std::string name;
+    RunKind kind = RunKind::Parallel;
+    /** App name (Parallel/Alone) or bundle name (Bundle). */
+    std::string workload;
+    /** Complete configuration; cfg.seed is this job's seed. */
+    SystemConfig cfg;
+    std::uint64_t quota = 24000;
+    /** kDefaultWarmup resolves via defaultWarmup(quota) at run time. */
+    std::uint64_t warmup = kDefaultWarmup;
+    /**
+     * cfg was derived from SystemConfig::multiprogDefault(); recorded
+     * so the repro command can start from the right preset.
+     */
+    bool multiprogPreset = false;
+    /** Capture the full stats tree as JSON into the record. */
+    bool captureStats = false;
+    /** Free-form labels a driver can attach (figure row/column...). */
+    std::map<std::string, std::string> tags;
+};
+
+/** Outcome of one job, as delivered to the result sinks. */
+struct JobRecord
+{
+    /** Position in the submitted batch; sinks receive records in
+     *  this order regardless of completion order. */
+    std::size_t index = 0;
+    JobSpec spec;
+    JobStatus status = JobStatus::Ok;
+    /** Executions performed (1 = succeeded or failed first try). */
+    std::uint32_t attempts = 1;
+    /** Warmup actually used (spec.warmup with the sentinel resolved). */
+    std::uint64_t warmupUsed = 0;
+    /** What the failed attempt threw; empty when Ok. */
+    std::string error;
+    /** Simulation outcome; only meaningful when status == Ok. */
+    RunResult result;
+    /** Stats tree JSON when spec.captureStats; else empty. */
+    std::string statsJson;
+    /** Wall-clock of the final attempt, ms. Informational only —
+     *  never serialized, so result files stay deterministic. */
+    double wallMs = 0.0;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/**
+ * A critmem-sim command line reproducing @p spec in isolation —
+ * attached to every failure record so a crash found mid-campaign can
+ * be replayed immediately.
+ */
+std::string reproCommand(const JobSpec &spec);
+
+/**
+ * Execute one job synchronously in the calling thread.
+ * Throws CheckViolation / TraceError / std::runtime_error; the
+ * JobRunner maps those onto JobStatus (callers running jobs by hand
+ * get the raw exception).
+ * @param statsJson When non-null and spec.captureStats, receives the
+ *        finished System's stats tree as JSON.
+ */
+RunResult executeJob(const JobSpec &spec,
+                     std::string *statsJson = nullptr);
+
+/**
+ * Derive a per-job seed from a campaign seed and the job's name —
+ * stable across platforms, independent of expansion order, and
+ * decorrelated between jobs (splitmix64 over an FNV-1a name hash).
+ */
+std::uint64_t deriveSeed(std::uint64_t campaignSeed,
+                         const std::string &jobName);
+
+} // namespace critmem::exec
+
+#endif // CRITMEM_EXEC_JOB_HH

@@ -1,0 +1,289 @@
+#include "job_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "check/check.hh"
+#include "trace/trace_file.hh"
+
+namespace critmem::exec
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One queued execution: which job and which attempt this is. */
+struct Task
+{
+    std::size_t index;
+    std::uint32_t attempt;
+};
+
+/** A worker's deque: owner pops the back, thieves pop the front. */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<Task> tasks;
+};
+
+/** Shared state of one campaign execution. */
+struct Campaign
+{
+    const std::vector<JobSpec> &jobs;
+    const RunnerOptions &opts;
+    unsigned threads;
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+
+    // Sleep/wake coordination for workers with empty deques.
+    std::mutex idleMutex;
+    std::condition_variable idleCv;
+    std::atomic<std::size_t> queuedTasks{0};
+    std::atomic<std::size_t> unfinishedJobs{0};
+    std::atomic<std::size_t> retries{0};
+
+    // Completed records, slotted by job index; the aggregator
+    // releases them to the sinks in index order.
+    std::mutex recordMutex;
+    std::condition_variable recordCv;
+    std::vector<std::unique_ptr<JobRecord>> records;
+
+    explicit Campaign(const std::vector<JobSpec> &jobs_,
+                      const RunnerOptions &opts_, unsigned threads_)
+        : jobs(jobs_), opts(opts_), threads(threads_),
+          records(jobs_.size())
+    {
+        for (unsigned i = 0; i < threads; ++i)
+            queues.push_back(std::make_unique<WorkerQueue>());
+        unfinishedJobs.store(jobs.size());
+    }
+
+    void
+    push(unsigned worker, Task task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(queues[worker]->mutex);
+            queues[worker]->tasks.push_back(task);
+        }
+        queuedTasks.fetch_add(1);
+        idleCv.notify_one();
+    }
+
+    bool
+    popOwn(unsigned worker, Task &task)
+    {
+        std::lock_guard<std::mutex> lock(queues[worker]->mutex);
+        if (queues[worker]->tasks.empty())
+            return false;
+        task = queues[worker]->tasks.back();
+        queues[worker]->tasks.pop_back();
+        return true;
+    }
+
+    bool
+    steal(unsigned thief, Task &task)
+    {
+        for (unsigned i = 1; i < threads; ++i) {
+            WorkerQueue &victim = *queues[(thief + i) % threads];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = victim.tasks.front();
+                victim.tasks.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Blocking acquire; false when the campaign is finished. */
+    bool
+    acquire(unsigned worker, Task &task)
+    {
+        for (;;) {
+            if (popOwn(worker, task) || steal(worker, task)) {
+                queuedTasks.fetch_sub(1);
+                return true;
+            }
+            std::unique_lock<std::mutex> lock(idleMutex);
+            if (unfinishedJobs.load() == 0)
+                return false;
+            idleCv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+                return queuedTasks.load() > 0 ||
+                    unfinishedJobs.load() == 0;
+            });
+            if (unfinishedJobs.load() == 0 && queuedTasks.load() == 0)
+                return false;
+        }
+    }
+
+    void
+    finish(std::size_t index, JobRecord record)
+    {
+        {
+            std::lock_guard<std::mutex> lock(recordMutex);
+            records[index] =
+                std::make_unique<JobRecord>(std::move(record));
+        }
+        unfinishedJobs.fetch_sub(1);
+        recordCv.notify_one();
+        idleCv.notify_all();
+    }
+
+    void
+    workerLoop(unsigned worker)
+    {
+        Task task;
+        while (acquire(worker, task))
+            execute(worker, task);
+    }
+
+    void
+    execute(unsigned worker, Task task)
+    {
+        const JobSpec &spec = jobs[task.index];
+        JobRecord record;
+        record.index = task.index;
+        record.spec = spec;
+        record.attempts = task.attempt;
+        record.warmupUsed = spec.warmup == kDefaultWarmup
+            ? defaultWarmup(spec.quota)
+            : spec.warmup;
+
+        const Clock::time_point start = Clock::now();
+        try {
+            record.result = executeJob(spec, &record.statsJson);
+            record.status = JobStatus::Ok;
+        } catch (const CheckViolation &err) {
+            record.status = JobStatus::CheckViolation;
+            record.error = err.what();
+        } catch (const TraceError &err) {
+            record.status = JobStatus::TraceError;
+            record.error = err.what();
+        } catch (const std::exception &err) {
+            record.status = JobStatus::Error;
+            record.error = err.what();
+        }
+        record.wallMs = std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count();
+
+        if (!record.ok() && task.attempt < opts.maxAttempts) {
+            // Bounded retry: requeue locally and try again. The rerun
+            // is deterministic, so this only helps against transient
+            // environmental failures — which is exactly the point of
+            // recording the attempt count.
+            retries.fetch_add(1);
+            push(worker, {task.index, task.attempt + 1});
+            return;
+        }
+        finish(task.index, std::move(record));
+    }
+
+    CampaignSummary
+    aggregate(const std::vector<ResultSink *> &sinks)
+    {
+        CampaignSummary summary;
+        summary.total = jobs.size();
+        const Clock::time_point start = Clock::now();
+        Clock::time_point lastLine = start;
+
+        for (std::size_t next = 0; next < jobs.size(); ++next) {
+            std::unique_ptr<JobRecord> record;
+            {
+                std::unique_lock<std::mutex> lock(recordMutex);
+                recordCv.wait(lock,
+                              [&] { return records[next] != nullptr; });
+                record = std::move(records[next]);
+            }
+            if (record->ok())
+                ++summary.ok;
+            else
+                ++summary.failed;
+            for (ResultSink *sink : sinks)
+                sink->consume(*record);
+
+            if (opts.progress) {
+                const Clock::time_point now = Clock::now();
+                const double elapsed =
+                    std::chrono::duration<double>(now - start).count();
+                const std::size_t done = next + 1;
+                if (now - lastLine >
+                        std::chrono::milliseconds(100) ||
+                    done == jobs.size()) {
+                    lastLine = now;
+                    const double rate =
+                        elapsed > 0.0 ? done / elapsed : 0.0;
+                    const double eta = rate > 0.0
+                        ? static_cast<double>(jobs.size() - done) / rate
+                        : 0.0;
+                    std::fprintf(stderr,
+                                 "\r[%zu/%zu] ok=%zu failed=%zu "
+                                 "%.1f jobs/s ETA %.0fs ",
+                                 done, jobs.size(), summary.ok,
+                                 summary.failed, rate, eta);
+                }
+            }
+        }
+        if (opts.progress)
+            std::fprintf(stderr, "\n");
+        summary.retries = retries.load();
+        summary.wallMs = std::chrono::duration<double, std::milli>(
+                             Clock::now() - start)
+                             .count();
+        return summary;
+    }
+};
+
+} // namespace
+
+CampaignSummary
+JobRunner::run(const std::vector<JobSpec> &jobs,
+               const std::vector<ResultSink *> &sinks)
+{
+    unsigned threads = opts_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > jobs.size() && !jobs.empty())
+        threads = static_cast<unsigned>(jobs.size());
+    if (threads == 0)
+        threads = 1;
+
+    RunnerOptions opts = opts_;
+    if (opts.maxAttempts == 0)
+        opts.maxAttempts = 1;
+
+    Campaign campaign(jobs, opts, threads);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        campaign.push(static_cast<unsigned>(i % threads),
+                      {i, /*attempt=*/1});
+
+    for (ResultSink *sink : sinks)
+        sink->begin(jobs.size());
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        workers.emplace_back(
+            [&campaign, w] { campaign.workerLoop(w); });
+
+    CampaignSummary summary = campaign.aggregate(sinks);
+
+    for (std::thread &worker : workers)
+        worker.join();
+    for (ResultSink *sink : sinks)
+        sink->end();
+    return summary;
+}
+
+} // namespace critmem::exec

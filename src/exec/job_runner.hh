@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Work-stealing parallel job runner for simulation campaigns.
+ *
+ * Each worker owns a deque seeded round-robin; owners pop from the
+ * back, idle workers steal from the front of a victim's deque. Every
+ * job constructs its own System, so workers share no simulation
+ * state and a campaign's numbers are independent of thread count and
+ * scheduling order. A single aggregation thread releases finished
+ * records to the sinks in submission order.
+ *
+ * Failure isolation: CheckViolation / TraceError / std::exception
+ * from a job is caught, recorded (with a repro command line) and —
+ * under the bounded retry policy — the job is re-queued; the campaign
+ * itself never aborts.
+ */
+
+#ifndef CRITMEM_EXEC_JOB_RUNNER_HH
+#define CRITMEM_EXEC_JOB_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/result_sink.hh"
+
+namespace critmem::exec
+{
+
+/** Knobs of one campaign execution. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Total executions allowed per job (1 = no retries). */
+    unsigned maxAttempts = 1;
+    /** Emit a live [done/total] throughput/ETA line on stderr. */
+    bool progress = false;
+};
+
+/** Campaign-level accounting returned by JobRunner::run(). */
+struct CampaignSummary
+{
+    std::size_t total = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    /** Extra executions spent on retries (attempts beyond the first). */
+    std::size_t retries = 0;
+    double wallMs = 0.0;
+};
+
+/** Executes a batch of jobs across a work-stealing thread pool. */
+class JobRunner
+{
+  public:
+    explicit JobRunner(RunnerOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Run every job, feeding @p sinks in submission order, and block
+     * until the campaign completes. Safe to call repeatedly.
+     */
+    CampaignSummary run(const std::vector<JobSpec> &jobs,
+                        const std::vector<ResultSink *> &sinks);
+
+  private:
+    RunnerOptions opts_;
+};
+
+} // namespace critmem::exec
+
+#endif // CRITMEM_EXEC_JOB_RUNNER_HH

@@ -1,0 +1,372 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/registry.hh"
+#include "trace/workloads.hh"
+
+namespace critmem::exec
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error(what);
+}
+
+std::uint64_t
+parseUint(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used, 10);
+        if (used != value.size())
+            bad("trailing junk in " + key + " = '" + value + "'");
+        return parsed;
+    } catch (const std::invalid_argument &) {
+        bad("unparsable number for " + key + ": '" + value + "'");
+    } catch (const std::out_of_range &) {
+        bad("out-of-range number for " + key + ": '" + value + "'");
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "no")
+        return false;
+    bad("expected boolean for " + key + ", got '" + value + "'");
+}
+
+std::string
+trim(const std::string &text)
+{
+    const std::size_t from = text.find_first_not_of(" \t");
+    if (from == std::string::npos)
+        return "";
+    const std::size_t to = text.find_last_not_of(" \t");
+    return text.substr(from, to - from + 1);
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            items.push_back(item);
+    }
+    return items;
+}
+
+} // namespace
+
+void
+applySetting(SystemConfig &cfg, const std::string &key,
+             const std::string &value)
+{
+    if (key == "sched") {
+        const auto algo = findSchedAlgo(value);
+        if (!algo)
+            bad("unknown scheduler '" + value + "'");
+        cfg.sched.algo = *algo;
+    } else if (key == "predictor") {
+        const auto pred = findCritPredictor(value);
+        if (!pred)
+            bad("unknown predictor '" + value + "'");
+        cfg.crit.predictor = *pred;
+    } else if (key == "entries") {
+        cfg.crit.tableEntries =
+            static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "reset") {
+        cfg.crit.resetInterval = parseUint(key, value);
+    } else if (key == "ranks") {
+        cfg.dram.ranksPerChannel =
+            static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "channels") {
+        cfg.dram.channels =
+            static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "speed") {
+        const auto speed = findDramSpeed(value);
+        if (!speed)
+            bad("unknown speed grade '" + value + "'");
+        const DramConfig fresh = DramConfig::preset(*speed);
+        cfg.dram.t = fresh.t;
+        cfg.dram.busMHz = fresh.busMHz;
+        cfg.dram.speed = *speed;
+    } else if (key == "lq") {
+        cfg.core.lqEntries =
+            static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "prefetch") {
+        cfg.prefetch.enabled = parseBool(key, value);
+    } else if (key == "closed-page") {
+        cfg.dram.closedPage = parseBool(key, value);
+    } else if (key == "split-wq") {
+        cfg.dram.unifiedQueue = !parseBool(key, value);
+    } else if (key == "morse-cmds") {
+        cfg.sched.morseMaxCommands =
+            static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "cores") {
+        cfg.numCores = static_cast<std::uint32_t>(parseUint(key, value));
+    } else if (key == "seed") {
+        cfg.seed = parseUint(key, value);
+    } else {
+        bad("unknown setting '" + key + "'");
+    }
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative '*' matcher with single-point backtracking.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::vector<JobSpec>
+SweepSpec::expand() const
+{
+    if (variants.empty())
+        bad("sweep spec has no variants (add 'scheds = ...' or "
+            "'variant NAME : ...' lines)");
+
+    // Resolve the workload list.
+    std::vector<std::string> names = workloads;
+    if (names.empty() || (names.size() == 1 && names[0] == "*")) {
+        names.clear();
+        if (mode == Mode::Parallel) {
+            for (const AppParams &app : parallelApps())
+                names.push_back(app.name);
+        } else {
+            for (const Bundle &bundle : multiprogBundles())
+                names.push_back(bundle.name);
+        }
+    }
+    for (const std::string &name : names) {
+        if (mode == Mode::Parallel ? !haveApp(name)
+                                   : findBundle(name) == nullptr)
+            bad("unknown workload '" + name + "' for this mode");
+    }
+
+    const SystemConfig base = mode == Mode::Parallel
+        ? SystemConfig::parallelDefault()
+        : SystemConfig::multiprogDefault();
+
+    const auto excluded = [&](const std::string &jobName) {
+        return std::any_of(exclude.begin(), exclude.end(),
+                           [&](const std::string &pattern) {
+                               return globMatch(pattern, jobName);
+                           });
+    };
+
+    std::vector<JobSpec> jobs;
+    // Seeds are assigned before variant settings are applied, so an
+    // explicit 'seed=' variant setting overrides the campaign seed.
+    const auto seedFor = [&](const std::string &jobName) {
+        return seedMode == SeedMode::Derived
+            ? deriveSeed(campaignSeed, jobName)
+            : campaignSeed;
+    };
+    const auto finishJob = [&](JobSpec &job) {
+        job.cfg.check.enabled = job.cfg.check.enabled || check;
+        job.quota = quota;
+        job.warmup = warmup;
+        job.captureStats = captureStats;
+        job.multiprogPreset = mode == Mode::Multiprog;
+        const ConfigErrors errors = job.cfg.validate();
+        if (!errors.empty()) {
+            bad("job '" + job.name + "' expands to an invalid config: " +
+                errors.front().field + ": " + errors.front().message);
+        }
+        jobs.push_back(std::move(job));
+    };
+
+    // Alone-run baselines first: one per distinct app, at the base
+    // (variant-free) configuration, shared by every bundle.
+    if (mode == Mode::Multiprog && alone) {
+        std::set<std::string> seen;
+        for (const std::string &bundleName : names) {
+            for (const std::string &app :
+                 findBundle(bundleName)->apps) {
+                if (!seen.insert(app).second)
+                    continue;
+                JobSpec job;
+                job.name = "alone/" + app;
+                if (excluded(job.name))
+                    continue;
+                job.kind = RunKind::Alone;
+                job.workload = app;
+                job.cfg = base;
+                job.cfg.seed = seedFor(job.name);
+                finishJob(job);
+            }
+        }
+    }
+
+    for (const std::string &workload : names) {
+        for (const SweepVariant &variant : variants) {
+            JobSpec job;
+            job.name = workload + "/" + variant.name;
+            if (excluded(job.name))
+                continue;
+            job.kind = mode == Mode::Parallel ? RunKind::Parallel
+                                              : RunKind::Bundle;
+            job.workload = workload;
+            job.cfg = base;
+            job.cfg.seed = seedFor(job.name);
+            job.tags["workload"] = workload;
+            job.tags["variant"] = variant.name;
+            for (const auto &[key, value] : variant.settings) {
+                try {
+                    applySetting(job.cfg, key, value);
+                } catch (const std::exception &err) {
+                    bad("variant '" + variant.name +
+                        "': " + err.what());
+                }
+            }
+            finishJob(job);
+        }
+    }
+    return jobs;
+}
+
+SweepSpec
+parseSweepSpec(std::istream &in)
+{
+    SweepSpec spec;
+    std::string line;
+    std::size_t lineNo = 0;
+
+    const auto fail = [&](const std::string &what) {
+        bad("sweep spec line " + std::to_string(lineNo) + ": " + what);
+    };
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (line.rfind("variant", 0) == 0 &&
+            line.size() > 7 && (line[7] == ' ' || line[7] == '\t')) {
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                fail("variant line needs ':'");
+            SweepVariant variant;
+            variant.name = trim(line.substr(7, colon - 7));
+            if (variant.name.empty())
+                fail("variant needs a name");
+            std::istringstream settings(line.substr(colon + 1));
+            std::string token;
+            while (settings >> token) {
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos)
+                    fail("variant setting '" + token +
+                         "' is not key=value");
+                variant.settings.emplace_back(
+                    token.substr(0, eq), token.substr(eq + 1));
+            }
+            spec.variants.push_back(std::move(variant));
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fail("expected 'key = value' or 'variant NAME : ...'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        try {
+            if (key == "mode") {
+                if (value == "parallel")
+                    spec.mode = SweepSpec::Mode::Parallel;
+                else if (value == "multiprog")
+                    spec.mode = SweepSpec::Mode::Multiprog;
+                else
+                    fail("unknown mode '" + value + "'");
+            } else if (key == "workloads") {
+                spec.workloads = splitList(value);
+            } else if (key == "quota") {
+                spec.quota = parseUint(key, value);
+            } else if (key == "warmup") {
+                spec.warmup = parseUint(key, value);
+            } else if (key == "seed") {
+                spec.campaignSeed = parseUint(key, value);
+            } else if (key == "seed-mode") {
+                if (value == "fixed")
+                    spec.seedMode = SweepSpec::SeedMode::Fixed;
+                else if (value == "derived")
+                    spec.seedMode = SweepSpec::SeedMode::Derived;
+                else
+                    fail("unknown seed-mode '" + value + "'");
+            } else if (key == "check") {
+                spec.check = parseBool(key, value);
+            } else if (key == "stats") {
+                spec.captureStats = parseBool(key, value);
+            } else if (key == "alone") {
+                spec.alone = parseBool(key, value);
+            } else if (key == "exclude") {
+                spec.exclude = splitList(value);
+            } else if (key == "scheds") {
+                for (const std::string &sched : splitList(value)) {
+                    SweepVariant variant;
+                    variant.name = sched;
+                    variant.settings.emplace_back("sched", sched);
+                    spec.variants.push_back(std::move(variant));
+                }
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+        } catch (const std::runtime_error &err) {
+            // Re-tag value parse errors with the line number.
+            const std::string what = err.what();
+            if (what.rfind("sweep spec line", 0) == 0)
+                throw;
+            fail(what);
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+parseSweepFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        bad("cannot open sweep spec '" + path + "'");
+    return parseSweepSpec(in);
+}
+
+} // namespace critmem::exec

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Declarative sweep specifications: a workload × variant cross-product
+ * (with exclusion filters) that expands into the job list a campaign
+ * executes. Specs can be built programmatically (the ported benches)
+ * or parsed from the line-based ".sweep" format (critmem-sweep).
+ *
+ * Seeding discipline: with seedMode=fixed every job runs at the
+ * campaign seed (what the serial figure benches do); with
+ * seedMode=derived each job's seed is deriveSeed(campaignSeed, name),
+ * decorrelating jobs while keeping the whole campaign reproducible
+ * from the single campaign seed.
+ */
+
+#ifndef CRITMEM_EXEC_SWEEP_HH
+#define CRITMEM_EXEC_SWEEP_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/job.hh"
+
+namespace critmem::exec
+{
+
+/** One configuration column: a name plus key=value settings. */
+struct SweepVariant
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> settings;
+};
+
+/**
+ * Apply one spec setting to a job under construction. Supported keys:
+ * sched, predictor, entries, reset, ranks, channels, speed, lq,
+ * prefetch, closed-page, split-wq, morse-cmds, cores, seed.
+ * Throws std::runtime_error on unknown keys or unparsable values.
+ */
+void applySetting(SystemConfig &cfg, const std::string &key,
+                  const std::string &value);
+
+/** A declarative experiment campaign. */
+struct SweepSpec
+{
+    enum class Mode { Parallel, Multiprog };
+    enum class SeedMode { Fixed, Derived };
+
+    Mode mode = Mode::Parallel;
+    /**
+     * App names (Parallel) or bundle names (Multiprog); empty or the
+     * single entry "*" selects every workload of the mode.
+     */
+    std::vector<std::string> workloads;
+    /** Configuration columns; at least one is required to expand. */
+    std::vector<SweepVariant> variants;
+    std::uint64_t quota = 24000;
+    std::uint64_t warmup = kDefaultWarmup;
+    std::uint64_t campaignSeed = 1;
+    SeedMode seedMode = SeedMode::Fixed;
+    /** Attach the protocol checker to every job. */
+    bool check = false;
+    /** Capture every job's stats tree as JSON into the records. */
+    bool captureStats = false;
+    /**
+     * Multiprog only: add one alone-run baseline job per distinct app
+     * appearing in the selected bundles (named "alone/<app>"), for
+     * weighted-speedup post-processing.
+     */
+    bool alone = false;
+    /** Glob patterns ('*' wildcard) against "workload/variant". */
+    std::vector<std::string> exclude;
+
+    /**
+     * Expand into the ordered job list. Validates workload names,
+     * variant settings and the resulting configs; throws
+     * std::runtime_error describing the first problem.
+     */
+    std::vector<JobSpec> expand() const;
+};
+
+/** '*'-wildcard match (the filter language of SweepSpec::exclude). */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/**
+ * Parse the .sweep text format:
+ *
+ *   # comment
+ *   mode = parallel | multiprog
+ *   workloads = art, swim        (or *)
+ *   quota = 24000
+ *   seed = 1
+ *   seed-mode = fixed | derived
+ *   check = 0 | 1
+ *   alone = 0 | 1
+ *   stats = 0 | 1
+ *   exclude = art/morse, swim/morse   ('*' wildcards allowed)
+ *   scheds = frfcfs, tcm         (shorthand: one variant per entry)
+ *   variant NAME : key=value key=value ...
+ *
+ * Throws std::runtime_error with a line number on syntax errors.
+ */
+SweepSpec parseSweepSpec(std::istream &in);
+
+/** parseSweepSpec() over a file; throws when unreadable. */
+SweepSpec parseSweepFile(const std::string &path);
+
+} // namespace critmem::exec
+
+#endif // CRITMEM_EXEC_SWEEP_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Text-table rendering shared by the bench binaries and the sweep
+ * driver: fixed-width figure/table rows in the layout every reproduced
+ * figure prints, plus the column-wise averager for the "Average" row.
+ * Formerly duplicated per bench in bench/bench_util.hh.
+ */
+
+#ifndef CRITMEM_EXEC_TABLE_HH
+#define CRITMEM_EXEC_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace critmem::exec
+{
+
+/** Print a row header: label column plus one column per series. */
+inline void
+printHeader(const std::vector<std::string> &columns,
+            const char *first = "app")
+{
+    std::printf("%-10s", first);
+    for (const std::string &col : columns)
+        std::printf(" %12s", col.c_str());
+    std::printf("\n");
+}
+
+/** Print one row of values. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values,
+         const char *fmt = " %12.4f")
+{
+    std::printf("%-10s", label.c_str());
+    for (const double value : values)
+        std::printf(fmt, value);
+    std::printf("\n");
+}
+
+/** Geometric-mean-free average row across previously printed rows. */
+class Averager
+{
+  public:
+    void
+    add(const std::vector<double> &row)
+    {
+        if (sums_.empty())
+            sums_.assign(row.size(), 0.0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            sums_[i] += row[i];
+        ++count_;
+    }
+
+    std::vector<double>
+    average() const
+    {
+        std::vector<double> avg(sums_);
+        for (double &value : avg)
+            value /= count_ ? count_ : 1;
+        return avg;
+    }
+
+  private:
+    std::vector<double> sums_;
+    std::size_t count_ = 0;
+};
+
+} // namespace critmem::exec
+
+#endif // CRITMEM_EXEC_TABLE_HH

@@ -58,4 +58,56 @@ makeScheduler(const SystemConfig &cfg)
     fatal("unknown scheduler algorithm");
 }
 
+const std::vector<SchedInfo> &
+schedulerRegistry()
+{
+    static const std::vector<SchedInfo> registry = {
+        {SchedAlgo::Fcfs, "fcfs", "FCFS",
+         "strict oldest-first (lower-bound baseline)"},
+        {SchedAlgo::FrFcfs, "frfcfs", "FR-FCFS",
+         "first-ready FCFS baseline [22]"},
+        {SchedAlgo::CritCasRas, "crit-casras", "Crit-CASRAS",
+         "critical first, then CAS-over-RAS"},
+        {SchedAlgo::CasRasCrit, "casras-crit", "CASRAS-Crit",
+         "CAS-over-RAS first, criticality breaks ties (the paper's)"},
+        {SchedAlgo::ParBs, "parbs", "PAR-BS",
+         "parallelism-aware batch scheduling [17]"},
+        {SchedAlgo::Tcm, "tcm", "TCM",
+         "thread cluster memory scheduling [12]"},
+        {SchedAlgo::TcmCrit, "tcm-crit", "TCM+Crit",
+         "TCM + criticality-aware FR-FCFS tiebreak"},
+        {SchedAlgo::Ahb, "ahb", "AHB",
+         "adaptive history-based (Hur/Lin) [8]"},
+        {SchedAlgo::Morse, "morse", "MORSE-P",
+         "self-optimizing RL scheduler [9,16]"},
+        {SchedAlgo::CritRl, "crit-rl", "Crit-RL",
+         "MORSE + criticality features (Table 6)"},
+        {SchedAlgo::Atlas, "atlas", "ATLAS",
+         "least-attained-service ranking [11]"},
+        {SchedAlgo::Minimalist, "minimalist", "Minimalist",
+         "MLP-ranked minimalist open-page [10]"},
+    };
+    return registry;
+}
+
+const char *
+cliName(SchedAlgo algo)
+{
+    for (const SchedInfo &info : schedulerRegistry()) {
+        if (info.algo == algo)
+            return info.cliName;
+    }
+    return "?";
+}
+
+std::optional<SchedAlgo>
+findSchedAlgo(const std::string &name)
+{
+    for (const SchedInfo &info : schedulerRegistry()) {
+        if (name == info.cliName)
+            return info.algo;
+    }
+    return std::nullopt;
+}
+
 } // namespace critmem

@@ -7,6 +7,9 @@
 #define CRITMEM_SCHED_REGISTRY_HH
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "sched/scheduler.hh"
 #include "sim/config.hh"
@@ -19,6 +22,27 @@ namespace critmem
  * @p cfg.numCores cores and @p cfg.dram channels.
  */
 std::unique_ptr<Scheduler> makeScheduler(const SystemConfig &cfg);
+
+/** One registered scheduling algorithm. */
+struct SchedInfo
+{
+    SchedAlgo algo;
+    /** Stable lower-case name used by CLIs and sweep specs. */
+    const char *cliName;
+    /** Display name matching the paper (same as toString(algo)). */
+    const char *displayName;
+    /** One-line description for --list-schedulers. */
+    const char *desc;
+};
+
+/** Every scheduler, in the SchedAlgo declaration order. */
+const std::vector<SchedInfo> &schedulerRegistry();
+
+/** CLI/spec name of @p algo (e.g. "casras-crit"). */
+const char *cliName(SchedAlgo algo);
+
+/** Look up an algorithm by CLI/spec name; nullopt when unknown. */
+std::optional<SchedAlgo> findSchedAlgo(const std::string &name);
 
 } // namespace critmem
 

@@ -19,6 +19,26 @@ toString(DramSpeed speed)
 }
 
 const char *
+cliName(DramSpeed speed)
+{
+    switch (speed) {
+      case DramSpeed::DDR3_1066: return "ddr3-1066";
+      case DramSpeed::DDR3_1600: return "ddr3-1600";
+      case DramSpeed::DDR3_2133: return "ddr3-2133";
+    }
+    return "?";
+}
+
+std::optional<DramSpeed>
+findDramSpeed(const std::string &name)
+{
+    if (name == "ddr3-1066") return DramSpeed::DDR3_1066;
+    if (name == "ddr3-1600") return DramSpeed::DDR3_1600;
+    if (name == "ddr3-2133") return DramSpeed::DDR3_2133;
+    return std::nullopt;
+}
+
+const char *
 toString(CritPredictor pred)
 {
     switch (pred) {
@@ -33,6 +53,52 @@ toString(CritPredictor pred)
       case CritPredictor::ClptConsumers: return "CLPT-Consumers";
     }
     return "?";
+}
+
+const std::vector<PredictorInfo> &
+predictorRegistry()
+{
+    static const std::vector<PredictorInfo> registry = {
+        {CritPredictor::None, "none",
+         "no criticality information"},
+        {CritPredictor::NaiveForward, "naive",
+         "Sec 5.1: flag sent only once a load blocks"},
+        {CritPredictor::CbpBinary, "binary",
+         "CBP, 1-bit annotation"},
+        {CritPredictor::CbpBlockCount, "blockcount",
+         "CBP, # times load blocked the ROB head"},
+        {CritPredictor::CbpLastStall, "laststall",
+         "CBP, most recent stall duration"},
+        {CritPredictor::CbpMaxStall, "maxstall",
+         "CBP, largest observed stall duration (the paper's best)"},
+        {CritPredictor::CbpTotalStall, "totalstall",
+         "CBP, accumulated stall cycles"},
+        {CritPredictor::ClptBinary, "clpt-binary",
+         "Subramaniam et al. [29], binary threshold"},
+        {CritPredictor::ClptConsumers, "clpt-consumers",
+         "CLPT with consumer count as magnitude"},
+    };
+    return registry;
+}
+
+const char *
+cliName(CritPredictor pred)
+{
+    for (const PredictorInfo &info : predictorRegistry()) {
+        if (info.pred == pred)
+            return info.cliName;
+    }
+    return "?";
+}
+
+std::optional<CritPredictor>
+findCritPredictor(const std::string &name)
+{
+    for (const PredictorInfo &info : predictorRegistry()) {
+        if (name == info.cliName)
+            return info.pred;
+    }
+    return std::nullopt;
 }
 
 bool
@@ -82,6 +148,19 @@ toString(FaultKind kind)
       case FaultKind::FlipCrit:       return "flip-crit";
     }
     return "?";
+}
+
+std::optional<FaultKind>
+findFaultKind(const std::string &name)
+{
+    for (const FaultKind kind :
+         {FaultKind::DropCompletion, FaultKind::EarlyCas,
+          FaultKind::SkipRefresh, FaultKind::StarveCore,
+          FaultKind::FlipCrit}) {
+        if (name == toString(kind))
+            return kind;
+    }
+    return std::nullopt;
 }
 
 namespace

@@ -8,6 +8,7 @@
 #define CRITMEM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ enum class AddressMapKind { PageInterleave, BlockInterleave };
 
 /** @return printable name of a speed grade. */
 const char *toString(DramSpeed speed);
+
+/** CLI/spec name of a speed grade (e.g. "ddr3-2133"). */
+const char *cliName(DramSpeed speed);
+
+/** Look up a speed grade by CLI/spec name; nullopt when unknown. */
+std::optional<DramSpeed> findDramSpeed(const std::string &name);
 
 /**
  * One structured configuration error: the offending field and a
@@ -193,6 +200,25 @@ enum class CritPredictor
 
 const char *toString(CritPredictor pred);
 
+/** One registered criticality predictor. */
+struct PredictorInfo
+{
+    CritPredictor pred;
+    /** Stable lower-case name used by CLIs and sweep specs. */
+    const char *cliName;
+    /** One-line description for --list output. */
+    const char *desc;
+};
+
+/** Every predictor, in the CritPredictor declaration order. */
+const std::vector<PredictorInfo> &predictorRegistry();
+
+/** CLI/spec name of @p pred (e.g. "maxstall"). */
+const char *cliName(CritPredictor pred);
+
+/** Look up a predictor by CLI/spec name; nullopt when unknown. */
+std::optional<CritPredictor> findCritPredictor(const std::string &name);
+
 /** @return true when the predictor is one of the CBP annotations. */
 bool isCbp(CritPredictor pred);
 
@@ -274,6 +300,9 @@ enum class FaultKind
 };
 
 const char *toString(FaultKind kind);
+
+/** Look up a fault kind by its toString() name; nullopt if unknown. */
+std::optional<FaultKind> findFaultKind(const std::string &name);
 
 /**
  * Validation-harness configuration: the DRAM protocol invariant

@@ -2,9 +2,47 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <cstdio>
 
 namespace critmem::stats
 {
+
+void
+jsonEscape(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonDouble(std::ostream &os, double value)
+{
+    if (!std::isfinite(value)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+}
 
 StatBase::StatBase(Group &parent, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -23,6 +61,22 @@ Average::print(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << ' ' << mean() << " # " << desc()
        << " (samples=" << count_ << ")\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    os << value_;
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    jsonDouble(os, mean());
+    os << ",\"sum\":";
+    jsonDouble(os, sum_);
+    os << ",\"count\":" << count_ << '}';
 }
 
 Histogram::Histogram(Group &parent, std::string name, std::string desc)
@@ -49,6 +103,22 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
        << '\n'
        << prefix << name() << "::samples " << count_ << " # " << desc()
        << '\n';
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    jsonDouble(os, mean());
+    os << ",\"max\":" << max_ << ",\"samples\":" << count_
+       << ",\"buckets\":[";
+    // Trailing empty buckets carry no information; trim them.
+    std::size_t last = buckets_.size();
+    while (last > 0 && buckets_[last - 1] == 0)
+        --last;
+    for (std::size_t i = 0; i < last; ++i)
+        os << (i ? "," : "") << buckets_[i];
+    os << "]}";
 }
 
 void
@@ -104,6 +174,28 @@ Group::print(std::ostream &os, const std::string &prefix) const
         stat->print(os, here);
     for (const auto *child : children_)
         child->print(os, here);
+}
+
+void
+Group::printJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto *stat : statsInOrder_) {
+        os << (first ? "" : ",");
+        first = false;
+        jsonEscape(os, stat->name());
+        os << ':';
+        stat->printJson(os);
+    }
+    for (const auto *child : children_) {
+        os << (first ? "" : ",");
+        first = false;
+        jsonEscape(os, child->name_);
+        os << ':';
+        child->printJson(os);
+    }
+    os << '}';
 }
 
 void

@@ -24,6 +24,15 @@ namespace critmem::stats
 
 class Group;
 
+/** Write @p text as a quoted, escaped JSON string literal. */
+void jsonEscape(std::ostream &os, const std::string &text);
+
+/**
+ * Write @p value so that it round-trips bit-exactly (printf %.17g),
+ * with non-finite values emitted as null per RFC 8259.
+ */
+void jsonDouble(std::ostream &os, double value);
+
 /** Base of all statistics; registers with a Group on construction. */
 class StatBase
 {
@@ -40,6 +49,9 @@ class StatBase
     /** Render one or more "name value # desc" lines. */
     virtual void print(std::ostream &os, const std::string &prefix)
         const = 0;
+
+    /** Render this stat's value as a JSON value (no name key). */
+    virtual void printJson(std::ostream &os) const = 0;
 
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
@@ -63,6 +75,7 @@ class Scalar : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -88,6 +101,7 @@ class Average : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -112,6 +126,7 @@ class Histogram : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -135,6 +150,13 @@ class Group
 
     /** Dump this group and all descendants as text. */
     void print(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Dump this group and all descendants as one JSON object: stats
+     * keyed by name (in registration order), then child groups keyed
+     * by their names. The machine-readable twin of print().
+     */
+    void printJson(std::ostream &os) const;
 
     /** Reset every stat in this group and all descendants. */
     void resetAll();

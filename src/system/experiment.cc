@@ -78,23 +78,32 @@ collect(System &sys)
 }
 
 RunResult
-runParallel(const SystemConfig &cfg, const AppParams &app,
-            std::uint64_t quota)
+runSystem(System &sys, std::uint64_t quota, std::uint64_t warmup,
+          bool stopAtQuota)
 {
-    validateOrFatal(cfg);
-    System sys(cfg, app);
     sys.prewarmCaches();
-    if (const std::uint64_t warmup = defaultWarmup(quota)) {
-        sys.run(warmup, /*stopAtQuota=*/false);
+    const std::uint64_t w =
+        warmup == kDefaultWarmup ? defaultWarmup(quota) : warmup;
+    if (w) {
+        sys.run(w, /*stopAtQuota=*/false);
         sys.resetStatsWindow();
     }
-    sys.run(quota, /*stopAtQuota=*/true);
+    sys.run(quota, stopAtQuota);
     return collect(sys);
 }
 
 RunResult
+runParallel(const SystemConfig &cfg, const AppParams &app,
+            std::uint64_t quota, std::uint64_t warmup)
+{
+    validateOrFatal(cfg);
+    System sys(cfg, app);
+    return runSystem(sys, quota, warmup, /*stopAtQuota=*/true);
+}
+
+RunResult
 runBundle(const SystemConfig &cfg, const Bundle &bundle,
-          std::uint64_t quota)
+          std::uint64_t quota, std::uint64_t warmup)
 {
     validateOrFatal(cfg);
     if (cfg.numCores != bundle.apps.size())
@@ -104,35 +113,26 @@ runBundle(const SystemConfig &cfg, const Bundle &bundle,
     for (const std::string &name : bundle.apps)
         perCore.push_back(appParams(name));
     System sys(cfg, perCore);
-    sys.prewarmCaches();
-    if (const std::uint64_t warmup = defaultWarmup(quota)) {
-        sys.run(warmup, /*stopAtQuota=*/false);
-        sys.resetStatsWindow();
-    }
-    sys.run(quota, /*stopAtQuota=*/false);
-    return collect(sys);
+    return runSystem(sys, quota, warmup, /*stopAtQuota=*/false);
 }
 
-double
-runAlone(const SystemConfig &cfg, const AppParams &app,
-         std::uint64_t quota)
+RunResult
+runAloneResult(const SystemConfig &cfg, const AppParams &app,
+               std::uint64_t quota, std::uint64_t warmup)
 {
     validateOrFatal(cfg);
     std::vector<AppParams> perCore(cfg.numCores);
     perCore[0] = app;
     // Remaining cores stay idle: default AppParams with empty name.
     System sys(cfg, perCore);
-    sys.prewarmCaches();
-    if (const std::uint64_t warmup = defaultWarmup(quota)) {
-        sys.run(warmup, /*stopAtQuota=*/false);
-        sys.resetStatsWindow();
-    }
-    sys.run(quota, /*stopAtQuota=*/true);
-    const Cycle fin = sys.core(0).finishCycle();
-    return fin == kNoCycle || fin == 0
-        ? 0.0
-        : static_cast<double>(quota) /
-            static_cast<double>(fin - sys.windowStart());
+    return runSystem(sys, quota, warmup, /*stopAtQuota=*/true);
+}
+
+double
+runAlone(const SystemConfig &cfg, const AppParams &app,
+         std::uint64_t quota)
+{
+    return runAloneResult(cfg, app, quota).ipc(0, quota);
 }
 
 double

@@ -70,23 +70,50 @@ std::uint64_t defaultQuota(std::uint64_t fallback);
 /** Read CRITMEM_WARMUP, else half the quota (warmup instructions). */
 std::uint64_t defaultWarmup(std::uint64_t quota);
 
+/** Sentinel warmup value meaning "use defaultWarmup(quota)". */
+inline constexpr std::uint64_t kDefaultWarmup = ~std::uint64_t{0};
+
 /** Collect a RunResult from a finished System. */
 RunResult collect(System &sys);
 
 /**
+ * Drive an already-constructed System through the standard
+ * methodology — cache prewarm, warmup window, measured run — and
+ * collect the result. The primitive under runParallel/runBundle/
+ * runAloneResult; callers that need the System afterwards (stats
+ * export, diagnostics) use it directly.
+ * @param stopAtQuota See System::run().
+ */
+RunResult runSystem(System &sys, std::uint64_t quota,
+                    std::uint64_t warmup = kDefaultWarmup,
+                    bool stopAtQuota = true);
+
+/**
  * Run one parallel application (all cores) to its quota.
  * @param cfg Complete configuration (scheduler, predictor, ...).
+ * @param warmup Warmup micro-ops; kDefaultWarmup reads the
+ *        CRITMEM_WARMUP environment (else half the quota).
  */
 RunResult runParallel(const SystemConfig &cfg, const AppParams &app,
-                      std::uint64_t quota);
+                      std::uint64_t quota,
+                      std::uint64_t warmup = kDefaultWarmup);
 
 /** Run a Table 4 bundle with the multiprogrammed methodology. */
 RunResult runBundle(const SystemConfig &cfg, const Bundle &bundle,
-                    std::uint64_t quota);
+                    std::uint64_t quota,
+                    std::uint64_t warmup = kDefaultWarmup);
 
 /**
  * Run @p app alone on core 0 of the multiprogrammed system (other
- * cores idle), for weighted-speedup baselining.
+ * cores idle), for weighted-speedup baselining. The alone-IPC is
+ * result.ipc(0, quota).
+ */
+RunResult runAloneResult(const SystemConfig &cfg, const AppParams &app,
+                         std::uint64_t quota,
+                         std::uint64_t warmup = kDefaultWarmup);
+
+/**
+ * Convenience wrapper around runAloneResult().
  * @return the app's alone-IPC.
  */
 double runAlone(const SystemConfig &cfg, const AppParams &app,

@@ -258,19 +258,44 @@ parallelApps()
     return apps;
 }
 
-const AppParams &
-appParams(const std::string &name)
+const std::vector<AppParams> &
+singleApps()
+{
+    static const std::vector<AppParams> singles = buildSingles();
+    return singles;
+}
+
+namespace
+{
+
+const AppParams *
+lookupApp(const std::string &name)
 {
     for (const AppParams &params : parallelApps()) {
         if (params.name == name)
-            return params;
+            return &params;
     }
-    static const std::vector<AppParams> singles = buildSingles();
-    for (const AppParams &params : singles) {
+    for (const AppParams &params : singleApps()) {
         if (params.name == name)
-            return params;
+            return &params;
     }
+    return nullptr;
+}
+
+} // namespace
+
+const AppParams &
+appParams(const std::string &name)
+{
+    if (const AppParams *params = lookupApp(name))
+        return *params;
     fatal("unknown application model '", name, "'");
+}
+
+bool
+haveApp(const std::string &name)
+{
+    return lookupApp(name) != nullptr;
 }
 
 const std::vector<Bundle> &
@@ -287,6 +312,16 @@ multiprogBundles()
         {"RGTM", {"art_st", "mg_st", "twolf", "mesa"}},
     };
     return bundles;
+}
+
+const Bundle *
+findBundle(const std::string &name)
+{
+    for (const Bundle &bundle : multiprogBundles()) {
+        if (bundle.name == name)
+            return &bundle;
+    }
+    return nullptr;
 }
 
 } // namespace critmem

@@ -20,8 +20,17 @@ namespace critmem
 /** The nine parallel applications (Table 2), in the paper's order. */
 const std::vector<AppParams> &parallelApps();
 
+/**
+ * The single-threaded applications that compose the Table 4 bundles,
+ * in the paper's order.
+ */
+const std::vector<AppParams> &singleApps();
+
 /** Look up any registered application model by name. */
 const AppParams &appParams(const std::string &name);
+
+/** @return whether @p name is a registered application model. */
+bool haveApp(const std::string &name);
 
 /** A four-application multiprogrammed bundle (Table 4). */
 struct Bundle
@@ -32,6 +41,9 @@ struct Bundle
 
 /** The eight multiprogrammed bundles (Table 4). */
 const std::vector<Bundle> &multiprogBundles();
+
+/** Look up a bundle by name; nullptr when unknown. */
+const Bundle *findBundle(const std::string &name);
 
 } // namespace critmem
 

@@ -10,14 +10,17 @@
  *               --instrs 50000 --stats
  *   critmem-sim --bundle RFGI --sched parbs --instrs 20000
  *   critmem-sim --app swim --ranks 1 --speed ddr3-1600 --prefetch
+ *   critmem-sim --app mg --alone --stats-json mg.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "sched/registry.hh"
 #include "sim/log.hh"
 #include "system/experiment.hh"
 
@@ -32,18 +35,18 @@ usage()
     std::fprintf(
         stderr,
         "usage: critmem-sim [options]\n"
-        "  --app NAME         parallel application (art cg equake fft"
-        " mg ocean radix scalparc swim)\n"
+        "  --app NAME         parallel application (see"
+        " --list-workloads)\n"
         "  --bundle NAME      Table 4 bundle instead (AELV CMLI GAMV"
         " GDPC GSMV RFEV RFGI RGTM)\n"
-        "  --sched NAME       fcfs | frfcfs | crit-casras |"
-        " casras-crit | parbs | tcm | tcm-crit |\n"
-        "                     ahb | morse | crit-rl | atlas |"
-        " minimalist (default frfcfs)\n"
-        "  --predictor NAME   none | naive | binary | blockcount |"
-        " laststall | maxstall |\n"
-        "                     totalstall | clpt-binary |"
-        " clpt-consumers (default none)\n"
+        "  --alone            run --app on core 0 with the other cores"
+        " idle\n"
+        "  --preset NAME      base config: parallel (default) |"
+        " multiprog\n"
+        "  --sched NAME       scheduling algorithm (default frfcfs;"
+        " see --list-schedulers)\n"
+        "  --predictor NAME   criticality predictor (default none;"
+        " see --list-schedulers)\n"
         "  --entries N        CBP/CLPT entries, 0 = unlimited"
         " (default 64)\n"
         "  --reset N          CBP reset interval, CPU cycles"
@@ -59,6 +62,12 @@ usage()
         "  --closed-page      closed-page row policy\n"
         "  --split-wq         modern split write buffer\n"
         "  --stats            dump the full statistics tree\n"
+        "  --stats-json FILE  write the stats tree as JSON;"
+        " '-' = stdout\n"
+        "  --list-workloads   print every registered workload and"
+        " exit\n"
+        "  --list-schedulers  print schedulers and predictors and"
+        " exit\n"
         "  --quiet            suppress informational logging\n"
         "  --check            enable the DRAM protocol invariant\n"
         "                     checker and forward-progress watchdog\n"
@@ -72,57 +81,35 @@ usage()
     std::exit(1);
 }
 
-FaultKind
-parseFault(const std::string &name)
+void
+listWorkloads()
 {
-    if (name == "drop-completion") return FaultKind::DropCompletion;
-    if (name == "early-cas") return FaultKind::EarlyCas;
-    if (name == "skip-refresh") return FaultKind::SkipRefresh;
-    if (name == "starve-core") return FaultKind::StarveCore;
-    if (name == "flip-crit") return FaultKind::FlipCrit;
-    fatal("unknown fault kind '", name, "'");
+    std::printf("parallel applications (--app):\n");
+    for (const AppParams &app : parallelApps())
+        std::printf("  %s\n", app.name.c_str());
+    std::printf("single-threaded applications (--app, bundles):\n");
+    for (const AppParams &app : singleApps())
+        std::printf("  %s\n", app.name.c_str());
+    std::printf("multiprogrammed bundles (--bundle):\n");
+    for (const Bundle &bundle : multiprogBundles()) {
+        std::printf("  %-5s = %s + %s + %s + %s\n",
+                    bundle.name.c_str(), bundle.apps[0].c_str(),
+                    bundle.apps[1].c_str(), bundle.apps[2].c_str(),
+                    bundle.apps[3].c_str());
+    }
 }
 
-SchedAlgo
-parseSched(const std::string &name)
+void
+listSchedulers()
 {
-    if (name == "fcfs") return SchedAlgo::Fcfs;
-    if (name == "frfcfs") return SchedAlgo::FrFcfs;
-    if (name == "crit-casras") return SchedAlgo::CritCasRas;
-    if (name == "casras-crit") return SchedAlgo::CasRasCrit;
-    if (name == "parbs") return SchedAlgo::ParBs;
-    if (name == "tcm") return SchedAlgo::Tcm;
-    if (name == "tcm-crit") return SchedAlgo::TcmCrit;
-    if (name == "ahb") return SchedAlgo::Ahb;
-    if (name == "morse") return SchedAlgo::Morse;
-    if (name == "crit-rl") return SchedAlgo::CritRl;
-    if (name == "atlas") return SchedAlgo::Atlas;
-    if (name == "minimalist") return SchedAlgo::Minimalist;
-    fatal("unknown scheduler '", name, "'");
-}
-
-CritPredictor
-parsePredictor(const std::string &name)
-{
-    if (name == "none") return CritPredictor::None;
-    if (name == "naive") return CritPredictor::NaiveForward;
-    if (name == "binary") return CritPredictor::CbpBinary;
-    if (name == "blockcount") return CritPredictor::CbpBlockCount;
-    if (name == "laststall") return CritPredictor::CbpLastStall;
-    if (name == "maxstall") return CritPredictor::CbpMaxStall;
-    if (name == "totalstall") return CritPredictor::CbpTotalStall;
-    if (name == "clpt-binary") return CritPredictor::ClptBinary;
-    if (name == "clpt-consumers") return CritPredictor::ClptConsumers;
-    fatal("unknown predictor '", name, "'");
-}
-
-DramSpeed
-parseSpeed(const std::string &name)
-{
-    if (name == "ddr3-1066") return DramSpeed::DDR3_1066;
-    if (name == "ddr3-1600") return DramSpeed::DDR3_1600;
-    if (name == "ddr3-2133") return DramSpeed::DDR3_2133;
-    fatal("unknown speed grade '", name, "'");
+    std::printf("schedulers (--sched):\n");
+    for (const SchedInfo &info : schedulerRegistry()) {
+        std::printf("  %-12s %-12s %s\n", info.cliName,
+                    info.displayName, info.desc);
+    }
+    std::printf("criticality predictors (--predictor):\n");
+    for (const PredictorInfo &info : predictorRegistry())
+        std::printf("  %-14s %s\n", info.cliName, info.desc);
 }
 
 } // namespace
@@ -130,12 +117,25 @@ parseSpeed(const std::string &name)
 int
 main(int argc, char **argv)
 {
+    // The preset decides the base config every other flag overrides,
+    // so resolve it before the main flag pass.
+    bool multiprogPreset = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--preset") == 0 && i + 1 < argc)
+            multiprogPreset =
+                std::strcmp(argv[i + 1], "multiprog") == 0;
+    }
+
     std::string app;
     std::string bundleName;
-    SystemConfig cfg = SystemConfig::parallelDefault();
+    std::string statsJsonPath;
+    SystemConfig cfg = multiprogPreset
+        ? SystemConfig::multiprogDefault()
+        : SystemConfig::parallelDefault();
     std::uint64_t instrs = 24000;
     std::uint64_t warmup = ~std::uint64_t{0};
     bool dumpStats = false;
+    bool alone = false;
     bool speedSet = false;
     DramSpeed speed = DramSpeed::DDR3_2133;
 
@@ -151,10 +151,24 @@ main(int argc, char **argv)
             app = nextArg(i);
         } else if (arg == "--bundle") {
             bundleName = nextArg(i);
+        } else if (arg == "--alone") {
+            alone = true;
+        } else if (arg == "--preset") {
+            const std::string preset = nextArg(i);
+            if (preset != "parallel" && preset != "multiprog")
+                fatal("unknown preset '", preset, "'");
         } else if (arg == "--sched") {
-            cfg.sched.algo = parseSched(nextArg(i));
+            const std::string name = nextArg(i);
+            const auto algo = findSchedAlgo(name);
+            if (!algo)
+                fatal("unknown scheduler '", name, "'");
+            cfg.sched.algo = *algo;
         } else if (arg == "--predictor") {
-            cfg.crit.predictor = parsePredictor(nextArg(i));
+            const std::string name = nextArg(i);
+            const auto pred = findCritPredictor(name);
+            if (!pred)
+                fatal("unknown predictor '", name, "'");
+            cfg.crit.predictor = *pred;
         } else if (arg == "--entries") {
             cfg.crit.tableEntries =
                 static_cast<std::uint32_t>(std::atoll(nextArg(i)));
@@ -174,7 +188,11 @@ main(int argc, char **argv)
             cfg.dram.channels =
                 static_cast<std::uint32_t>(std::atoi(nextArg(i)));
         } else if (arg == "--speed") {
-            speed = parseSpeed(nextArg(i));
+            const std::string name = nextArg(i);
+            const auto grade = findDramSpeed(name);
+            if (!grade)
+                fatal("unknown speed grade '", name, "'");
+            speed = *grade;
             speedSet = true;
         } else if (arg == "--lq") {
             cfg.core.lqEntries =
@@ -187,11 +205,23 @@ main(int argc, char **argv)
             cfg.dram.unifiedQueue = false;
         } else if (arg == "--stats") {
             dumpStats = true;
+        } else if (arg == "--stats-json") {
+            statsJsonPath = nextArg(i);
+        } else if (arg == "--list-workloads") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--list-schedulers") {
+            listSchedulers();
+            return 0;
         } else if (arg == "--check") {
             cfg.check.enabled = true;
         } else if (arg == "--inject") {
+            const std::string name = nextArg(i);
+            const auto fault = findFaultKind(name);
+            if (!fault)
+                fatal("unknown fault kind '", name, "'");
             cfg.check.enabled = true;
-            cfg.check.fault = parseFault(nextArg(i));
+            cfg.check.fault = *fault;
         } else if (arg == "--inject-period") {
             cfg.check.faultPeriod = std::strtoull(nextArg(i), nullptr,
                                                   10);
@@ -203,6 +233,8 @@ main(int argc, char **argv)
     }
     if (app.empty() == bundleName.empty())
         usage(); // exactly one of --app / --bundle
+    if (alone && app.empty())
+        fatal("--alone requires --app");
 
     if (speedSet) {
         const DramConfig fresh = DramConfig::preset(speed);
@@ -217,13 +249,17 @@ main(int argc, char **argv)
 
     std::unique_ptr<System> sys;
     if (!app.empty()) {
-        sys = std::make_unique<System>(cfg, appParams(app));
-    } else {
-        const Bundle *bundle = nullptr;
-        for (const Bundle &b : multiprogBundles()) {
-            if (b.name == bundleName)
-                bundle = &b;
+        if (!haveApp(app))
+            fatal("unknown application '", app, "'");
+        if (alone) {
+            std::vector<AppParams> perCore(cfg.numCores);
+            perCore[0] = appParams(app);
+            sys = std::make_unique<System>(cfg, perCore);
+        } else {
+            sys = std::make_unique<System>(cfg, appParams(app));
         }
+    } else {
+        const Bundle *bundle = findBundle(bundleName);
         if (!bundle)
             fatal("unknown bundle '", bundleName, "'");
         cfg.numCores = 4;
@@ -261,13 +297,18 @@ main(int argc, char **argv)
     }
 
     const RunResult r = collect(*sys);
+    // An alone run only commits on core 0; everything else reports
+    // whole-machine throughput.
+    const double ipc = alone
+        ? static_cast<double>(instrs) /
+              static_cast<double>(r.finishCycles[0])
+        : static_cast<double>(instrs) * cfg.numCores /
+              static_cast<double>(r.cycles);
     std::printf("workload=%s sched=%s predictor=%s cycles=%llu "
                 "ipc=%.4f\n",
                 app.empty() ? bundleName.c_str() : app.c_str(),
                 toString(cfg.sched.algo), toString(cfg.crit.predictor),
-                static_cast<unsigned long long>(r.cycles),
-                static_cast<double>(instrs) * cfg.numCores /
-                    static_cast<double>(r.cycles));
+                static_cast<unsigned long long>(r.cycles), ipc);
     std::printf("loads=%llu blocking=%llu (%.2f%%) robBlocked=%.2f%% "
                 "l2missLat crit/non = %.1f / %.1f\n",
                 static_cast<unsigned long long>(r.dynamicLoads),
@@ -282,5 +323,18 @@ main(int argc, char **argv)
 
     if (dumpStats)
         sys->statsRoot().print(std::cout);
+    if (!statsJsonPath.empty()) {
+        std::ofstream file;
+        std::ostream *os = &std::cout;
+        if (statsJsonPath != "-") {
+            file.open(statsJsonPath);
+            if (!file)
+                fatal("cannot open --stats-json file '", statsJsonPath,
+                      "'");
+            os = &file;
+        }
+        sys->statsRoot().printJson(*os);
+        *os << '\n';
+    }
     return 0;
 }

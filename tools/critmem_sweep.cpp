@@ -1,0 +1,246 @@
+/**
+ * @file
+ * critmem-sweep: the unified campaign driver over src/exec/.
+ *
+ * Expands a declarative sweep spec into a job list, executes it on
+ * the work-stealing JobRunner, streams structured results to JSONL /
+ * CSV sinks, and can post-process a speedup table straight from the
+ * in-memory records:
+ *
+ *   critmem-sweep --spec specs/fig10.sweep --jobs $(nproc) \
+ *                 --out fig10.jsonl --progress --report speedup:base
+ *
+ * Results are bit-identical for any --jobs value; the wall clock is
+ * the only thing that changes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/job_runner.hh"
+#include "exec/sweep.hh"
+#include "exec/table.hh"
+#include "sim/log.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: critmem-sweep --spec FILE [options]\n"
+        "  --spec FILE        sweep specification (see specs/)\n"
+        "  --jobs N           worker threads (default: all cores)\n"
+        "  --retries N        extra attempts per failed job"
+        " (default 1)\n"
+        "  --out FILE         write one JSON object per job (JSONL);"
+        " '-' = stdout\n"
+        "  --csv FILE         write a flat CSV table; '-' = stdout\n"
+        "  --stats            embed each job's full stats tree in the"
+        " JSONL records\n"
+        "  --progress         live [done/total] throughput/ETA line on"
+        " stderr\n"
+        "  --quota N          override the spec's per-core quota\n"
+        "  --seed N           override the spec's campaign seed\n"
+        "  --check            attach the protocol checker to every"
+        " job\n"
+        "  --report speedup:BASE\n"
+        "                     after the run, print per-workload cycle\n"
+        "                     speedups of every variant relative to\n"
+        "                     variant BASE (figure-bench layout)\n"
+        "  --list             print the expanded job list and exit\n"
+        "exit status: 0 all jobs ok, 2 some jobs failed permanently\n");
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string specPath;
+    std::string outPath;
+    std::string csvPath;
+    std::string report;
+    exec::RunnerOptions opts;
+    opts.maxAttempts = 2;
+    bool listOnly = false;
+    bool forceCheck = false;
+    bool captureStats = false;
+    std::uint64_t quotaOverride = 0;
+    std::uint64_t seedOverride = 0;
+    bool seedSet = false;
+
+    auto nextArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--spec") {
+            specPath = nextArg(i);
+        } else if (arg == "--jobs") {
+            opts.threads =
+                static_cast<unsigned>(std::atoi(nextArg(i)));
+        } else if (arg == "--retries") {
+            opts.maxAttempts =
+                1 + static_cast<unsigned>(std::atoi(nextArg(i)));
+        } else if (arg == "--out") {
+            outPath = nextArg(i);
+        } else if (arg == "--csv") {
+            csvPath = nextArg(i);
+        } else if (arg == "--stats") {
+            captureStats = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--quota") {
+            quotaOverride = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--seed") {
+            seedOverride = std::strtoull(nextArg(i), nullptr, 10);
+            seedSet = true;
+        } else if (arg == "--check") {
+            forceCheck = true;
+        } else if (arg == "--report") {
+            report = nextArg(i);
+        } else if (arg == "--list") {
+            listOnly = true;
+        } else {
+            usage();
+        }
+    }
+    if (specPath.empty())
+        usage();
+
+    setQuiet(true);
+
+    exec::SweepSpec spec;
+    std::vector<exec::JobSpec> jobs;
+    try {
+        spec = exec::parseSweepFile(specPath);
+        if (quotaOverride)
+            spec.quota = quotaOverride;
+        if (seedSet)
+            spec.campaignSeed = seedOverride;
+        if (forceCheck)
+            spec.check = true;
+        if (captureStats)
+            spec.captureStats = true;
+        jobs = spec.expand();
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "critmem-sweep: %s\n", err.what());
+        return 1;
+    }
+
+    if (listOnly) {
+        for (const exec::JobSpec &job : jobs)
+            std::printf("%s\n", job.name.c_str());
+        return 0;
+    }
+
+    // Assemble the sink stack. The memory sink always runs so that
+    // post-run reports can query results without re-parsing files.
+    exec::MemorySink memory;
+    std::vector<exec::ResultSink *> sinks{&memory};
+
+    std::ofstream outFile;
+    std::unique_ptr<exec::JsonlSink> jsonl;
+    if (!outPath.empty()) {
+        std::ostream *os = &std::cout;
+        if (outPath != "-") {
+            outFile.open(outPath);
+            if (!outFile)
+                fatal("cannot open --out file '", outPath, "'");
+            os = &outFile;
+        }
+        jsonl = std::make_unique<exec::JsonlSink>(*os);
+        sinks.push_back(jsonl.get());
+    }
+
+    std::ofstream csvFile;
+    std::unique_ptr<exec::CsvSink> csv;
+    if (!csvPath.empty()) {
+        std::ostream *os = &std::cout;
+        if (csvPath != "-") {
+            csvFile.open(csvPath);
+            if (!csvFile)
+                fatal("cannot open --csv file '", csvPath, "'");
+            os = &csvFile;
+        }
+        csv = std::make_unique<exec::CsvSink>(*os);
+        sinks.push_back(csv.get());
+    }
+
+    exec::JobRunner runner(opts);
+    const exec::CampaignSummary summary = runner.run(jobs, sinks);
+
+    std::fprintf(stderr,
+                 "campaign: %zu jobs, %zu ok, %zu failed, %zu "
+                 "retries, %.1fs wall (%.2f jobs/s)\n",
+                 summary.total, summary.ok, summary.failed,
+                 summary.retries, summary.wallMs / 1000.0,
+                 summary.wallMs > 0.0
+                     ? summary.total * 1000.0 / summary.wallMs
+                     : 0.0);
+    for (const exec::JobRecord &rec : memory.records()) {
+        if (!rec.ok()) {
+            std::fprintf(stderr, "failed: %s [%s] %s\n  repro: %s\n",
+                         rec.spec.name.c_str(), toString(rec.status),
+                         rec.error.c_str(),
+                         exec::reproCommand(rec.spec).c_str());
+        }
+    }
+
+    if (report.rfind("speedup:", 0) == 0) {
+        const std::string baseVariant = report.substr(8);
+        std::vector<std::string> columns;
+        for (const exec::SweepVariant &variant : spec.variants) {
+            if (variant.name != baseVariant)
+                columns.push_back(variant.name);
+        }
+        std::printf("# speedup vs %s (quota=%llu/core)\n",
+                    baseVariant.c_str(),
+                    static_cast<unsigned long long>(spec.quota));
+        exec::printHeader(columns);
+        exec::Averager avg;
+        for (const exec::JobRecord &rec : memory.records()) {
+            // One row per workload, keyed off its base-variant job.
+            const auto tag = rec.spec.tags.find("variant");
+            if (tag == rec.spec.tags.end() ||
+                tag->second != baseVariant || !rec.ok())
+                continue;
+            const std::string &workload = rec.spec.workload;
+            std::vector<double> row;
+            bool complete = true;
+            for (const std::string &col : columns) {
+                const exec::JobRecord *other =
+                    memory.find(workload + "/" + col);
+                if (!other || !other->ok()) {
+                    complete = false;
+                    break;
+                }
+                row.push_back(
+                    static_cast<double>(rec.result.cycles) /
+                    static_cast<double>(other->result.cycles));
+            }
+            if (!complete)
+                continue;
+            exec::printRow(workload, row);
+            avg.add(row);
+        }
+        exec::printRow("Average", avg.average());
+    }
+
+    return summary.failed == 0 ? 0 : 2;
+}
