@@ -10,7 +10,7 @@
  * FR-FCFS across the parallel suite for each knob setting.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -9,7 +9,7 @@
  * essential?
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -11,7 +11,7 @@
  * blocking information; this bench tests exactly that.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -6,7 +6,7 @@
  * Paper reference: 6.1% of loads, 48.6% of execution time on average.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

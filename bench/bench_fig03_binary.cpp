@@ -8,7 +8,7 @@
  * CLPT-Binary flat.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -6,7 +6,7 @@
  * MaxStallTime 1.093, TotalStallTime best by a hair.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

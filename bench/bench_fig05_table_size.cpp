@@ -6,7 +6,7 @@
  * the small table (its reordering-sensitive double-pointer loads).
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

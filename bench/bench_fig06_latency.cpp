@@ -9,7 +9,7 @@
  * the scheduler exploits their slack; `art` uniquely sees both drop.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

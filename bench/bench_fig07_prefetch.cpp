@@ -7,7 +7,7 @@
  * (TotalStallTime) on top.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

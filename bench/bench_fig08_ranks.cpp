@@ -8,7 +8,7 @@
  * the 64-entry MaxStallTime predictor.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -7,7 +7,7 @@
  * entries changes little beyond 48.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

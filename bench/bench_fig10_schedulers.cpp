@@ -13,7 +13,7 @@
  * records. Output is identical to the former serial loop.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

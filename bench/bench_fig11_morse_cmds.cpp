@@ -9,7 +9,7 @@
  * 9.3% takes ~15 commands (80 kB of CMAC per controller).
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -6,7 +6,7 @@
  * "low enough that one could consider it within simulation noise".
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

@@ -8,7 +8,7 @@
  * changes nothing (criticality is long-term-useful information).
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 using namespace critmem;
 using namespace critmem::bench;

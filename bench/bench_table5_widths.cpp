@@ -11,7 +11,7 @@
  * 2,605-3,469 B for 8 cores / 4 channels.
  */
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 #include "crit/overhead.hh"
 

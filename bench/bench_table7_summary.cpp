@@ -16,7 +16,7 @@
 
 #include <set>
 
-#include "bench_util.hh"
+#include "bench/bench_util.hh"
 
 #include "crit/overhead.hh"
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Determinism regression check: simulation results must be a pure
+# function of (workload, config, seed), independent of wall-clock,
+# host entropy and worker-pool interleaving.
+#
+#   check_determinism.sh SIM_BIN SWEEP_BIN SPEC_FILE
+#
+# 1. critmem-sim twice with the same seed: --stats-json output must be
+#    byte-identical.
+# 2. critmem-sweep over SPEC_FILE with --jobs 1 vs --jobs 4: result
+#    files must be byte-identical (the scheduler hands results to the
+#    sink in spec order regardless of completion order).
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 SIM_BIN SWEEP_BIN SPEC_FILE" >&2
+    exit 2
+fi
+sim=$1
+sweep=$2
+spec=$3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_sim() {
+    "$sim" --app art --sched casras-crit --instrs 20000 --seed 7 \
+        --stats-json "$1" --quiet >/dev/null
+}
+run_sim "$tmp/sim_a.json"
+run_sim "$tmp/sim_b.json"
+if ! cmp -s "$tmp/sim_a.json" "$tmp/sim_b.json"; then
+    echo "FAIL: critmem-sim --stats-json differs across identical runs" >&2
+    diff "$tmp/sim_a.json" "$tmp/sim_b.json" >&2 || true
+    exit 1
+fi
+echo "sim: two identical-seed runs byte-identical"
+
+"$sweep" --spec "$spec" --quota 1000 --jobs 1 --out "$tmp/sweep_1.jsonl" \
+    >/dev/null 2>&1
+"$sweep" --spec "$spec" --quota 1000 --jobs 4 --out "$tmp/sweep_4.jsonl" \
+    >/dev/null 2>&1
+if ! cmp -s "$tmp/sweep_1.jsonl" "$tmp/sweep_4.jsonl"; then
+    echo "FAIL: critmem-sweep output depends on --jobs" >&2
+    diff "$tmp/sweep_1.jsonl" "$tmp/sweep_4.jsonl" >&2 || true
+    exit 1
+fi
+echo "sweep: --jobs 1 and --jobs 4 byte-identical"

@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 
 cmake -B build
 cmake --build build -j"$(nproc)"
+
+# Static analysis first: critmem-lint over the checkout (source rules
+# + timing-preset/sweep-spec data rules). Cheap, and a violation here
+# fails fast before any sanitizer rebuild.
+cmake --build build --target lint
+
 ctest --test-dir build --output-on-failure | tee test_output.txt
 
 # ASan+UBSan pass: the whole suite again under the sanitizers.

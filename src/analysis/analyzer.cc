@@ -1,0 +1,175 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace critmem::analysis
+{
+
+namespace fs = std::filesystem;
+
+bool
+Baseline::covers(const Finding &finding) const
+{
+    return keys.count(finding.baselineKey()) > 0;
+}
+
+Baseline
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read baseline " + path);
+    Baseline baseline;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        baseline.keys.insert(line);
+    }
+    return baseline;
+}
+
+std::string
+formatBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding &finding : findings)
+        keys.push_back(finding.baselineKey());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::ostringstream os;
+    os << "# critmem-lint baseline: known findings, one "
+          "rule<TAB>path<TAB>message per line.\n"
+       << "# Regenerate with: critmem-lint --root . "
+          "--write-baseline\n";
+    for (const std::string &key : keys)
+        os << key << '\n';
+    return os.str();
+}
+
+bool
+Report::clean() const
+{
+    return std::none_of(findings.begin(), findings.end(),
+                        [](const Finding &finding) {
+                            return finding.severity ==
+                                Severity::Error;
+                        });
+}
+
+const std::vector<std::string> &
+scannedDirs()
+{
+    static const std::vector<std::string> kDirs{"src", "tools",
+                                               "bench", "examples"};
+    return kDirs;
+}
+
+namespace
+{
+
+bool
+isCppSource(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+        ext == ".h" || ext == ".hpp";
+}
+
+/** Repo-relative path with '/' separators. */
+std::string
+relativePath(const fs::path &root, const fs::path &file)
+{
+    return fs::relative(file, root).generic_string();
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeFile(const SourceFile &file)
+{
+    std::vector<Finding> findings;
+    for (const SourceRule *rule : sourceRules()) {
+        std::vector<Finding> raw;
+        rule->check(file, raw);
+        for (Finding &finding : raw) {
+            if (!file.suppressed(finding.rule, finding.line))
+                findings.push_back(std::move(finding));
+        }
+    }
+    return findings;
+}
+
+Report
+runAnalysis(const AnalyzerOptions &opts, const Baseline &baseline)
+{
+    const fs::path root(opts.root);
+    if (!fs::is_directory(root))
+        throw std::runtime_error("not a directory: " + opts.root);
+
+    auto ruleEnabled = [&](const RuleMeta &meta) {
+        return opts.ruleFilter.empty() ||
+            opts.ruleFilter.count(meta.id) > 0;
+    };
+
+    // Collect and sort the file list: directory iteration order is
+    // filesystem-defined, and the lint report must be byte-identical
+    // across runs and machines.
+    std::vector<fs::path> files;
+    for (const std::string &dir : scannedDirs()) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (entry.is_regular_file() && isCppSource(entry.path()))
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    Report report;
+    std::vector<Finding> all;
+    for (const fs::path &path : files) {
+        const SourceFile file =
+            loadSourceFile(path.string(), relativePath(root, path));
+        ++report.filesScanned;
+        for (const SourceRule *rule : sourceRules()) {
+            if (!ruleEnabled(rule->meta()))
+                continue;
+            std::vector<Finding> raw;
+            rule->check(file, raw);
+            for (Finding &finding : raw) {
+                if (!file.suppressed(finding.rule, finding.line))
+                    all.push_back(std::move(finding));
+            }
+        }
+    }
+
+    if (!opts.sourceOnly) {
+        const RepoContext repo{root.string()};
+        for (const DataRule *rule : dataRules()) {
+            if (ruleEnabled(rule->meta()))
+                rule->check(repo, all);
+        }
+    }
+
+    std::sort(all.begin(), all.end(), findingLess);
+    for (Finding &finding : all) {
+        (baseline.covers(finding) ? report.baselined
+                                  : report.findings)
+            .push_back(std::move(finding));
+    }
+    return report;
+}
+
+} // namespace critmem::analysis

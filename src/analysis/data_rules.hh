@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Data-rule helpers exposed for fixture tests: the DDR3 timing
+ * invariant checks (an independent reimplementation of the bounds a
+ * consistent speed grade must satisfy — deliberately NOT a call into
+ * DramTiming::validate(), so the two implementations cross-check each
+ * other) and the sweep-spec file checks.
+ */
+
+#ifndef CRITMEM_ANALYSIS_DATA_RULES_HH
+#define CRITMEM_ANALYSIS_DATA_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "sim/config.hh"
+
+namespace critmem::analysis
+{
+
+/**
+ * Append preset-timing findings for @p t at bus frequency @p busMHz.
+ * @p label names the grade in messages (e.g. "DDR3-1600").
+ * Invariants: tRC >= tRAS + tRP, tFAW >= 4*tRRD, tCCD covers the
+ * data burst, tRAS >= tRCD + tCCD, tRFC < tREFI, and 8192 refresh
+ * intervals must span 64 ms within 1%.
+ */
+void checkDramTiming(const DramTiming &t, std::uint32_t busMHz,
+                     const std::string &label,
+                     std::vector<Finding> &out);
+
+/**
+ * Append sweep-spec findings for the .sweep file at @p absPath
+ * (reported under @p relPath): parse errors, names unknown to the
+ * workload/scheduler/predictor registries, configs that fail
+ * validate(), exclusion globs that match nothing, and campaigns that
+ * expand to zero jobs.
+ */
+void checkSweepFile(const std::string &absPath,
+                    const std::string &relPath,
+                    std::vector<Finding> &out);
+
+} // namespace critmem::analysis
+
+#endif // CRITMEM_ANALYSIS_DATA_RULES_HH

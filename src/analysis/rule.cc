@@ -1,0 +1,27 @@
+#include "analysis/rule.hh"
+
+namespace critmem::analysis
+{
+
+std::vector<RuleMeta>
+allRuleMetas()
+{
+    std::vector<RuleMeta> metas;
+    for (const SourceRule *rule : sourceRules())
+        metas.push_back(rule->meta());
+    for (const DataRule *rule : dataRules())
+        metas.push_back(rule->meta());
+    return metas;
+}
+
+bool
+haveRule(const std::string &id)
+{
+    for (const RuleMeta &meta : allRuleMetas()) {
+        if (id == meta.id)
+            return true;
+    }
+    return false;
+}
+
+} // namespace critmem::analysis

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lexical model of one C++ source file as seen by the lint pass.
+ *
+ * Rules never parse C++ properly (no libclang in the build image, by
+ * design); instead they pattern-match over a "code view" of the file
+ * in which comments and string/character literals have been blanked
+ * to spaces, so that a forbidden token inside a comment or a log
+ * string can never fire a rule. Suppressions are read from the
+ * comments while they are being blanked:
+ *
+ *   code();            // lint:allow(rule-a,rule-b): reason
+ *   // lint:allow(rule-c): applies to the NEXT line when the
+ *   //                     comment stands alone on its own line
+ *   // lint:allow-file(rule-d): applies to the whole file
+ */
+
+#ifndef CRITMEM_ANALYSIS_SOURCE_FILE_HH
+#define CRITMEM_ANALYSIS_SOURCE_FILE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace critmem::analysis
+{
+
+/** One loaded source file plus its lint-relevant derived views. */
+struct SourceFile
+{
+    /** Repo-relative path with '/' separators. */
+    std::string path;
+    /** Raw text split into lines (no trailing '\n'). */
+    std::vector<std::string> lines;
+    /** lines with comments and literals blanked to spaces. */
+    std::vector<std::string> code;
+    /** Per-line suppressed rule ids (index = line number - 1). */
+    std::vector<std::set<std::string>> allow;
+    /** File-wide suppressed rule ids. */
+    std::set<std::string> allowFile;
+
+    /** True for .hh/.h/.hpp files. */
+    bool isHeader() const;
+
+    /** True when @p rule is suppressed at 1-based @p line. */
+    bool suppressed(const std::string &rule, int line) const;
+
+    /** The whole code view joined with '\n' (for cross-line regexes). */
+    std::string joinedCode() const;
+
+    /** 1-based line number containing @p offset of joinedCode(). */
+    int lineOfOffset(std::size_t offset) const;
+};
+
+/** Build a SourceFile from in-memory text (fixture tests). */
+SourceFile makeSourceFile(std::string path, const std::string &text);
+
+/**
+ * Load @p absPath from disk, recording it as @p relPath.
+ * Throws std::runtime_error when unreadable.
+ */
+SourceFile loadSourceFile(const std::string &absPath,
+                          std::string relPath);
+
+} // namespace critmem::analysis
+
+#endif // CRITMEM_ANALYSIS_SOURCE_FILE_HH

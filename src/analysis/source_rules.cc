@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The source-rule family of critmem-lint: lexical determinism,
+ * protocol-bypass and hygiene invariants over the C++ tree. Each
+ * rule documents the contract it enforces and the failure it was
+ * written to prevent; fixtures under tests/analysis/fixtures/ prove
+ * each one fires.
+ */
+
+#include <memory>
+#include <regex>
+#include <set>
+
+#include "analysis/rule.hh"
+
+namespace critmem::analysis
+{
+
+namespace
+{
+
+/** Shared helper: flag every regex hit on the blanked-code view. */
+void
+flagPattern(const SourceFile &file, const RuleMeta &meta,
+            const std::regex &pattern, const std::string &reason,
+            std::vector<Finding> &out)
+{
+    for (std::size_t li = 0; li < file.code.size(); ++li) {
+        std::smatch match;
+        if (std::regex_search(file.code[li], match, pattern)) {
+            out.push_back({meta.id, meta.severity, file.path,
+                           static_cast<int>(li + 1),
+                           "'" + match.str() + "' " + reason});
+        }
+    }
+}
+
+/**
+ * wall-clock: simulation behaviour and emitted results must be pure
+ * functions of (workload, config, seed). Reading host time anywhere
+ * in the scanned tree risks results that change from run to run —
+ * exactly what the --jobs N byte-identical contract forbids. Display
+ * -only uses (progress ETA lines on stderr) carry an inline
+ * lint:allow(wall-clock) with a reason.
+ */
+class WallClockRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "wall-clock", Severity::Error,
+            "no host time sources in simulation or emission code"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        static const std::regex kPattern(
+            "system_clock|steady_clock|high_resolution_clock|"
+            "gettimeofday|clock_gettime|\\btime\\s*\\(|"
+            "\\bclock\\s*\\(");
+        flagPattern(file, meta(), kPattern,
+                    "reads host time; results must depend only on "
+                    "(workload, config, seed)",
+                    out);
+    }
+};
+
+/**
+ * unseeded-random: every stochastic element must draw from an
+ * explicitly seeded critmem::Rng (sim/random.hh). std::random_device
+ * and the C rand() family produce irreproducible streams.
+ */
+class UnseededRandomRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "unseeded-random", Severity::Error,
+            "randomness must come from an explicitly seeded Rng"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        static const std::regex kPattern(
+            "random_device|\\bsrand\\s*\\(|\\brand\\s*\\(\\s*\\)|"
+            "default_random_engine|\\bmt19937|\\bminstd_rand");
+        flagPattern(file, meta(), kPattern,
+                    "is not reproducibly seeded; use critmem::Rng",
+                    out);
+    }
+};
+
+/**
+ * unordered-iter: iterating an unordered associative container yields
+ * an implementation- and address-layout-defined order. Any such loop
+ * in an emission, sink or stats path silently breaks the byte-
+ * identical --jobs N guarantee, so range-for over a container whose
+ * declared type is std::unordered_* is banned tree-wide (membership
+ * tests and lookups are fine). Copy into a std::map/sorted vector
+ * before emitting.
+ */
+class UnorderedIterRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "unordered-iter", Severity::Error,
+            "no iteration over unordered containers (order is not "
+            "deterministic)"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        const std::string joined = file.joinedCode();
+        const std::set<std::string> tracked = trackedNames(joined);
+
+        // Every range-for: extract the range expression and test
+        // whether it is (or ends in a member access of) a tracked
+        // unordered container.
+        static const std::regex kFor("\\bfor\\s*\\(");
+        auto begin = std::sregex_iterator(joined.begin(), joined.end(),
+                                          kFor);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position()) +
+                it->length() - 1;
+            const std::size_t close = matchParen(joined, open);
+            if (close == std::string::npos)
+                continue;
+            const std::string inside =
+                joined.substr(open + 1, close - open - 1);
+            const std::size_t colon = rangeColon(inside);
+            if (colon == std::string::npos)
+                continue;
+            std::string range = inside.substr(colon + 1);
+            std::smatch last;
+            static const std::regex kLastIdent(
+                "([A-Za-z_]\\w*)\\s*(?:\\(\\s*\\))?\\s*$");
+            const bool direct =
+                range.find("unordered_") != std::string::npos;
+            std::string name;
+            if (std::regex_search(range, last, kLastIdent))
+                name = last[1];
+            if (!direct && (name.empty() || !tracked.count(name)))
+                continue;
+            out.push_back(
+                {meta().id, meta().severity, file.path,
+                 file.lineOfOffset(open),
+                 "range-for over unordered container '" +
+                     (direct ? std::string("<temporary>") : name) +
+                     "': iteration order is nondeterministic; copy "
+                     "into an ordered container first"});
+        }
+    }
+
+  private:
+    /** Names of variables/aliases with an unordered declared type. */
+    static std::set<std::string>
+    trackedNames(const std::string &joined)
+    {
+        std::set<std::string> aliases;
+        static const std::regex kAlias(
+            "using\\s+(\\w+)\\s*=\\s*std\\s*::\\s*unordered_");
+        for (auto it = std::sregex_iterator(joined.begin(),
+                                            joined.end(), kAlias);
+             it != std::sregex_iterator(); ++it)
+            aliases.insert((*it)[1]);
+
+        std::set<std::string> names;
+        static const std::regex kDecl(
+            "unordered_(?:map|set|multimap|multiset)\\s*<");
+        for (auto it = std::sregex_iterator(joined.begin(),
+                                            joined.end(), kDecl);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position()) +
+                it->length() - 1;
+            const std::size_t close = matchAngle(joined, open);
+            if (close == std::string::npos)
+                continue;
+            std::smatch ident;
+            const std::string after = joined.substr(close + 1, 80);
+            static const std::regex kIdent(
+                "^\\s*&?\\s*([A-Za-z_]\\w*)\\s*[;={(,)]");
+            if (std::regex_search(after, ident, kIdent))
+                names.insert(ident[1]);
+        }
+        for (const std::string &alias : aliases) {
+            const std::regex aliasDecl(
+                "\\b" + alias + "\\s*&?\\s+([A-Za-z_]\\w*)\\s*[;={(,)]");
+            for (auto it = std::sregex_iterator(joined.begin(),
+                                                joined.end(),
+                                                aliasDecl);
+                 it != std::sregex_iterator(); ++it)
+                names.insert((*it)[1]);
+        }
+        return names;
+    }
+
+    /** Offset of the ')' matching the '(' at @p open; npos if none. */
+    static std::size_t
+    matchParen(const std::string &text, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < text.size(); ++i) {
+            if (text[i] == '(')
+                ++depth;
+            else if (text[i] == ')' && --depth == 0)
+                return i;
+        }
+        return std::string::npos;
+    }
+
+    /** Offset of the '>' matching the '<' at @p open; npos if none. */
+    static std::size_t
+    matchAngle(const std::string &text, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < text.size(); ++i) {
+            if (text[i] == '<')
+                ++depth;
+            else if (text[i] == '>' && --depth == 0)
+                return i;
+        }
+        return std::string::npos;
+    }
+
+    /** Offset of the range-for ':' inside @p inside; npos if none. */
+    static std::size_t
+    rangeColon(const std::string &inside)
+    {
+        for (std::size_t i = 0; i < inside.size(); ++i) {
+            if (inside[i] != ':')
+                continue;
+            const bool prevColon = i > 0 && inside[i - 1] == ':';
+            const bool nextColon =
+                i + 1 < inside.size() && inside[i + 1] == ':';
+            if (!prevColon && !nextColon)
+                return i;
+            if (nextColon)
+                ++i; // skip the second ':' of a '::'
+        }
+        return std::string::npos;
+    }
+};
+
+/**
+ * narrow-cycle: cycle counts are unbounded 64-bit quantities (Cycle /
+ * DramCycle in sim/types.hh). A naked 32-bit declaration whose name
+ * says it holds cycles wraps after ~4e9 cycles — about one second of
+ * simulated time at DDR3-2133 — corrupting timing arithmetic without
+ * any diagnostic. Bounded ratios/durations may carry an inline
+ * lint:allow(narrow-cycle) with the bound in the reason.
+ */
+class NarrowCycleRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "narrow-cycle", Severity::Error,
+            "cycle quantities must use 64-bit Cycle/DramCycle types"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        static const std::regex kPattern(
+            "\\b(?:std\\s*::\\s*)?(?:u?int32_t|unsigned|int)\\s+"
+            "(\\w*[Cc]ycle\\w*)");
+        for (std::size_t li = 0; li < file.code.size(); ++li) {
+            std::smatch match;
+            if (std::regex_search(file.code[li], match, kPattern)) {
+                out.push_back(
+                    {meta().id, meta().severity, file.path,
+                     static_cast<int>(li + 1),
+                     "32-bit declaration of cycle quantity '" +
+                         match[1].str() +
+                         "' wraps after ~4e9 cycles; use "
+                         "Cycle/DramCycle"});
+            }
+        }
+    }
+};
+
+/**
+ * config-validate: SystemConfig::validate() is the choke point that
+ * caught the inconsistent DDR3-1600 tRC preset. System's constructor
+ * enforces it, so any code that assembles DramSystem / MemHierarchy /
+ * DramChannel directly — bypassing System — must call
+ * validateOrFatal()/validate() itself, or an inconsistent config
+ * reaches the timing model unchecked. The implementing modules
+ * (src/dram, src/mem, src/system) receive already-validated configs
+ * and are exempt.
+ */
+class ConfigValidateRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "config-validate", Severity::Error,
+            "direct component assembly must validate its config"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        for (const char *exempt :
+             {"src/dram/", "src/mem/", "src/system/"}) {
+            if (file.path.rfind(exempt, 0) == 0)
+                return;
+        }
+        const std::string joined = file.joinedCode();
+        const bool validated =
+            joined.find("validateOrFatal") != std::string::npos ||
+            joined.find(".validate(") != std::string::npos;
+        if (validated)
+            return;
+        static const std::regex kConstruct(
+            "\\b(DramSystem|MemHierarchy|DramChannel)\\s+\\w+\\s*[({]|"
+            "make_unique<\\s*(DramSystem|MemHierarchy|DramChannel)\\b");
+        for (auto it = std::sregex_iterator(joined.begin(),
+                                            joined.end(), kConstruct);
+             it != std::sregex_iterator(); ++it) {
+            const std::string component =
+                (*it)[1].matched ? (*it)[1] : (*it)[2];
+            out.push_back(
+                {meta().id, meta().severity, file.path,
+                 file.lineOfOffset(
+                     static_cast<std::size_t>(it->position())),
+                 "direct " + component +
+                     " construction bypasses System's "
+                     "validateOrFatal(); call validateOrFatal(cfg) "
+                     "first"});
+        }
+    }
+};
+
+/**
+ * include-hygiene: quoted includes are project-relative from src/
+ * (so every file names its dependencies unambiguously and the
+ * include graph is greppable), headers carry CRITMEM_* guards, no
+ * file-scope `using namespace` leaks from headers, and nonportable
+ * <bits/...> internals stay out.
+ */
+class IncludeHygieneRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "include-hygiene", Severity::Error,
+            "project-relative includes, header guards, no using-"
+            "namespace in headers"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        static const std::regex kInclude(
+            "^\\s*#\\s*include\\s*([<\"])([^>\"]*)[>\"]");
+        for (std::size_t li = 0; li < file.lines.size(); ++li) {
+            // Use the code view to skip commented-out directives,
+            // but parse the raw line (literals are blanked in code).
+            if (file.code[li].find('#') == std::string::npos)
+                continue;
+            std::smatch match;
+            if (!std::regex_search(file.lines[li], match, kInclude))
+                continue;
+            const bool quoted = match[1] == "\"";
+            const std::string target = match[2];
+            const int line = static_cast<int>(li + 1);
+            if (quoted && target.find('/') == std::string::npos) {
+                out.push_back({meta().id, meta().severity, file.path,
+                               line,
+                               "include \"" + target +
+                                   "\" is not project-relative; "
+                                   "spell the full path from src/ "
+                                   "(e.g. \"exec/job.hh\")"});
+            }
+            if (quoted &&
+                target.find("../") != std::string::npos) {
+                out.push_back({meta().id, meta().severity, file.path,
+                               line,
+                               "include \"" + target +
+                                   "\" uses a parent-relative path"});
+            }
+            if (!quoted && target.rfind("bits/", 0) == 0) {
+                out.push_back({meta().id, meta().severity, file.path,
+                               line,
+                               "include <" + target +
+                                   "> names a libstdc++ internal"});
+            }
+        }
+
+        if (!file.isHeader())
+            return;
+
+        static const std::regex kGuard("#ifndef\\s+(CRITMEM_\\w+)");
+        std::smatch guard;
+        const std::string joined = file.joinedCode();
+        if (!std::regex_search(joined, guard, kGuard) ||
+            joined.find("#define " + guard[1].str()) ==
+                std::string::npos) {
+            out.push_back({meta().id, meta().severity, file.path, 1,
+                           "header lacks a CRITMEM_* include guard "
+                           "(#ifndef/#define pair)"});
+        }
+        static const std::regex kUsingNs(
+            "(^|\\n)\\s*using\\s+namespace\\s");
+        std::smatch uns;
+        if (std::regex_search(joined, uns, kUsingNs)) {
+            out.push_back(
+                {meta().id, meta().severity, file.path,
+                 file.lineOfOffset(static_cast<std::size_t>(
+                     uns.position() + uns.length() - 1)),
+                 "'using namespace' in a header leaks into every "
+                 "includer"});
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const SourceRule *> &
+sourceRules()
+{
+    static const WallClockRule wallClock;
+    static const UnseededRandomRule unseededRandom;
+    static const UnorderedIterRule unorderedIter;
+    static const NarrowCycleRule narrowCycle;
+    static const ConfigValidateRule configValidate;
+    static const IncludeHygieneRule includeHygiene;
+    static const std::vector<const SourceRule *> kRules{
+        &wallClock,      &unseededRandom, &unorderedIter,
+        &narrowCycle,    &configValidate, &includeHygiene};
+    return kRules;
+}
+
+} // namespace critmem::analysis

@@ -1,4 +1,4 @@
-#include "core.hh"
+#include "cpu/core.hh"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "cbp.hh"
+#include "crit/cbp.hh"
 
 #include <algorithm>
 #include <bit>

@@ -1,4 +1,4 @@
-#include "clpt.hh"
+#include "crit/clpt.hh"
 
 #include <bit>
 

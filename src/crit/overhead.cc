@@ -1,4 +1,4 @@
-#include "overhead.hh"
+#include "crit/overhead.hh"
 
 #include <algorithm>
 #include <bit>

@@ -1,4 +1,4 @@
-#include "address_map.hh"
+#include "dram/address_map.hh"
 
 #include <bit>
 

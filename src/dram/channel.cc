@@ -1,4 +1,4 @@
-#include "channel.hh"
+#include "dram/channel.hh"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "dram.hh"
+#include "dram/dram.hh"
 
 namespace critmem
 {

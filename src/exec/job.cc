@@ -1,4 +1,4 @@
-#include "job.hh"
+#include "exec/job.hh"
 
 #include <memory>
 #include <sstream>

@@ -1,4 +1,4 @@
-#include "job_runner.hh"
+#include "exec/job_runner.hh"
 
 #include <atomic>
 #include <chrono>
@@ -18,6 +18,8 @@ namespace critmem::exec
 namespace
 {
 
+// lint:allow(wall-clock): wallMs/progress ETA feed the stderr display
+// only and are never serialized into result files (see JobRecord).
 using Clock = std::chrono::steady_clock;
 
 /** One queued execution: which job and which attempt this is. */

@@ -1,4 +1,4 @@
-#include "result_sink.hh"
+#include "exec/result_sink.hh"
 
 #include <stdexcept>
 

@@ -1,4 +1,4 @@
-#include "sweep.hh"
+#include "exec/sweep.hh"
 
 #include <algorithm>
 #include <fstream>

@@ -1,4 +1,4 @@
-#include "cache.hh"
+#include "mem/cache.hh"
 
 #include <bit>
 

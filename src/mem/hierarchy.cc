@@ -1,4 +1,4 @@
-#include "hierarchy.hh"
+#include "mem/hierarchy.hh"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "prefetcher.hh"
+#include "mem/prefetcher.hh"
 
 #include <bit>
 #include <cstdlib>

@@ -1,4 +1,4 @@
-#include "ahb.hh"
+#include "sched/ahb.hh"
 
 #include <tuple>
 

@@ -1,4 +1,4 @@
-#include "atlas.hh"
+#include "sched/atlas.hh"
 
 #include <algorithm>
 #include <numeric>

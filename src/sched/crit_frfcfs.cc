@@ -1,4 +1,4 @@
-#include "crit_frfcfs.hh"
+#include "sched/crit_frfcfs.hh"
 
 #include <tuple>
 

@@ -1,4 +1,4 @@
-#include "frfcfs.hh"
+#include "sched/frfcfs.hh"
 
 #include <tuple>
 

@@ -1,4 +1,4 @@
-#include "minimalist.hh"
+#include "sched/minimalist.hh"
 
 #include <tuple>
 

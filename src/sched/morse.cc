@@ -1,4 +1,4 @@
-#include "morse.hh"
+#include "sched/morse.hh"
 
 #include <algorithm>
 #include <bit>

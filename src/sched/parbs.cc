@@ -1,4 +1,4 @@
-#include "parbs.hh"
+#include "sched/parbs.hh"
 
 #include <map>
 #include <tuple>

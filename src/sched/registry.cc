@@ -1,4 +1,4 @@
-#include "registry.hh"
+#include "sched/registry.hh"
 
 #include "sched/ahb.hh"
 #include "sched/atlas.hh"

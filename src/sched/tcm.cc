@@ -1,4 +1,4 @@
-#include "tcm.hh"
+#include "sched/tcm.hh"
 
 #include <algorithm>
 #include <numeric>

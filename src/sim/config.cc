@@ -1,4 +1,4 @@
-#include "config.hh"
+#include "sim/config.hh"
 
 #include <cmath>
 
@@ -171,6 +171,7 @@ namespace
  * latency in nanoseconds, rounding up as a real controller would.
  */
 std::uint32_t
+// lint:allow(narrow-cycle): scales bounded Table 3 timing parameters
 scaleCycles(std::uint32_t cycles2133, std::uint32_t busMHz)
 {
     const double ns = static_cast<double>(cycles2133) / 1066.0 * 1000.0;

@@ -77,6 +77,7 @@ struct DramTiming
     std::uint32_t burstLength = 8; ///< BL8: data occupies 4 bus cycles
 
     /** Bus cycles the data bus is busy per CAS (DDR: BL/2). */
+    // lint:allow(narrow-cycle): burst duration, bounded by BL/2 <= 4
     std::uint32_t dataCycles() const { return burstLength / 2; }
 
     /** Append structured errors for inconsistent timing parameters. */

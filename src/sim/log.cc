@@ -1,4 +1,4 @@
-#include "log.hh"
+#include "sim/log.hh"
 
 namespace critmem
 {

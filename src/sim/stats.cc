@@ -1,4 +1,4 @@
-#include "stats.hh"
+#include "sim/stats.hh"
 
 #include <algorithm>
 #include <bit>

@@ -1,4 +1,4 @@
-#include "experiment.hh"
+#include "system/experiment.hh"
 
 #include <algorithm>
 #include <cstdlib>

@@ -1,4 +1,4 @@
-#include "system.hh"
+#include "system/system.hh"
 
 #include "check/diagnostics.hh"
 #include "sim/log.hh"

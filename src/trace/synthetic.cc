@@ -1,4 +1,4 @@
-#include "synthetic.hh"
+#include "trace/synthetic.hh"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "trace_file.hh"
+#include "trace/trace_file.hh"
 
 #include <array>
 #include <cstring>

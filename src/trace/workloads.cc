@@ -1,4 +1,4 @@
-#include "workloads.hh"
+#include "trace/workloads.hh"
 
 #include "sim/log.hh"
 

@@ -1,0 +1,15 @@
+// Fixture: assembles DramSystem and MemHierarchy directly without
+// ever validating the config — the exact bypass the config-validate
+// rule exists to catch (System's constructor is never involved).
+#include "mem/hierarchy.hh"
+#include "sim/stats.hh"
+
+void
+assemble(const critmem::SystemConfig &cfg,
+         critmem::Scheduler &sched)
+{
+    critmem::stats::Group root("sys");
+    critmem::DramSystem dram(cfg.dram, sched, root); // BAD
+    critmem::MemHierarchy hier(cfg, dram, root);     // BAD
+    (void)hier;
+}

@@ -1,0 +1,15 @@
+// Fixture: the same direct assembly, but the config goes through
+// validateOrFatal() first — which satisfies the config-validate rule.
+#include "mem/hierarchy.hh"
+#include "sim/stats.hh"
+
+void
+assemble(const critmem::SystemConfig &cfg,
+         critmem::Scheduler &sched)
+{
+    critmem::validateOrFatal(cfg);
+    critmem::stats::Group root("sys");
+    critmem::DramSystem dram(cfg.dram, sched, root);
+    critmem::MemHierarchy hier(cfg, dram, root);
+    (void)hier;
+}

@@ -1,0 +1,8 @@
+// Fixture header violating every include-hygiene clause: bare quoted
+// include, parent-relative include, libstdc++ internal, no CRITMEM_*
+// guard, and a file-scope using-namespace.
+#include "config.hh"
+#include "../sim/types.hh"
+#include <bits/stl_vector.h>
+
+using namespace std;

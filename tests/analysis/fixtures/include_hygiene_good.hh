@@ -1,0 +1,15 @@
+// Fixture header satisfying include-hygiene: guarded, project-
+// relative includes only, no namespace leak.
+#ifndef CRITMEM_TESTS_FIXTURE_INCLUDE_HYGIENE_GOOD_HH
+#define CRITMEM_TESTS_FIXTURE_INCLUDE_HYGIENE_GOOD_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace critmem
+{
+std::vector<Cycle> fixtureCycles();
+} // namespace critmem
+
+#endif // CRITMEM_TESTS_FIXTURE_INCLUDE_HYGIENE_GOOD_HH

@@ -1,0 +1,12 @@
+// Fixture: naked 32-bit declarations of cycle quantities, which wrap
+// after ~4e9 cycles. The narrow-cycle rule must flag all three.
+#include <cstdint>
+
+std::uint64_t
+drain()
+{
+    std::uint32_t startCycle = 0; // BAD
+    unsigned busCycles = 0;       // BAD
+    int cycleDelta = 0;           // BAD
+    return startCycle + busCycles + static_cast<unsigned>(cycleDelta);
+}

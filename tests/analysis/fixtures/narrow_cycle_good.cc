@@ -1,0 +1,14 @@
+// Fixture: cycle quantities carried in 64-bit types, plus a 32-bit
+// variable whose name says nothing about cycles. No findings.
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+Cycle
+drain()
+{
+    Cycle startCycle = 0;
+    std::uint64_t busCycles = 0;
+    std::uint32_t retries = 0; // 32-bit, but not a cycle count
+    return startCycle + busCycles + retries;
+}

@@ -1,0 +1,22 @@
+// Fixture: range-for over unordered containers — declared directly
+// and via a using-alias. Both loops must be flagged by the
+// unordered-iter rule.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using TagMap = std::unordered_map<std::string, std::uint64_t>;
+
+std::uint64_t
+total()
+{
+    TagMap tags = {{"a", 1}, {"b", 2}};
+    std::uint64_t sum = 0;
+    for (const auto &kv : tags) // BAD: alias-declared unordered_map
+        sum += kv.second;
+    std::unordered_set<std::uint64_t> seen{sum};
+    for (std::uint64_t v : seen) // BAD: declared unordered_set
+        sum += v;
+    return sum;
+}

@@ -1,0 +1,19 @@
+// Fixture: unordered containers used for lookups only, plus a
+// range-for over an ordered std::map. No unordered-iter findings.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::uint64_t
+lookup(const std::unordered_map<std::string, std::uint64_t> &index,
+       const std::map<std::string, std::uint64_t> &ordered)
+{
+    std::uint64_t sum = 0;
+    const auto it = index.find("total"); // lookup, not iteration
+    if (it != index.end())
+        sum += it->second;
+    for (const auto &kv : ordered) // ordered: fine
+        sum += kv.second;
+    return sum;
+}

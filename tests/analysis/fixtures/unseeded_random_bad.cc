@@ -1,0 +1,11 @@
+// Fixture: irreproducible randomness sources the unseeded-random
+// rule must flag.
+#include <random>
+
+unsigned
+roll()
+{
+    std::random_device dev; // BAD
+    std::mt19937 gen(dev()); // BAD
+    return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,10 @@
+// Fixture: the sanctioned randomness source — an explicitly seeded
+// critmem::Rng. Must produce no unseeded-random findings.
+#include "sim/random.hh"
+
+std::uint64_t
+roll(std::uint64_t seed)
+{
+    critmem::Rng rng(seed);
+    return rng.next();
+}

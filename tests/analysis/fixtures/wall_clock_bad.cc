@@ -1,0 +1,12 @@
+// Fixture: deliberately reads host time. critmem-lint's wall-clock
+// rule must flag the steady_clock use on the marked line.
+#include <chrono>
+
+long
+elapsedMs()
+{
+    const auto start = std::chrono::steady_clock::now(); // BAD
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}

@@ -1,0 +1,10 @@
+// Fixture: mentions clocks only in comments and string literals,
+// which the blanked-code view must hide from the wall-clock rule.
+#include <string>
+
+// A steady_clock reference in a comment is fine.
+std::string
+describe()
+{
+    return "steady_clock is banned; gettimeofday too";
+}

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * critmem-lint unit tests: every source rule proven to fire on its
+ * bad fixture and stay silent on its good twin, suppression
+ * mechanics, baseline round-trips, and the data rules — including
+ * the canary this PR exists for: a DDR3 timing preset with
+ * tRC < tRAS + tRP must fail lint.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "analysis/data_rules.hh"
+#include "analysis/source_file.hh"
+#include "sim/config.hh"
+
+namespace
+{
+
+using namespace critmem;
+using namespace critmem::analysis;
+
+const std::string kFixtures =
+    std::string(CRITMEM_REPO_ROOT) + "/tests/analysis/fixtures/";
+
+/** Run every source rule over one fixture file. */
+std::vector<Finding>
+lintFixture(const std::string &name)
+{
+    return analyzeFile(loadSourceFile(
+        kFixtures + name, "tests/analysis/fixtures/" + name));
+}
+
+/** Findings for one rule id. */
+std::size_t
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&](const Finding &f) { return f.rule == rule; }));
+}
+
+TEST(LintWallClock, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("wall_clock_bad.cc");
+    EXPECT_GE(countRule(findings, "wall-clock"), 2u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.severity, Severity::Error);
+}
+
+TEST(LintWallClock, SilentOnGoodFixture)
+{
+    // Mentions of steady_clock live only in comments and string
+    // literals, which the blanked-code view must hide.
+    EXPECT_EQ(lintFixture("wall_clock_good.cc").size(), 0u);
+}
+
+TEST(LintUnseededRandom, FiresOnBadFixture)
+{
+    EXPECT_GE(countRule(lintFixture("unseeded_random_bad.cc"),
+                        "unseeded-random"),
+              2u);
+}
+
+TEST(LintUnseededRandom, SilentOnGoodFixture)
+{
+    EXPECT_EQ(lintFixture("unseeded_random_good.cc").size(), 0u);
+}
+
+TEST(LintUnorderedIter, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("unordered_iter_bad.cc");
+    // One finding per loop: the alias-declared map and the directly
+    // declared set.
+    EXPECT_EQ(countRule(findings, "unordered-iter"), 2u);
+}
+
+TEST(LintUnorderedIter, SilentOnGoodFixture)
+{
+    // Lookups in unordered containers and iteration over std::map
+    // are both fine.
+    EXPECT_EQ(lintFixture("unordered_iter_good.cc").size(), 0u);
+}
+
+TEST(LintNarrowCycle, FiresOnBadFixture)
+{
+    EXPECT_EQ(countRule(lintFixture("narrow_cycle_bad.cc"),
+                        "narrow-cycle"),
+              3u);
+}
+
+TEST(LintNarrowCycle, SilentOnGoodFixture)
+{
+    EXPECT_EQ(lintFixture("narrow_cycle_good.cc").size(), 0u);
+}
+
+TEST(LintConfigValidate, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("config_validate_bad.cc");
+    EXPECT_EQ(countRule(findings, "config-validate"), 2u);
+}
+
+TEST(LintConfigValidate, SilentWhenValidated)
+{
+    // Identical assembly, but validateOrFatal() is called first.
+    EXPECT_EQ(countRule(lintFixture("config_validate_good.cc"),
+                        "config-validate"),
+              0u);
+}
+
+TEST(LintConfigValidate, ImplementingModulesAreExempt)
+{
+    // src/mem/ receives already-validated configs; the same code
+    // reported under that path must not be flagged.
+    const SourceFile file = loadSourceFile(
+        kFixtures + "config_validate_bad.cc", "src/mem/fake.cc");
+    EXPECT_EQ(countRule(analyzeFile(file), "config-validate"), 0u);
+}
+
+TEST(LintIncludeHygiene, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("include_hygiene_bad.hh");
+    // Bare quoted include, parent-relative include, <bits/...>,
+    // missing CRITMEM_* guard, using-namespace: five findings.
+    EXPECT_EQ(countRule(findings, "include-hygiene"), 5u);
+}
+
+TEST(LintIncludeHygiene, SilentOnGoodFixture)
+{
+    EXPECT_EQ(lintFixture("include_hygiene_good.hh").size(), 0u);
+}
+
+TEST(LintSuppression, TrailingCommentGuardsItsLine)
+{
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "#include <random>\n"
+        "std::mt19937 gen; // lint:allow(unseeded-random): fixture\n");
+    EXPECT_EQ(analyzeFile(file).size(), 0u);
+}
+
+TEST(LintSuppression, StandaloneCommentCarriesForward)
+{
+    // The suppression comment sits on its own line (possibly spanning
+    // several comment-only lines) and must guard the next code line.
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "// lint:allow(unseeded-random): reproducing a published\n"
+        "// stream requires the reference engine here\n"
+        "std::mt19937 gen;\n");
+    EXPECT_EQ(analyzeFile(file).size(), 0u);
+}
+
+TEST(LintSuppression, WholeFileAllow)
+{
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "// lint:allow-file(unseeded-random)\n"
+        "std::mt19937 a;\n"
+        "std::mt19937 b;\n");
+    EXPECT_EQ(analyzeFile(file).size(), 0u);
+}
+
+TEST(LintSuppression, OtherRulesStillFire)
+{
+    // Allowing one rule must not silence another on the same line.
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "std::mt19937 gen; // lint:allow(wall-clock): wrong rule\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "unseeded-random"), 1u);
+}
+
+TEST(LintBaseline, RoundTripAndCoverage)
+{
+    Finding finding{"wall-clock", Severity::Error, "tools/x.cc", 7,
+                    "'steady_clock' reads host time"};
+    const std::string path = testing::TempDir() + "lint_baseline_rt.txt";
+    {
+        std::ofstream out(path);
+        out << formatBaseline({finding});
+    }
+    const Baseline baseline = loadBaseline(path);
+    EXPECT_EQ(baseline.keys.size(), 1u);
+    EXPECT_TRUE(baseline.covers(finding));
+
+    // Identity is (rule, path, message) — the line number is free to
+    // move without resurrecting the finding...
+    finding.line = 99;
+    EXPECT_TRUE(baseline.covers(finding));
+    // ...but a different message is a different finding.
+    finding.message = "something else";
+    EXPECT_FALSE(baseline.covers(finding));
+}
+
+TEST(LintBaseline, ShippedBaselineIsEmpty)
+{
+    const Baseline baseline =
+        loadBaseline(std::string(CRITMEM_REPO_ROOT) +
+                     "/lint-baseline.txt");
+    EXPECT_TRUE(baseline.keys.empty())
+        << "lint-baseline.txt must stay empty: fix or suppress "
+           "findings at the source";
+}
+
+// The acceptance canary: corrupting a timing preset so tRC < tRAS +
+// tRP must produce a preset-timing finding.
+TEST(LintPresetTiming, CatchesCorruptedTRC)
+{
+    DramTiming t; // Table 3 defaults (consistent)
+    t.tRC = t.tRAS + t.tRP - 1;
+    std::vector<Finding> findings;
+    checkDramTiming(t, 1066, "corrupted", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "preset-timing");
+    EXPECT_NE(findings[0].message.find("tRC"), std::string::npos);
+}
+
+TEST(LintPresetTiming, CatchesFourActivateWindowViolation)
+{
+    DramTiming t;
+    t.tFAW = 4 * t.tRRD - 1;
+    std::vector<Finding> findings;
+    checkDramTiming(t, 1066, "corrupted", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("tFAW"), std::string::npos);
+}
+
+TEST(LintPresetTiming, CatchesRefreshWindowDrift)
+{
+    DramTiming t;
+    t.tREFI = t.tREFI * 2; // refresh window doubles to ~128 ms
+    std::vector<Finding> findings;
+    checkDramTiming(t, 1066, "corrupted", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("64 ms"), std::string::npos);
+}
+
+TEST(LintPresetTiming, ShippedPresetsAreClean)
+{
+    for (const DramSpeed speed :
+         {DramSpeed::DDR3_1066, DramSpeed::DDR3_1600,
+          DramSpeed::DDR3_2133}) {
+        const DramConfig cfg = DramConfig::preset(speed);
+        std::vector<Finding> findings;
+        checkDramTiming(cfg.t, cfg.busMHz, toString(speed), findings);
+        EXPECT_TRUE(findings.empty())
+            << toString(speed) << ": " << findings.front().message;
+    }
+}
+
+TEST(LintSweepSpec, GoodFixtureIsClean)
+{
+    std::vector<Finding> findings;
+    checkSweepFile(kFixtures + "good.sweep", "good.sweep", findings);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front().message);
+}
+
+TEST(LintSweepSpec, FlagsUnknownWorkload)
+{
+    std::vector<Finding> findings;
+    checkSweepFile(kFixtures + "bad_unknown_workload.sweep",
+                   "bad_unknown_workload.sweep", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "sweep-spec");
+    EXPECT_NE(findings[0].message.find("nosuchapp"), std::string::npos);
+}
+
+TEST(LintSweepSpec, FlagsUnsatisfiableExclude)
+{
+    std::vector<Finding> findings;
+    checkSweepFile(kFixtures + "bad_exclude.sweep",
+                   "bad_exclude.sweep", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("matches no"), std::string::npos);
+}
+
+TEST(LintSweepSpec, ShippedCampaignsAreClean)
+{
+    namespace fs = std::filesystem;
+    const fs::path specs = fs::path(CRITMEM_REPO_ROOT) / "specs";
+    ASSERT_TRUE(fs::is_directory(specs));
+    for (const auto &entry : fs::directory_iterator(specs)) {
+        if (entry.path().extension() != ".sweep")
+            continue;
+        std::vector<Finding> findings;
+        checkSweepFile(entry.path().string(),
+                       entry.path().filename().string(), findings);
+        EXPECT_TRUE(findings.empty())
+            << entry.path() << ": "
+            << (findings.empty() ? "" : findings.front().message);
+    }
+}
+
+TEST(LintReport, FindingRenderAndOrder)
+{
+    const Finding a{"wall-clock", Severity::Error, "a.cc", 3, "m"};
+    const Finding b{"wall-clock", Severity::Error, "a.cc", 9, "m"};
+    const Finding c{"narrow-cycle", Severity::Error, "b.cc", 1, "m"};
+    EXPECT_TRUE(findingLess(a, b));
+    EXPECT_TRUE(findingLess(b, c));
+    std::ostringstream os;
+    os << a;
+    EXPECT_EQ(os.str(), "a.cc:3: error: [wall-clock] m");
+}
+
+} // namespace

@@ -9,9 +9,10 @@ static RunResult runMorse(const SystemConfig& cfg, const AppParams& app,
     struct Holder { MorseScheduler s; Holder(const SystemConfig& c, float a, float g, float e)
         : s(c.dram.channels, c.dram.banksPerRank, c.sched.morseMaxCommands, false, c.seed, a, g, e) {} };
     Holder h(cfg, a, g, e);
-    System* sys = nullptr; (void)sys;
-    // Can't inject scheduler into System; replicate runParallel manually.
-    // Use a local system assembly:
+    // Can't inject scheduler into System; replicate runParallel
+    // manually — which also means System's constructor never sees
+    // this config, so validate it here before assembling components.
+    validateOrFatal(cfg);
     stats::Group root("sys");
     DramSystem dram(cfg.dram, h.s, root);
     MemHierarchy hier(cfg, dram, root);
