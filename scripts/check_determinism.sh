@@ -46,3 +46,8 @@ if ! cmp -s "$tmp/sweep_1.jsonl" "$tmp/sweep_4.jsonl"; then
     exit 1
 fi
 echo "sweep: --jobs 1 and --jobs 4 byte-identical"
+
+# 3. Crash safety is determinism across a process boundary: a
+#    campaign SIGKILLed mid-flight and resumed must reproduce the
+#    uninterrupted run's result files byte-for-byte.
+"$(dirname "$0")/check_resume.sh" "$sweep" "$spec"

@@ -18,6 +18,12 @@ cmake --build build --target lint
 
 ctest --test-dir build --output-on-failure | tee test_output.txt
 
+# Crash-safety smoke: SIGKILL a checkpointed campaign mid-flight,
+# resume it, and demand byte-identical result files. Also a graceful
+# SIGINT must exit 3 (resumable) without publishing a torn file.
+./scripts/check_resume.sh ./build/examples/critmem-sweep \
+    specs/fig10.sweep
+
 # ASan+UBSan pass: the whole suite again under the sanitizers.
 if [ "${CRITMEM_SKIP_ASAN:-0}" != "1" ]; then
     cmake -B build-asan -DCRITMEM_SANITIZE=ON
@@ -31,7 +37,7 @@ fi
 if [ "${CRITMEM_SKIP_TSAN:-0}" != "1" ]; then
     cmake -B build-tsan -DCRITMEM_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
-    ctest --test-dir build-tsan -R '^Exec' --output-on-failure \
+    ctest --test-dir build-tsan -R '^Exec|^Campaign' --output-on-failure \
         | tee test_output_tsan.txt
     ./build-tsan/examples/critmem-sweep --spec specs/fig10.sweep \
         --quota 1000 --jobs 4 --out /dev/null

@@ -445,6 +445,76 @@ class IncludeHygieneRule : public SourceRule
     }
 };
 
+/**
+ * durable-write: result artifacts must never be observable in a
+ * half-written state. A raw std::ofstream / fopen(write-mode) leaves
+ * a truncated file behind on crash or SIGKILL — the failure mode the
+ * crash-safe campaign work eliminated. Writers go through AtomicFile
+ * (temp + fsync + rename; sim/atomic_file.hh), or carry an inline
+ * lint:allow(durable-write) stating their own durability story
+ * (e.g. the campaign journal's append-plus-fsync protocol).
+ * Read-mode fopen ("r", "rb") is fine.
+ */
+class DurableWriteRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "durable-write", Severity::Error,
+            "file writers must use AtomicFile or state a durability "
+            "story"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        // The helper itself is the one legitimate raw writer.
+        if (file.path.rfind("src/sim/atomic_file", 0) == 0)
+            return;
+        static const std::regex kOfstream("\\bofstream\\b");
+        static const std::regex kFopen("\\bfopen\\s*\\(");
+        // The mode is a string literal, blanked in the code view:
+        // sniff it from the raw line.
+        static const std::regex kFopenMode(
+            "\\bfopen\\s*\\([^\"]*\"([^\"]*)\"");
+        for (std::size_t li = 0; li < file.code.size(); ++li) {
+            std::smatch match;
+            if (std::regex_search(file.code[li], match, kOfstream)) {
+                out.push_back(
+                    {meta().id, meta().severity, file.path,
+                     static_cast<int>(li + 1),
+                     "'" + match.str() +
+                         "' writes without crash atomicity; a death "
+                         "mid-write leaves a torn file. Use "
+                         "AtomicFile (sim/atomic_file.hh) or add "
+                         "lint:allow(durable-write) with the "
+                         "durability story"});
+                continue;
+            }
+            if (!std::regex_search(file.code[li], match, kFopen))
+                continue;
+            std::smatch mode;
+            if (std::regex_search(file.lines[li], mode, kFopenMode)) {
+                const std::string m = mode[1];
+                if (!m.empty() && m[0] == 'r' &&
+                    m.find('+') == std::string::npos)
+                    continue; // read-only open
+            }
+            out.push_back(
+                {meta().id, meta().severity, file.path,
+                 static_cast<int>(li + 1),
+                 "'fopen' in a write mode lacks crash atomicity; "
+                 "use AtomicFile (sim/atomic_file.hh) or add "
+                 "lint:allow(durable-write) with the durability "
+                 "story"});
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<const SourceRule *> &
@@ -456,9 +526,11 @@ sourceRules()
     static const NarrowCycleRule narrowCycle;
     static const ConfigValidateRule configValidate;
     static const IncludeHygieneRule includeHygiene;
+    static const DurableWriteRule durableWrite;
     static const std::vector<const SourceRule *> kRules{
         &wallClock,      &unseededRandom, &unorderedIter,
-        &narrowCycle,    &configValidate, &includeHygiene};
+        &narrowCycle,    &configValidate, &includeHygiene,
+        &durableWrite};
     return kRules;
 }
 

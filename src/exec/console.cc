@@ -1,0 +1,54 @@
+#include "exec/console.hh"
+
+#include <cstdio>
+
+namespace critmem::exec
+{
+
+Console &
+Console::instance()
+{
+    static Console console;
+    return console;
+}
+
+void
+Console::line(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shown_ != 0) {
+        std::fprintf(stderr, "\r%*s\r", static_cast<int>(shown_), "");
+        shown_ = 0;
+    }
+    std::fprintf(stderr, "%s\n", text.c_str());
+    std::fflush(stderr);
+}
+
+void
+Console::progress(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Pad with spaces when the new line is shorter than the previous
+    // one so stale tail characters never linger.
+    const std::size_t pad =
+        shown_ > text.size() ? shown_ - text.size() : 0;
+    std::fprintf(stderr, "\r%s%*s", text.c_str(),
+                 static_cast<int>(pad), "");
+    if (pad != 0)
+        std::fprintf(stderr, "\r%s", text.c_str());
+    shown_ = text.size();
+    std::fflush(stderr);
+}
+
+void
+Console::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shown_ != 0) {
+        std::fputc('\n', stderr);
+        shown_ = 0;
+    }
+    std::fflush(stderr);
+}
+
+} // namespace critmem::exec

@@ -30,8 +30,23 @@ toString(JobStatus status)
       case JobStatus::CheckViolation: return "check_violation";
       case JobStatus::TraceError:     return "trace_error";
       case JobStatus::Error:          return "error";
+      case JobStatus::Timeout:        return "timeout";
     }
     return "?";
+}
+
+bool
+parseJobStatus(const std::string &name, JobStatus &out)
+{
+    for (const JobStatus status :
+         {JobStatus::Ok, JobStatus::CheckViolation,
+          JobStatus::TraceError, JobStatus::Error, JobStatus::Timeout}) {
+        if (name == toString(status)) {
+            out = status;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string
@@ -87,7 +102,8 @@ reproCommand(const JobSpec &spec)
 }
 
 RunResult
-executeJob(const JobSpec &spec, std::string *statsJson)
+executeJob(const JobSpec &spec, std::string *statsJson,
+           const std::atomic<bool> *cancel)
 {
     // Validate up front and throw instead of letting the harness
     // fatal(): a malformed job must not take the campaign down.
@@ -140,6 +156,7 @@ executeJob(const JobSpec &spec, std::string *statsJson)
     }
     if (!sys)
         throw std::runtime_error("unknown run kind");
+    sys->setAbortFlag(cancel);
 
     const RunResult result =
         runSystem(*sys, spec.quota, spec.warmup, stopAtQuota);

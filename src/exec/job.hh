@@ -13,6 +13,7 @@
 #ifndef CRITMEM_EXEC_JOB_HH
 #define CRITMEM_EXEC_JOB_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,7 +41,11 @@ enum class JobStatus
     CheckViolation, ///< the protocol checker/watchdog fired
     TraceError,     ///< a trace file failed to parse
     Error,          ///< any other exception (bad spec, ...)
+    Timeout,        ///< cooperatively aborted at the wall-clock limit
 };
+
+/** Parse a toString(JobStatus) name back; false on unknown names. */
+bool parseJobStatus(const std::string &name, JobStatus &out);
 
 const char *toString(JobStatus status);
 
@@ -107,9 +112,14 @@ std::string reproCommand(const JobSpec &spec);
  * get the raw exception).
  * @param statsJson When non-null and spec.captureStats, receives the
  *        finished System's stats tree as JSON.
+ * @param cancel When non-null, polled by the simulation loop; setting
+ *        it aborts the run with CheckViolation (diagnostics snapshots
+ *        attached). The JobRunner's per-job timeout watchdog and the
+ *        graceful-shutdown drain deadline both drive this flag.
  */
 RunResult executeJob(const JobSpec &spec,
-                     std::string *statsJson = nullptr);
+                     std::string *statsJson = nullptr,
+                     const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Derive a per-job seed from a campaign seed and the job's name —

@@ -11,13 +11,24 @@
  *
  * Failure isolation: CheckViolation / TraceError / std::exception
  * from a job is caught, recorded (with a repro command line) and —
- * under the bounded retry policy — the job is re-queued; the campaign
- * itself never aborts.
+ * under the bounded retry policy, after a jittered exponential
+ * backoff — the job is re-queued; the campaign itself never aborts.
+ * A per-job wall-clock timeout cooperatively cancels wedged jobs
+ * (diagnostics snapshots attached to the failure record).
+ *
+ * Crash safety: a CampaignLog (the durable journal behind
+ * critmem-sweep --campaign/--resume) can pre-supply completed
+ * records — those jobs are replayed into the sinks without running —
+ * and durably absorbs every freshly finished record. A cooperative
+ * stop flag turns SIGINT/SIGTERM into a graceful drain: dispatch
+ * stops, in-flight jobs get a bounded deadline, finished work is
+ * journaled, and the summary reports the campaign as interrupted.
  */
 
 #ifndef CRITMEM_EXEC_JOB_RUNNER_HH
 #define CRITMEM_EXEC_JOB_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +36,27 @@
 
 namespace critmem::exec
 {
+
+/**
+ * Checkpoint/resume hook of one campaign: supplies records completed
+ * by a previous (interrupted) execution and durably absorbs fresh
+ * ones. Implemented by CampaignJournal (exec/campaign.hh).
+ */
+class CampaignLog
+{
+  public:
+    virtual ~CampaignLog() = default;
+
+    /** Completed record for job @p index; nullptr = must run. */
+    virtual const JobRecord *replay(std::size_t index) const = 0;
+
+    /**
+     * Durably record a freshly finished job. Called from worker
+     * threads (never for replayed records); implementations must be
+     * thread-safe and should persist record-at-a-time.
+     */
+    virtual void record(const JobRecord &rec) = 0;
+};
 
 /** Knobs of one campaign execution. */
 struct RunnerOptions
@@ -35,6 +67,36 @@ struct RunnerOptions
     unsigned maxAttempts = 1;
     /** Emit a live [done/total] throughput/ETA line on stderr. */
     bool progress = false;
+
+    /**
+     * Wall-clock budget per job execution, ms; 0 disables. A job past
+     * its budget is cooperatively cancelled and recorded as
+     * JobStatus::Timeout (no retry), with channel snapshots in the
+     * error text.
+     */
+    std::uint64_t jobTimeoutMs = 0;
+
+    /**
+     * Base of the jittered exponential backoff between retry
+     * attempts, ms; 0 disables the delay (retries stay immediate).
+     * Attempt k waits in [d/2, d] where d = min(base << (k-1), cap).
+     */
+    std::uint64_t backoffBaseMs = 0;
+    /** Upper bound of the exponential backoff delay, ms. */
+    std::uint64_t backoffCapMs = 5000;
+    /** Seed of the (deterministic) backoff jitter stream. */
+    std::uint64_t backoffSeed = 1;
+
+    /**
+     * Graceful-shutdown request. nullptr or 0 = run normally; any
+     * nonzero value stops dispatch: queued jobs are left unrun,
+     * in-flight jobs drain (bounded by drainDeadlineMs, then
+     * cooperative cancel), finished records are journaled/flushed,
+     * and the summary comes back with interrupted = true.
+     */
+    const std::atomic<int> *stopRequested = nullptr;
+    /** ms allowed for in-flight jobs to drain after a stop request. */
+    std::uint64_t drainDeadlineMs = 20000;
 };
 
 /** Campaign-level accounting returned by JobRunner::run(). */
@@ -43,8 +105,14 @@ struct CampaignSummary
     std::size_t total = 0;
     std::size_t ok = 0;
     std::size_t failed = 0;
+    /** Jobs replayed from a CampaignLog instead of executed. */
+    std::size_t replayed = 0;
+    /** Jobs never completed (graceful shutdown left them queued). */
+    std::size_t pending = 0;
     /** Extra executions spent on retries (attempts beyond the first). */
     std::size_t retries = 0;
+    /** True when a stop request cut the campaign short. */
+    bool interrupted = false;
     double wallMs = 0.0;
 };
 
@@ -57,9 +125,16 @@ class JobRunner
     /**
      * Run every job, feeding @p sinks in submission order, and block
      * until the campaign completes. Safe to call repeatedly.
+     *
+     * With @p log, jobs whose records the log already holds are
+     * replayed into the sinks without executing, and every freshly
+     * finished record is handed to log->record() before it becomes
+     * visible to the sinks — so the sink outputs of a resumed
+     * campaign are byte-identical to an uninterrupted one.
      */
     CampaignSummary run(const std::vector<JobSpec> &jobs,
-                        const std::vector<ResultSink *> &sinks);
+                        const std::vector<ResultSink *> &sinks,
+                        CampaignLog *log = nullptr);
 
   private:
     RunnerOptions opts_;

@@ -12,6 +12,14 @@
 namespace critmem::exec
 {
 
+SweepError::SweepError(const std::string &message, std::size_t lineNo,
+                       std::uint64_t byteOffset)
+    : std::runtime_error(message + " (byte offset " +
+                         std::to_string(byteOffset) + ")"),
+      lineNo_(lineNo), byteOffset_(byteOffset)
+{
+}
+
 namespace
 {
 
@@ -266,13 +274,19 @@ parseSweepSpec(std::istream &in)
     SweepSpec spec;
     std::string line;
     std::size_t lineNo = 0;
+    std::uint64_t lineStart = 0;
+    std::uint64_t nextStart = 0;
 
     const auto fail = [&](const std::string &what) {
-        bad("sweep spec line " + std::to_string(lineNo) + ": " + what);
+        throw SweepError("sweep spec line " + std::to_string(lineNo) +
+                             ": " + what,
+                         lineNo, lineStart);
     };
 
     while (std::getline(in, line)) {
         ++lineNo;
+        lineStart = nextStart;
+        nextStart += line.size() + 1; // getline consumed the newline
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);

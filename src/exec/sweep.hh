@@ -16,6 +16,7 @@
 #define CRITMEM_EXEC_SWEEP_HH
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,29 @@
 
 namespace critmem::exec
 {
+
+/**
+ * A malformed .sweep spec. Carries the 1-based line number and the
+ * byte offset of the offending line so drivers and fuzz harnesses can
+ * point at the exact location (the analogue of TraceError for spec
+ * files).
+ */
+class SweepError : public std::runtime_error
+{
+  public:
+    SweepError(const std::string &message, std::size_t lineNo,
+               std::uint64_t byteOffset);
+
+    /** 1-based line number of the offending line. */
+    std::size_t lineNo() const { return lineNo_; }
+
+    /** Offset into the stream where that line starts. */
+    std::uint64_t byteOffset() const { return byteOffset_; }
+
+  private:
+    std::size_t lineNo_;
+    std::uint64_t byteOffset_;
+};
 
 /** One configuration column: a name plus key=value settings. */
 struct SweepVariant
@@ -99,7 +123,8 @@ bool globMatch(const std::string &pattern, const std::string &text);
  *   scheds = frfcfs, tcm         (shorthand: one variant per entry)
  *   variant NAME : key=value key=value ...
  *
- * Throws std::runtime_error with a line number on syntax errors.
+ * Throws SweepError carrying the line number and byte offset on
+ * syntax errors.
  */
 SweepSpec parseSweepSpec(std::istream &in);
 

@@ -1,0 +1,134 @@
+// lint:allow-file(durable-write): this file IS the durable-write
+// helper every other writer is required to use.
+
+#include "sim/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace critmem
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(what + " '" + path +
+                             "': " + std::strerror(errno));
+}
+
+/** Open @p path read-only, fsync it, close. */
+void
+syncFd(const std::string &path, int oflags)
+{
+    const int fd = ::open(path.c_str(), oflags);
+    if (fd < 0)
+        fail("cannot open for fsync", path);
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        fail("fsync failed for", path);
+    }
+    ::close(fd);
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+void
+fsyncPath(const std::string &path)
+{
+    syncFd(path, O_WRONLY);
+}
+
+void
+fsyncParentDir(const std::string &path)
+{
+    syncFd(parentDir(path), O_RDONLY | O_DIRECTORY);
+}
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmpPath_(path_ + ".tmp")
+{
+    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        fail("cannot open temp file", tmpPath_);
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (!committed_ && !discarded_) {
+        out_.close();
+        ::unlink(tmpPath_.c_str());
+    }
+}
+
+void
+AtomicFile::discard()
+{
+    if (committed_ || discarded_)
+        return;
+    out_.close();
+    ::unlink(tmpPath_.c_str());
+    discarded_ = true;
+}
+
+void
+AtomicFile::commit()
+{
+    if (committed_)
+        return;
+    if (discarded_)
+        throw std::runtime_error("AtomicFile '" + path_ +
+                                 "': commit after discard");
+    out_.flush();
+    if (!out_) {
+        discard();
+        fail("write failed for temp file", tmpPath_);
+    }
+    out_.close();
+    try {
+        fsyncPath(tmpPath_);
+    } catch (...) {
+        ::unlink(tmpPath_.c_str());
+        discarded_ = true;
+        throw;
+    }
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmpPath_.c_str());
+        discarded_ = true;
+        fail("cannot rename temp file over", path_);
+    }
+    // The rename is only durable once the directory entry is synced.
+    fsyncParentDir(path_);
+    committed_ = true;
+}
+
+void
+AtomicFile::writeAll(const std::string &path, const std::string &content)
+{
+    AtomicFile file(path);
+    file.stream() << content;
+    file.commit();
+}
+
+} // namespace critmem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Crash-consistent file writing: AtomicFile stages output in a
+ * sibling temp file and publishes it with fsync + rename, so a crash
+ * at ANY point leaves either the old content or the complete new
+ * content on disk — never a torn file. Every result/baseline writer
+ * in the tree goes through this helper (enforced by the
+ * `durable-write` lint rule, DESIGN.md section 9).
+ */
+
+#ifndef CRITMEM_SIM_ATOMIC_FILE_HH
+#define CRITMEM_SIM_ATOMIC_FILE_HH
+
+#include <fstream>
+#include <string>
+
+namespace critmem
+{
+
+/**
+ * A file write with old-or-new atomicity.
+ *
+ * Usage: construct, write to stream(), then commit(). The data lands
+ * in `path.tmp`; commit() flushes, fsyncs the temp file, renames it
+ * over the target, and fsyncs the directory so the rename itself is
+ * durable. Destruction without commit() (error paths, exceptions)
+ * unlinks the temp file and leaves any previous target untouched.
+ */
+class AtomicFile
+{
+  public:
+    /** Open `path.tmp` for writing; throws std::runtime_error. */
+    explicit AtomicFile(std::string path);
+
+    /** Discards the temp file when not committed. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** The staging stream; everything written lands in the temp. */
+    std::ostream &stream() { return out_; }
+
+    /** Final target path this file publishes to. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Flush + fsync the temp file, rename it over path(), and fsync
+     * the containing directory. Throws std::runtime_error on any
+     * failure (the temp is discarded and the old target survives).
+     */
+    void commit();
+
+    /** Drop the staged content without touching the target. */
+    void discard();
+
+    bool committed() const { return committed_; }
+
+    /** One-shot convenience: stage @p content and commit. */
+    static void writeAll(const std::string &path,
+                         const std::string &content);
+
+  private:
+    std::string path_;
+    std::string tmpPath_;
+    std::ofstream out_;
+    bool committed_ = false;
+    bool discarded_ = false;
+};
+
+/**
+ * fsync an already-written file by path (used by append-mode writers
+ * that manage their own FILE handle, e.g. the campaign journal).
+ * Throws std::runtime_error when the file cannot be synced.
+ */
+void fsyncPath(const std::string &path);
+
+/** fsync the directory containing @p path (durability of renames). */
+void fsyncParentDir(const std::string &path);
+
+} // namespace critmem
+
+#endif // CRITMEM_SIM_ATOMIC_FILE_HH

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sim/atomic_file.hh"
+
 namespace critmem::stats
 {
 
@@ -239,6 +241,15 @@ const Histogram *
 Group::findHistogram(const std::string &path) const
 {
     return dynamic_cast<const Histogram *>(find(path));
+}
+
+void
+writeJsonFile(const std::string &path, const Group &root)
+{
+    AtomicFile file(path);
+    root.printJson(file.stream());
+    file.stream() << '\n';
+    file.commit();
 }
 
 } // namespace critmem::stats

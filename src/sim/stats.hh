@@ -185,6 +185,13 @@ class Group
     std::vector<Group *> children_;
 };
 
+/**
+ * Write @p root's JSON tree (one line + trailing newline) to @p path
+ * with old-or-new atomicity (AtomicFile: temp + fsync + rename). The
+ * sink behind critmem-sim --stats-json FILE.
+ */
+void writeJsonFile(const std::string &path, const Group &root);
+
 } // namespace critmem::stats
 
 #endif // CRITMEM_SIM_STATS_HH

@@ -171,6 +171,21 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
         }
         tickOnce();
 
+        if (abortFlag_ != nullptr && (cycle_ & 0x3ff) == 0 &&
+            abortFlag_->load(std::memory_order_relaxed)) {
+            std::string dump;
+            for (std::uint32_t c = 0; c < dram_->numChannels(); ++c)
+                dump +=
+                    formatSnapshot(dram_->channel(c).snapshot(dramCycle_));
+            throw CheckViolation(Violation{
+                RuleId::Watchdog, 0, dramCycle_,
+                "run aborted by the execution engine at cycle " +
+                    std::to_string(cycle_) +
+                    " (per-job timeout or shutdown drain deadline); "
+                    "channel snapshots:\n" +
+                    dump});
+        }
+
         if (watchCommits && (cycle_ & 0x3ff) == 0) {
             std::uint64_t committed = 0;
             for (const auto &core : cores_)

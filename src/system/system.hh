@@ -8,6 +8,7 @@
 #ifndef CRITMEM_SYSTEM_SYSTEM_HH
 #define CRITMEM_SYSTEM_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -104,6 +105,19 @@ class System
      * @param requireDrained Report still-outstanding requests as lost.
      */
     void finalizeChecks(bool requireDrained = true);
+
+    /**
+     * Cooperative cancellation: run() polls @p flag every 1024 cycles
+     * and, when it becomes true, throws CheckViolation carrying the
+     * per-channel diagnostics snapshots — the same dump the commit
+     * watchdog produces, so a wall-clock-stuck job explains itself.
+     * The execution engine's per-job timeout and graceful-shutdown
+     * drain deadline are built on this hook. nullptr disables it.
+     */
+    void setAbortFlag(const std::atomic<bool> *flag)
+    {
+        abortFlag_ = flag;
+    }
     stats::Group &statsRoot() { return root_; }
     const stats::Group &statsRoot() const { return root_; }
     const SystemConfig &config() const { return cfg_; }
@@ -122,6 +136,8 @@ class System
     std::unique_ptr<MemHierarchy> hier_;
     std::vector<std::unique_ptr<SyntheticApp>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;
+
+    const std::atomic<bool> *abortFlag_ = nullptr;
 
     Cycle cycle_ = 0;
     Cycle windowStart_ = 0;

@@ -55,6 +55,9 @@ TraceError::TraceError(const std::string &message,
 }
 
 TraceWriter::TraceWriter(const std::string &path)
+    // lint:allow(durable-write): traces are rewritable inputs, not
+    // result artifacts — close() finalizes the header, and a torn
+    // file is rejected by TraceReader's validation on next load.
     : file_(std::fopen(path.c_str(), "wb"))
 {
     if (!file_)

@@ -1,0 +1,34 @@
+// Fixture: deliberately writes result files without crash atomicity.
+// critmem-lint's durable-write rule must flag the raw ofstream and
+// both write-mode fopen calls, but not the read-mode fopen.
+#include <cstdio>
+#include <fstream>
+
+void
+dumpResults(const char *path)
+{
+    std::ofstream out(path); // BAD: torn file on crash
+    out << "cycles = 42\n";
+}
+
+void
+appendLog(const char *path)
+{
+    std::FILE *f = std::fopen(path, "ab"); // BAD: write mode
+    std::fclose(f);
+}
+
+void
+rewrite(const char *path)
+{
+    std::FILE *f = std::fopen(path, "r+"); // BAD: update mode
+    std::fclose(f);
+}
+
+long
+readBack(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb"); // OK: read-only
+    std::fclose(f);
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Fixture: durable writers that must NOT trip the durable-write
+// rule — the AtomicFile recipe, a read-only fopen, an ofstream that
+// carries an inline suppression with its durability story, and
+// ofstream/fopen mentions hidden in comments and string literals.
+#include <cstdio>
+#include <string>
+
+#include "sim/atomic_file.hh"
+
+void
+dumpResults(const std::string &path)
+{
+    critmem::AtomicFile out(path); // temp + fsync + rename
+    out.stream() << "cycles = 42\n";
+    out.commit();
+}
+
+long
+readBack(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    std::fclose(f);
+    return 0;
+}
+
+void
+appendJournal(const char *path)
+{
+    // lint:allow(durable-write): append-only log; every record is
+    // fsync'd before the result becomes visible.
+    std::FILE *f = std::fopen(path, "ab");
+    std::fclose(f);
+}
+
+// A std::ofstream mention in a comment is fine, as is one in a
+// string literal:
+std::string
+describe()
+{
+    return "ofstream and fopen(path, \"wb\") are banned";
+}

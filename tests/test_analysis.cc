@@ -137,6 +137,33 @@ TEST(LintIncludeHygiene, SilentOnGoodFixture)
     EXPECT_EQ(lintFixture("include_hygiene_good.hh").size(), 0u);
 }
 
+TEST(LintDurableWrite, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("durable_write_bad.cc");
+    // Raw ofstream, fopen "ab", fopen "r+"; the read-only fopen "rb"
+    // must not count.
+    EXPECT_EQ(countRule(findings, "durable-write"), 3u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.severity, Severity::Error);
+}
+
+TEST(LintDurableWrite, SilentOnGoodFixture)
+{
+    // AtomicFile use, read-mode fopen, a suppressed append-only log,
+    // and comment/string mentions: all clean.
+    EXPECT_EQ(lintFixture("durable_write_good.cc").size(), 0u);
+}
+
+TEST(LintDurableWrite, AtomicFileHelperIsExempt)
+{
+    // The helper is the one legitimate raw writer; the same code
+    // reported under its path must pass.
+    const SourceFile file = makeSourceFile(
+        "src/sim/atomic_file.hh",
+        "#include <fstream>\nstd::ofstream out_;\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "durable-write"), 0u);
+}
+
 TEST(LintSuppression, TrailingCommentGuardsItsLine)
 {
     const SourceFile file = makeSourceFile(

@@ -22,6 +22,7 @@
 
 #include "sched/registry.hh"
 #include "sim/log.hh"
+#include "sim/stats.hh"
 #include "system/experiment.hh"
 
 using namespace critmem;
@@ -324,17 +325,19 @@ main(int argc, char **argv)
     if (dumpStats)
         sys->statsRoot().print(std::cout);
     if (!statsJsonPath.empty()) {
-        std::ofstream file;
-        std::ostream *os = &std::cout;
-        if (statsJsonPath != "-") {
-            file.open(statsJsonPath);
-            if (!file)
-                fatal("cannot open --stats-json file '", statsJsonPath,
-                      "'");
-            os = &file;
+        if (statsJsonPath == "-") {
+            sys->statsRoot().printJson(std::cout);
+            std::cout << '\n';
+        } else {
+            // Atomic temp+fsync+rename write: a crash mid-dump never
+            // leaves a truncated JSON file at the target path.
+            try {
+                stats::writeJsonFile(statsJsonPath, sys->statsRoot());
+            } catch (const std::exception &err) {
+                fatal("cannot write --stats-json file '",
+                      statsJsonPath, "': ", err.what());
+            }
         }
-        sys->statsRoot().printJson(*os);
-        *os << '\n';
     }
     return 0;
 }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "analysis/analyzer.hh"
+#include "sim/atomic_file.hh"
 
 namespace
 {
@@ -119,13 +120,18 @@ main(int argc, char **argv)
         if (writeBaseline) {
             if (effectiveBaseline.empty())
                 effectiveBaseline = root + "/lint-baseline.txt";
-            std::ofstream out(effectiveBaseline);
-            if (!out) {
-                std::fprintf(stderr, "%s: cannot write %s\n",
-                             argv[0], effectiveBaseline.c_str());
+            // Atomic temp+fsync+rename write: concurrent lint runs
+            // (or a crash) never leave a half-written baseline.
+            try {
+                critmem::AtomicFile out(effectiveBaseline);
+                out.stream() << formatBaseline(report.findings);
+                out.commit();
+            } catch (const std::exception &err) {
+                std::fprintf(stderr, "%s: cannot write %s: %s\n",
+                             argv[0], effectiveBaseline.c_str(),
+                             err.what());
                 return 2;
             }
-            out << formatBaseline(report.findings);
             std::fprintf(stderr,
                          "wrote %zu baseline entr%s to %s\n",
                          report.findings.size(),

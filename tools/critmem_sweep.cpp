@@ -12,20 +12,33 @@
  *
  * Results are bit-identical for any --jobs value; the wall clock is
  * the only thing that changes.
+ *
+ * Crash safety: with --campaign DIR every completed job is fsync'd
+ * into DIR/journal.txt, and after a crash / SIGKILL / graceful ^C
+ * `critmem-sweep --resume DIR` re-runs only the missing jobs and
+ * regenerates outputs byte-identical to an uninterrupted run. Result
+ * files (--out/--csv) are written via temp+rename, so readers see
+ * either the old file or the complete new one, never a torn write.
  */
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
+#include "exec/campaign.hh"
+#include "exec/console.hh"
 #include "exec/job_runner.hh"
 #include "exec/sweep.hh"
 #include "exec/table.hh"
+#include "sim/atomic_file.hh"
 #include "sim/log.hh"
 
 using namespace critmem;
@@ -33,12 +46,27 @@ using namespace critmem;
 namespace
 {
 
+/**
+ * Graceful-shutdown state. The first SIGINT/SIGTERM requests a
+ * drain (stop dispatch, finish in-flight jobs, flush the journal and
+ * sinks, print a --resume hint); a second signal aborts immediately.
+ */
+std::atomic<int> gStop{0};
+
+extern "C" void
+onStopSignal(int)
+{
+    if (gStop.fetch_add(1) != 0)
+        std::_Exit(130);
+}
+
 [[noreturn]] void
 usage()
 {
     std::fprintf(
         stderr,
         "usage: critmem-sweep --spec FILE [options]\n"
+        "       critmem-sweep --resume DIR [options]\n"
         "  --spec FILE        sweep specification (see specs/)\n"
         "  --jobs N           worker threads (default: all cores)\n"
         "  --retries N        extra attempts per failed job"
@@ -54,13 +82,33 @@ usage()
         "  --seed N           override the spec's campaign seed\n"
         "  --check            attach the protocol checker to every"
         " job\n"
+        "  --timeout SEC      per-job wall-clock limit; over-budget"
+        " jobs are\n"
+        "                     cancelled and recorded as"
+        " status=timeout\n"
+        "  --campaign DIR     checkpoint into DIR: an atomic manifest"
+        " plus a\n"
+        "                     per-record fsync'd completion journal\n"
+        "  --resume DIR       resume an interrupted --campaign run:"
+        " re-expands\n"
+        "                     the spec, verifies the manifest hash,"
+        " replays\n"
+        "                     journaled jobs and runs only the rest\n"
         "  --report speedup:BASE\n"
         "                     after the run, print per-workload cycle\n"
         "                     speedups of every variant relative to\n"
         "                     variant BASE (figure-bench layout)\n"
         "  --list             print the expanded job list and exit\n"
-        "exit status: 0 all jobs ok, 2 some jobs failed permanently\n");
+        "exit status: 0 all jobs ok, 2 some jobs failed permanently,\n"
+        "             3 interrupted by SIGINT/SIGTERM (resumable with"
+        " --resume)\n");
     std::exit(1);
+}
+
+std::string
+boolValue(bool b)
+{
+    return b ? "1" : "0";
 }
 
 } // namespace
@@ -72,6 +120,8 @@ main(int argc, char **argv)
     std::string outPath;
     std::string csvPath;
     std::string report;
+    std::string campaignDir;
+    bool resume = false;
     exec::RunnerOptions opts;
     opts.maxAttempts = 2;
     bool listOnly = false;
@@ -112,6 +162,14 @@ main(int argc, char **argv)
             seedSet = true;
         } else if (arg == "--check") {
             forceCheck = true;
+        } else if (arg == "--timeout") {
+            opts.jobTimeoutMs = 1000 *
+                std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--campaign") {
+            campaignDir = nextArg(i);
+        } else if (arg == "--resume") {
+            campaignDir = nextArg(i);
+            resume = true;
         } else if (arg == "--report") {
             report = nextArg(i);
         } else if (arg == "--list") {
@@ -120,24 +178,64 @@ main(int argc, char **argv)
             usage();
         }
     }
-    if (specPath.empty())
+    if (specPath.empty() && !resume)
         usage();
 
     setQuiet(true);
+    exec::Console &console = exec::Console::instance();
 
     exec::SweepSpec spec;
     std::vector<exec::JobSpec> jobs;
+    std::unique_ptr<exec::CampaignJournal> journal;
     try {
-        spec = exec::parseSweepFile(specPath);
-        if (quotaOverride)
-            spec.quota = quotaOverride;
-        if (seedSet)
-            spec.campaignSeed = seedOverride;
-        if (forceCheck)
-            spec.check = true;
-        if (captureStats)
-            spec.captureStats = true;
-        jobs = spec.expand();
+        if (resume) {
+            // Everything that shapes the job list comes from the
+            // manifest, so a plain `--resume DIR` reproduces the
+            // original campaign exactly; only execution knobs
+            // (--jobs, --timeout, --progress, ...) stay CLI-driven.
+            const exec::Manifest manifest =
+                exec::loadManifest(exec::manifestPath(campaignDir));
+            const std::string *field = manifest.find("spec");
+            if (field == nullptr)
+                throw exec::CampaignError(
+                    "campaign manifest is missing key 'spec'", 0);
+            specPath = *field;
+            spec = exec::parseSweepFile(specPath);
+            if ((field = manifest.find("quota")) != nullptr)
+                spec.quota =
+                    std::strtoull(field->c_str(), nullptr, 10);
+            if ((field = manifest.find("seed")) != nullptr)
+                spec.campaignSeed =
+                    std::strtoull(field->c_str(), nullptr, 10);
+            if ((field = manifest.find("check")) != nullptr)
+                spec.check = *field == "1" || spec.check;
+            if ((field = manifest.find("stats")) != nullptr)
+                spec.captureStats = *field == "1" || spec.captureStats;
+            if ((field = manifest.find("out")) != nullptr)
+                outPath = *field;
+            if ((field = manifest.find("csv")) != nullptr)
+                csvPath = *field;
+            jobs = spec.expand();
+            // The spec file may have been edited since the campaign
+            // started; refuse to mix journaled results with a job
+            // list they no longer belong to.
+            manifest.expectValue(
+                "spec-hash",
+                exec::hashHex(exec::campaignHash(jobs)));
+            manifest.expectValue("jobs",
+                                 std::to_string(jobs.size()));
+        } else {
+            spec = exec::parseSweepFile(specPath);
+            if (quotaOverride)
+                spec.quota = quotaOverride;
+            if (seedSet)
+                spec.campaignSeed = seedOverride;
+            if (forceCheck)
+                spec.check = true;
+            if (captureStats)
+                spec.captureStats = true;
+            jobs = spec.expand();
+        }
     } catch (const std::exception &err) {
         std::fprintf(stderr, "critmem-sweep: %s\n", err.what());
         return 1;
@@ -149,57 +247,134 @@ main(int argc, char **argv)
         return 0;
     }
 
+    try {
+        if (resume) {
+            journal = exec::CampaignJournal::resume(
+                exec::journalPath(campaignDir));
+            journal->attach(jobs);
+            if (journal->tornTailTruncated())
+                console.line("journal: truncated a torn trailing "
+                             "record (crash artifact)");
+        } else if (!campaignDir.empty()) {
+            if (::mkdir(campaignDir.c_str(), 0777) != 0 &&
+                errno != EEXIST) {
+                fatal("cannot create campaign directory '",
+                      campaignDir, "'");
+            }
+            exec::writeManifest(
+                exec::manifestPath(campaignDir),
+                {{"spec", specPath},
+                 {"spec-hash",
+                  exec::hashHex(exec::campaignHash(jobs))},
+                 {"jobs", std::to_string(jobs.size())},
+                 {"quota", std::to_string(spec.quota)},
+                 {"seed", std::to_string(spec.campaignSeed)},
+                 {"check", boolValue(spec.check)},
+                 {"stats", boolValue(spec.captureStats)},
+                 {"out", outPath},
+                 {"csv", csvPath}});
+            journal = exec::CampaignJournal::create(
+                exec::journalPath(campaignDir));
+        }
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "critmem-sweep: %s\n", err.what());
+        return 1;
+    }
+
     // Assemble the sink stack. The memory sink always runs so that
     // post-run reports can query results without re-parsing files.
+    // File-backed sinks write through AtomicFile (temp + fsync +
+    // rename): a reader of the target path sees the previous file or
+    // the complete new one, never a partial write.
     exec::MemorySink memory;
     std::vector<exec::ResultSink *> sinks{&memory};
 
-    std::ofstream outFile;
+    std::unique_ptr<AtomicFile> outFile;
     std::unique_ptr<exec::JsonlSink> jsonl;
     if (!outPath.empty()) {
         std::ostream *os = &std::cout;
         if (outPath != "-") {
-            outFile.open(outPath);
-            if (!outFile)
-                fatal("cannot open --out file '", outPath, "'");
-            os = &outFile;
+            outFile = std::make_unique<AtomicFile>(outPath);
+            os = &outFile->stream();
         }
         jsonl = std::make_unique<exec::JsonlSink>(*os);
         sinks.push_back(jsonl.get());
     }
 
-    std::ofstream csvFile;
+    std::unique_ptr<AtomicFile> csvFile;
     std::unique_ptr<exec::CsvSink> csv;
     if (!csvPath.empty()) {
         std::ostream *os = &std::cout;
         if (csvPath != "-") {
-            csvFile.open(csvPath);
-            if (!csvFile)
-                fatal("cannot open --csv file '", csvPath, "'");
-            os = &csvFile;
+            csvFile = std::make_unique<AtomicFile>(csvPath);
+            os = &csvFile->stream();
         }
         csv = std::make_unique<exec::CsvSink>(*os);
         sinks.push_back(csv.get());
     }
 
-    exec::JobRunner runner(opts);
-    const exec::CampaignSummary summary = runner.run(jobs, sinks);
+    // First signal drains gracefully, second hard-aborts; see
+    // onStopSignal.
+    opts.stopRequested = &gStop;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
 
-    std::fprintf(stderr,
-                 "campaign: %zu jobs, %zu ok, %zu failed, %zu "
-                 "retries, %.1fs wall (%.2f jobs/s)\n",
-                 summary.total, summary.ok, summary.failed,
-                 summary.retries, summary.wallMs / 1000.0,
-                 summary.wallMs > 0.0
-                     ? summary.total * 1000.0 / summary.wallMs
-                     : 0.0);
+    // Retries pause on a deterministic jittered exponential backoff
+    // keyed to the campaign seed, so transient environmental noise
+    // (the only thing a retry can fix) gets time to clear.
+    opts.backoffBaseMs = 200;
+    opts.backoffSeed = spec.campaignSeed;
+
+    exec::JobRunner runner(opts);
+    const exec::CampaignSummary summary =
+        runner.run(jobs, sinks, journal.get());
+
+    // An interrupted campaign still commits its outputs: they hold a
+    // clean submission-order prefix of the records, and a --resume
+    // rewrites them in full.
+    try {
+        if (outFile)
+            outFile->commit();
+        if (csvFile)
+            csvFile->commit();
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "critmem-sweep: %s\n", err.what());
+        return 1;
+    }
+
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "campaign: %zu jobs, %zu ok, %zu failed, %zu "
+                  "replayed, %zu retries, %.1fs wall (%.2f jobs/s)",
+                  summary.total, summary.ok, summary.failed,
+                  summary.replayed, summary.retries,
+                  summary.wallMs / 1000.0,
+                  summary.wallMs > 0.0
+                      ? summary.total * 1000.0 / summary.wallMs
+                      : 0.0);
+    console.line(buffer);
     for (const exec::JobRecord &rec : memory.records()) {
         if (!rec.ok()) {
-            std::fprintf(stderr, "failed: %s [%s] %s\n  repro: %s\n",
-                         rec.spec.name.c_str(), toString(rec.status),
-                         rec.error.c_str(),
-                         exec::reproCommand(rec.spec).c_str());
+            console.line("failed: " + rec.spec.name + " [" +
+                         toString(rec.status) + "] after " +
+                         std::to_string(rec.attempts) +
+                         " attempt(s): " + rec.error +
+                         "\n  repro: " + exec::reproCommand(rec.spec));
         }
+    }
+
+    if (summary.interrupted) {
+        console.line(
+            "interrupted: " + std::to_string(summary.pending) +
+            " job(s) not completed");
+        if (!campaignDir.empty()) {
+            console.line("resume with: critmem-sweep --resume " +
+                         campaignDir);
+        } else {
+            console.line("(no --campaign directory: completed work "
+                         "was not checkpointed)");
+        }
+        return 3;
     }
 
     if (report.rfind("speedup:", 0) == 0) {
