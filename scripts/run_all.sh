@@ -24,12 +24,25 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
 ./scripts/check_resume.sh ./build/examples/critmem-sweep \
     specs/fig10.sweep
 
-# ASan+UBSan pass: the whole suite again under the sanitizers.
+# The same kill/resume contract over trace-backed jobs: external
+# trace ingestion (text + binary fixtures) must survive the SIGKILL
+# and resume byte-identically.
+./scripts/check_resume.sh ./build/examples/critmem-sweep \
+    specs/traces.sweep
+
+# ASan+UBSan pass: the whole suite again under the sanitizers
+# (includes TraceFuzz.Corpus, so the 10k-mutant seed-1 fuzz run
+# happens under ASan/UBSan too), plus a second fuzz run on a
+# different seed so the sanitized pass covers mutants the plain
+# ctest run never saw.
 if [ "${CRITMEM_SKIP_ASAN:-0}" != "1" ]; then
     cmake -B build-asan -DCRITMEM_SANITIZE=ON
     cmake --build build-asan -j"$(nproc)"
     ctest --test-dir build-asan --output-on-failure \
         | tee test_output_asan.txt
+    ./build-asan/examples/critmem-tracefuzz \
+        --corpus tests/trace/fixtures --iterations 10000 --seed 2 \
+        --scratch build-asan/tracefuzz.scratch --quiet
 fi
 
 # TSan pass: the execution engine's worker pool and a parallel sweep

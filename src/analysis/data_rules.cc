@@ -154,6 +154,60 @@ class PresetConfigRule : public DataRule
     }
 };
 
+/**
+ * trace-fixture: every checked-in trace under tests/trace/fixtures/
+ * must decode cleanly — the goldens the tests and the fuzz corpus
+ * mutate from must themselves be valid. CTMT replay traces (.bin)
+ * validate through TraceReader; everything else through the ingest
+ * scanner. Gzip fixtures are skipped when zlib is unavailable.
+ */
+class TraceFixtureRule : public DataRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "trace-fixture", Severity::Error,
+            "checked-in trace fixtures must decode cleanly"};
+        return kMeta;
+    }
+
+    void
+    check(const RepoContext &repo, std::vector<Finding> &out)
+        const override
+    {
+        namespace fs = std::filesystem;
+        const fs::path dir =
+            fs::path(repo.root) / "tests" / "trace" / "fixtures";
+        if (!fs::is_directory(dir))
+            return;
+        std::vector<fs::path> files;
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                files.push_back(entry.path());
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path &file : files) {
+            const std::string rel =
+                "tests/trace/fixtures/" + file.filename().string();
+            if (file.extension() == ".gz" && !ingest::haveGzip())
+                continue;
+            try {
+                if (file.extension() == ".bin") {
+                    TraceReader reader(file.string());
+                } else {
+                    ingest::scanTrace(file.string(),
+                                      ingest::IngestOptions{});
+                }
+            } catch (const std::exception &err) {
+                out.push_back({meta().id, meta().severity, rel, 0,
+                               err.what()});
+            }
+        }
+    }
+};
+
 /** sweep-spec over every .sweep campaign under specs/. */
 class SweepSpecRule : public DataRule
 {
@@ -210,6 +264,24 @@ checkSweepFile(const std::string &absPath, const std::string &relPath,
         return;
     }
 
+    // Every declared trace source must exist and decode cleanly under
+    // its declared options. Scan each one explicitly so a broken
+    // trace yields one targeted finding per declaration (TraceError
+    // messages carry the byte offset of the corruption) instead of a
+    // single opaque expansion failure.
+    bool tracesOk = true;
+    for (const exec::TraceDecl &decl : spec.traces) {
+        try {
+            ingest::scanTrace(decl.path, decl.options);
+        } catch (const std::exception &err) {
+            fail("trace '" + decl.name + "' (" + decl.path + "): " +
+                 err.what());
+            tracesOk = false;
+        }
+    }
+    if (!tracesOk)
+        return;
+
     // expand() validates workload names, variant settings and every
     // resulting SystemConfig against the live registries.
     std::size_t jobs = 0;
@@ -232,6 +304,8 @@ checkSweepFile(const std::string &absPath, const std::string &relPath,
         if (spec.mode == exec::SweepSpec::Mode::Parallel) {
             for (const AppParams &app : parallelApps())
                 workloads.push_back(app.name);
+            for (const exec::TraceDecl &decl : spec.traces)
+                workloads.push_back(decl.name);
         } else {
             for (const Bundle &bundle : multiprogBundles())
                 workloads.push_back(bundle.name);
@@ -263,8 +337,9 @@ dataRules()
     static const PresetTimingRule presetTiming;
     static const PresetConfigRule presetConfig;
     static const SweepSpecRule sweepSpec;
+    static const TraceFixtureRule traceFixture;
     static const std::vector<const DataRule *> kRules{
-        &presetTiming, &presetConfig, &sweepSpec};
+        &presetTiming, &presetConfig, &sweepSpec, &traceFixture};
     return kRules;
 }
 

@@ -307,6 +307,19 @@ campaignHash(const std::vector<JobSpec> &jobs)
         fnv.str(app.name);
     for (const Bundle &bundle : multiprogBundles())
         fnv.str(bundle.name);
+    // Trace workload identity covers the file CONTENT (FNV-1a of the
+    // raw bytes from the registration scan), so a campaign resumed
+    // against an edited trace file is refused as a different
+    // campaign even when the path and job list are unchanged.
+    for (const TraceWorkload &wl : traceWorkloads()) {
+        fnv.str(wl.name);
+        fnv.str(wl.path);
+        fnv.u64(wl.contentHash);
+        fnv.u64(wl.numCores);
+        fnv.u64(wl.records);
+        fnv.str(ingest::toString(wl.options.policy));
+        fnv.u64(wl.options.skipBudget);
+    }
 
     fnv.u64(jobs.size());
     for (const JobSpec &spec : jobs) {

@@ -18,6 +18,7 @@ toString(RunKind kind)
       case RunKind::Parallel: return "parallel";
       case RunKind::Bundle:   return "bundle";
       case RunKind::Alone:    return "alone";
+      case RunKind::Trace:    return "trace";
     }
     return "?";
 }
@@ -61,10 +62,30 @@ reproCommand(const JobSpec &spec)
     cmd << "critmem-sim";
     if (spec.multiprogPreset)
         cmd << " --preset multiprog";
-    if (spec.kind == RunKind::Bundle)
+    if (spec.kind == RunKind::Bundle) {
         cmd << " --bundle " << spec.workload;
-    else
+    } else if (spec.kind == RunKind::Trace) {
+        // Re-register the trace source, then select it by name.
+        if (const TraceWorkload *wl =
+                findTraceWorkload(spec.workload)) {
+            cmd << " --trace " << wl->name << '=' << wl->path;
+            if (wl->options.policy !=
+                ingest::RecoveryPolicy::Fail) {
+                cmd << " --trace-policy "
+                    << ingest::toString(wl->options.policy)
+                    << " --trace-skip-budget "
+                    << wl->options.skipBudget;
+            }
+            if (wl->options.format != ingest::TraceFormat::Auto) {
+                cmd << " --trace-format "
+                    << ingest::toString(wl->options.format);
+            }
+        } else {
+            cmd << " --trace " << spec.workload << "=<path>";
+        }
+    } else {
         cmd << " --app " << spec.workload;
+    }
     if (spec.kind == RunKind::Alone)
         cmd << " --alone";
     cmd << " --sched " << cliName(cfg.sched.algo);
@@ -151,6 +172,21 @@ executeJob(const JobSpec &spec, std::string *statsJson,
             perCore.push_back(appParams(name));
         sys = std::make_unique<System>(spec.cfg, perCore);
         stopAtQuota = false;
+        break;
+      }
+      case RunKind::Trace: {
+        const TraceWorkload *wl = findTraceWorkload(spec.workload);
+        if (!wl) {
+            throw std::runtime_error("unknown trace workload '" +
+                                     spec.workload + "'");
+        }
+        if (spec.cfg.numCores != wl->numCores) {
+            throw std::runtime_error(
+                "trace job '" + spec.name + "' needs " +
+                std::to_string(wl->numCores) + " cores (config has " +
+                std::to_string(spec.cfg.numCores) + ")");
+        }
+        sys = std::make_unique<System>(spec.cfg, *wl);
         break;
       }
     }

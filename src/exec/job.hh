@@ -30,6 +30,7 @@ enum class RunKind
     Parallel, ///< runParallel: all cores run one app to the quota
     Bundle,   ///< runBundle: Table 4 multiprogrammed methodology
     Alone,    ///< runAloneResult: app on core 0, others idle
+    Trace,    ///< external trace: every core replays its slice
 };
 
 const char *toString(RunKind kind);

@@ -14,6 +14,7 @@ aggregateIpc(const JobRecord &rec)
     const RunResult &r = rec.result;
     switch (rec.spec.kind) {
       case RunKind::Parallel:
+      case RunKind::Trace: // same stop-at-quota methodology
         return r.cycles == 0
             ? 0.0
             : static_cast<double>(rec.spec.quota) *

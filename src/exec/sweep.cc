@@ -168,6 +168,20 @@ SweepSpec::expand() const
         bad("sweep spec has no variants (add 'scheds = ...' or "
             "'variant NAME : ...' lines)");
 
+    // Register declared trace sources first, so workload names can
+    // resolve to them. Registration scans + validates each file;
+    // TraceError (with its byte offset) propagates untouched.
+    for (const TraceDecl &decl : traces) {
+        try {
+            registerTraceWorkload(decl.name, decl.path,
+                                  decl.options);
+        } catch (const TraceError &) {
+            throw;
+        } catch (const std::exception &err) {
+            bad("trace '" + decl.name + "': " + err.what());
+        }
+    }
+
     // Resolve the workload list.
     std::vector<std::string> names = workloads;
     if (names.empty() || (names.size() == 1 && names[0] == "*")) {
@@ -175,14 +189,17 @@ SweepSpec::expand() const
         if (mode == Mode::Parallel) {
             for (const AppParams &app : parallelApps())
                 names.push_back(app.name);
+            for (const TraceDecl &decl : traces)
+                names.push_back(decl.name);
         } else {
             for (const Bundle &bundle : multiprogBundles())
                 names.push_back(bundle.name);
         }
     }
     for (const std::string &name : names) {
-        if (mode == Mode::Parallel ? !haveApp(name)
-                                   : findBundle(name) == nullptr)
+        if (mode == Mode::Parallel
+                ? !haveApp(name) && findTraceWorkload(name) == nullptr
+                : findBundle(name) == nullptr)
             bad("unknown workload '" + name + "' for this mode");
     }
 
@@ -242,13 +259,17 @@ SweepSpec::expand() const
     }
 
     for (const std::string &workload : names) {
+        const TraceWorkload *trace = mode == Mode::Parallel
+            ? findTraceWorkload(workload)
+            : nullptr;
         for (const SweepVariant &variant : variants) {
             JobSpec job;
             job.name = workload + "/" + variant.name;
             if (excluded(job.name))
                 continue;
-            job.kind = mode == Mode::Parallel ? RunKind::Parallel
-                                              : RunKind::Bundle;
+            job.kind = mode == Mode::Parallel
+                ? (trace ? RunKind::Trace : RunKind::Parallel)
+                : RunKind::Bundle;
             job.workload = workload;
             job.cfg = base;
             job.cfg.seed = seedFor(job.name);
@@ -262,6 +283,10 @@ SweepSpec::expand() const
                         "': " + err.what());
                 }
             }
+            // The trace file dictates the core count, overriding any
+            // 'cores=' variant setting.
+            if (trace)
+                job.cfg.numCores = trace->numCores;
             finishJob(job);
         }
     }
@@ -314,6 +339,80 @@ parseSweepSpec(std::istream &in)
                     token.substr(0, eq), token.substr(eq + 1));
             }
             spec.variants.push_back(std::move(variant));
+            continue;
+        }
+
+        if (line.rfind("trace", 0) == 0 && line.size() > 5 &&
+            (line[5] == ' ' || line[5] == '\t')) {
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                fail("trace line needs ':'");
+            TraceDecl decl;
+            decl.name = trim(line.substr(5, colon - 5));
+            if (decl.name.empty())
+                fail("trace needs a name");
+            for (const TraceDecl &other : spec.traces) {
+                if (other.name == decl.name)
+                    fail("duplicate trace '" + decl.name + "'");
+            }
+            std::istringstream settings(line.substr(colon + 1));
+            std::string token;
+            while (settings >> token) {
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos) {
+                    fail("trace setting '" + token +
+                         "' is not key=value");
+                }
+                const std::string key = token.substr(0, eq);
+                const std::string value = token.substr(eq + 1);
+                try {
+                    if (key == "path") {
+                        decl.path = value;
+                    } else if (key == "format") {
+                        if (!ingest::findTraceFormat(
+                                value, decl.options.format))
+                            fail("unknown trace format '" + value +
+                                 "'");
+                    } else if (key == "policy") {
+                        if (!ingest::findRecoveryPolicy(
+                                value, decl.options.policy))
+                            fail("unknown recovery policy '" +
+                                 value + "'");
+                    } else if (key == "skip-budget") {
+                        decl.options.skipBudget =
+                            parseUint(key, value);
+                    } else if (key == "max-line") {
+                        decl.options.limits.maxLineBytes =
+                            static_cast<std::uint32_t>(
+                                parseUint(key, value));
+                    } else if (key == "max-record") {
+                        decl.options.limits.maxRecordBytes =
+                            static_cast<std::uint32_t>(
+                                parseUint(key, value));
+                    } else if (key == "max-cores") {
+                        decl.options.limits.maxCores =
+                            static_cast<std::uint32_t>(
+                                parseUint(key, value));
+                    } else {
+                        fail("unknown trace setting '" + key + "'");
+                    }
+                } catch (const std::runtime_error &err) {
+                    const std::string what = err.what();
+                    if (what.rfind("sweep spec line", 0) == 0)
+                        throw;
+                    fail(what);
+                }
+            }
+            if (decl.path.empty())
+                fail("trace '" + decl.name + "' needs path=FILE");
+            ConfigErrors limitErrors;
+            decl.options.validate(limitErrors);
+            if (!limitErrors.empty()) {
+                fail("trace '" + decl.name + "': " +
+                     limitErrors.front().field + ": " +
+                     limitErrors.front().message);
+            }
+            spec.traces.push_back(std::move(decl));
             continue;
         }
 
@@ -380,7 +479,18 @@ parseSweepFile(const std::string &path)
     std::ifstream in(path);
     if (!in)
         bad("cannot open sweep spec '" + path + "'");
-    return parseSweepSpec(in);
+    SweepSpec spec = parseSweepSpec(in);
+    // Relative trace paths are relative to the spec file, so a spec
+    // and its fixtures move together.
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+        const std::string dir = path.substr(0, slash + 1);
+        for (TraceDecl &decl : spec.traces) {
+            if (!decl.path.empty() && decl.path[0] != '/')
+                decl.path = dir + decl.path;
+        }
+    }
+    return spec;
 }
 
 } // namespace critmem::exec

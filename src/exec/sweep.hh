@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "exec/job.hh"
+#include "trace/ingest/ingest.hh"
 
 namespace critmem::exec
 {
@@ -57,6 +58,17 @@ struct SweepVariant
 };
 
 /**
+ * One external trace source declared by a spec. expand() registers it
+ * (scanning and validating the file) before workload names resolve.
+ */
+struct TraceDecl
+{
+    std::string name;
+    std::string path;
+    ingest::IngestOptions options;
+};
+
+/**
  * Apply one spec setting to a job under construction. Supported keys:
  * sched, predictor, entries, reset, ranks, channels, speed, lq,
  * prefetch, closed-page, split-wq, morse-cmds, cores, seed.
@@ -74,9 +86,13 @@ struct SweepSpec
     Mode mode = Mode::Parallel;
     /**
      * App names (Parallel) or bundle names (Multiprog); empty or the
-     * single entry "*" selects every workload of the mode.
+     * single entry "*" selects every workload of the mode (plus, in
+     * Parallel mode, every trace declared by this spec). Parallel
+     * workload names may also name a declared/registered trace.
      */
     std::vector<std::string> workloads;
+    /** External trace sources to register before expansion. */
+    std::vector<TraceDecl> traces;
     /** Configuration columns; at least one is required to expand. */
     std::vector<SweepVariant> variants;
     std::uint64_t quota = 24000;
@@ -122,13 +138,19 @@ bool globMatch(const std::string &pattern, const std::string &text);
  *   exclude = art/morse, swim/morse   ('*' wildcards allowed)
  *   scheds = frfcfs, tcm         (shorthand: one variant per entry)
  *   variant NAME : key=value key=value ...
+ *   trace NAME : path=FILE [format=auto|text|binary]
+ *                [policy=fail|skip-record|truncate] [skip-budget=N]
+ *                [max-line=N] [max-record=N] [max-cores=N]
  *
  * Throws SweepError carrying the line number and byte offset on
  * syntax errors.
  */
 SweepSpec parseSweepSpec(std::istream &in);
 
-/** parseSweepSpec() over a file; throws when unreadable. */
+/**
+ * parseSweepSpec() over a file; throws when unreadable. Relative
+ * trace paths are resolved against the spec file's directory.
+ */
 SweepSpec parseSweepFile(const std::string &path);
 
 } // namespace critmem::exec

@@ -23,8 +23,18 @@ System::System(const SystemConfig &cfg,
     build(perCore, false);
 }
 
+System::System(const SystemConfig &cfg, const TraceWorkload &trace)
+    : cfg_(cfg), root_("sys")
+{
+    if (cfg_.numCores != trace.numCores)
+        fatal("trace workload '", trace.name, "' declares ",
+              trace.numCores, " cores but the config has ",
+              cfg_.numCores);
+    buildTrace(trace);
+}
+
 void
-System::build(const std::vector<AppParams> &perCore, bool parallel)
+System::buildShared()
 {
     validateOrFatal(cfg_);
 
@@ -46,6 +56,32 @@ System::build(const std::vector<AppParams> &perCore, bool parallel)
         dram_->setFaultInjector(injector_.get());
     }
     hier_ = std::make_unique<MemHierarchy>(cfg_, *dram_, root_);
+}
+
+void
+System::buildTrace(const TraceWorkload &trace)
+{
+    buildShared();
+    traceStats_ = std::make_unique<TraceStats>(root_);
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        // Per-core prewarm regions from the registration scan, with
+        // memory-op-free cores contributing nothing.
+        std::vector<std::pair<Addr, std::uint64_t>> far;
+        if (i < trace.coreRegions.size() &&
+            trace.coreRegions[i].second > 0)
+            far.push_back(trace.coreRegions[i]);
+        gens_.push_back(std::make_unique<ingest::ExternalTraceReader>(
+            trace.name, trace.path, trace.options, i, std::move(far),
+            &traceStats_->records, &traceStats_->dropped));
+        cores_.push_back(std::make_unique<Core>(
+            cfg_, i, *gens_.back(), *hier_, root_));
+    }
+}
+
+void
+System::build(const std::vector<AppParams> &perCore, bool parallel)
+{
+    buildShared();
 
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
         if (parallel) {
@@ -78,8 +114,10 @@ System::prewarmCaches(double fillFrac, double dirtyFrac)
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
         if (!cores_[i]->active())
             continue;
-        for (const auto &region : gens_[i]->farRegions())
-            regions.push_back(region);
+        for (const auto &region : gens_[i]->farRegions()) {
+            if (region.second > 0)
+                regions.push_back(region);
+        }
     }
     if (regions.empty())
         return;

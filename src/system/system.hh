@@ -44,6 +44,15 @@ class System
            const std::vector<AppParams> &perCore);
 
     /**
+     * Trace-backed system: core i replays its slice of the workload's
+     * external trace file (registered via registerTraceWorkload).
+     * cfg.numCores must match the trace's declared core count.
+     * Dropped/delivered record counters appear under the "trace"
+     * stats group. @throws TraceError when the file fails to decode.
+     */
+    System(const SystemConfig &cfg, const TraceWorkload &trace);
+
+    /**
      * Run until every active core commits @p quotaPerCore micro-ops.
      *
      * @param quotaPerCore Commit quota per core.
@@ -124,8 +133,28 @@ class System
     Cycle cycle() const { return cycle_; }
 
   private:
+    void buildShared();
     void build(const std::vector<AppParams> &perCore, bool parallel);
+    void buildTrace(const TraceWorkload &trace);
     void tickOnce();
+
+    /** Record counters for trace-backed systems ("trace" group). */
+    struct TraceStats
+    {
+        explicit TraceStats(stats::Group &parent)
+            : group("trace", &parent),
+              records(group, "records",
+                      "micro-ops delivered from the trace file"),
+              dropped(group, "dropped",
+                      "damaged records skipped by the recovery "
+                      "policy")
+        {
+        }
+
+        stats::Group group;
+        stats::Scalar records;
+        stats::Scalar dropped;
+    };
 
     SystemConfig cfg_;
     stats::Group root_;
@@ -134,7 +163,8 @@ class System
     std::unique_ptr<ProtocolChecker> checker_;
     std::unique_ptr<ScriptedFaultInjector> injector_;
     std::unique_ptr<MemHierarchy> hier_;
-    std::vector<std::unique_ptr<SyntheticApp>> gens_;
+    std::unique_ptr<TraceStats> traceStats_;
+    std::vector<std::unique_ptr<TraceGenerator>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;
 
     const std::atomic<bool> *abortFlag_ = nullptr;

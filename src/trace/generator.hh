@@ -7,7 +7,10 @@
 #define CRITMEM_TRACE_GENERATOR_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "sim/types.hh"
 #include "trace/microop.hh"
 
 namespace critmem
@@ -24,6 +27,18 @@ class TraceGenerator
 
     /** @return the workload's name. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * The far (cache-overflowing) regions this thread touches, as
+     * (base, size) pairs with size > 0 — used to prewarm the shared
+     * cache with plausibly-resident lines before measurement. The
+     * default (no regions) skips prewarming for this thread.
+     */
+    virtual std::vector<std::pair<Addr, std::uint64_t>>
+    farRegions() const
+    {
+        return {};
+    }
 };
 
 } // namespace critmem

@@ -1,0 +1,1150 @@
+#include "trace/ingest/ingest.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string_view>
+
+#ifdef CRITMEM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace critmem
+{
+namespace ingest
+{
+
+namespace
+{
+
+constexpr std::size_t kBinHeaderBytes = 8;
+constexpr std::size_t kBinPayloadMin = 24;
+
+// ------------------------------------------------------------- sources
+
+/** Raw decoded byte stream (plain file, or the gzip transport). */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+
+    /** Up to @p n bytes into @p buf; 0 = EOF. Throws TraceError. */
+    virtual std::size_t read(std::uint8_t *buf, std::size_t n) = 0;
+
+    virtual void rewind() = 0;
+};
+
+class FileSource : public ByteSource
+{
+  public:
+    explicit FileSource(const std::string &path)
+        : path_(path), file_(std::fopen(path.c_str(), "rb"))
+    {
+        if (!file_) {
+            throw TraceError("cannot open trace file '" + path + "'",
+                             0);
+        }
+    }
+
+    ~FileSource() override { std::fclose(file_); }
+
+    std::size_t
+    read(std::uint8_t *buf, std::size_t n) override
+    {
+        const std::size_t got = std::fread(buf, 1, n, file_);
+        consumed_ += got;
+        if (got < n && std::ferror(file_)) {
+            throw TraceError("I/O error reading trace '" + path_ +
+                                 "'",
+                             consumed_);
+        }
+        return got;
+    }
+
+    void
+    rewind() override
+    {
+        std::rewind(file_);
+        consumed_ = 0;
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t consumed_ = 0;
+};
+
+#ifdef CRITMEM_HAVE_ZLIB
+
+/**
+ * Streaming gzip inflater. Error offsets from this layer are into the
+ * compressed file (the decoder's offsets are into the decompressed
+ * stream); the messages say which. Concatenated gzip members are
+ * accepted, matching `gzip -c a b > c`.
+ */
+class GzipSource : public ByteSource
+{
+  public:
+    explicit GzipSource(const std::string &path)
+        : path_(path), file_(std::fopen(path.c_str(), "rb"))
+    {
+        if (!file_) {
+            throw TraceError("cannot open trace file '" + path + "'",
+                             0);
+        }
+        if (!initStream()) {
+            std::fclose(file_);
+            throw TraceError("zlib inflateInit failed for '" + path +
+                                 "'",
+                             0);
+        }
+    }
+
+    ~GzipSource() override
+    {
+        inflateEnd(&strm_);
+        std::fclose(file_);
+    }
+
+    std::size_t
+    read(std::uint8_t *buf, std::size_t n) override
+    {
+        if (done_)
+            return 0;
+        strm_.next_out = buf;
+        strm_.avail_out = static_cast<uInt>(n);
+        while (strm_.avail_out > 0 && !done_) {
+            const uInt inBefore = strm_.avail_in;
+            const uInt outBefore = strm_.avail_out;
+            const bool couldRefill = strm_.avail_in == 0 && !fileEof_;
+            if (couldRefill)
+                refill();
+            if (memberEnd_) {
+                if (strm_.avail_in == 0 && fileEof_) {
+                    done_ = true;
+                    break;
+                }
+                // Trailing compressed bytes: a concatenated member.
+                if (inflateReset(&strm_) != Z_OK) {
+                    throw TraceError("zlib inflateReset failed for '" +
+                                         path_ + "'",
+                                     consumed());
+                }
+                memberEnd_ = false;
+                continue;
+            }
+            if (strm_.avail_in == 0 && fileEof_) {
+                throw TraceError("gzip stream in '" + path_ +
+                                     "' ends mid-member (truncated "
+                                     "at compressed byte " +
+                                     std::to_string(fed_) + ")",
+                                 fed_);
+            }
+            const int rc = inflate(&strm_, Z_NO_FLUSH);
+            if (rc == Z_STREAM_END) {
+                memberEnd_ = true;
+                continue;
+            }
+            if (rc != Z_OK && rc != Z_BUF_ERROR) {
+                const char *what =
+                    strm_.msg ? strm_.msg : "corrupt deflate data";
+                throw TraceError("gzip error in '" + path_ + "': " +
+                                     what + " (at compressed byte " +
+                                     std::to_string(consumed()) + ")",
+                                 consumed());
+            }
+            // A full pass with no refill and no progress would loop
+            // forever on degenerate input; treat it as corruption.
+            if (!couldRefill && strm_.avail_in == inBefore &&
+                strm_.avail_out == outBefore) {
+                throw TraceError("gzip stream in '" + path_ +
+                                     "' makes no progress "
+                                     "(at compressed byte " +
+                                     std::to_string(consumed()) + ")",
+                                 consumed());
+            }
+        }
+        return n - strm_.avail_out;
+    }
+
+    void
+    rewind() override
+    {
+        std::rewind(file_);
+        inflateEnd(&strm_);
+        if (!initStream()) {
+            throw TraceError("zlib inflateInit failed for '" + path_ +
+                                 "'",
+                             0);
+        }
+        fed_ = 0;
+        fileEof_ = false;
+        memberEnd_ = false;
+        done_ = false;
+    }
+
+  private:
+    bool
+    initStream()
+    {
+        std::memset(&strm_, 0, sizeof(strm_));
+        // 16 + MAX_WBITS: gzip wrapper with the full 32 KiB window.
+        return inflateInit2(&strm_, 16 + MAX_WBITS) == Z_OK;
+    }
+
+    void
+    refill()
+    {
+        const std::size_t got =
+            std::fread(inBuf_.data(), 1, inBuf_.size(), file_);
+        if (got < inBuf_.size()) {
+            if (std::ferror(file_)) {
+                throw TraceError("I/O error reading trace '" + path_ +
+                                     "'",
+                                 fed_ + got);
+            }
+            fileEof_ = true;
+        }
+        strm_.next_in = inBuf_.data();
+        strm_.avail_in = static_cast<uInt>(got);
+        fed_ += got;
+    }
+
+    /** Compressed bytes fully consumed by the inflater. */
+    std::uint64_t consumed() const { return fed_ - strm_.avail_in; }
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    z_stream strm_{};
+    std::array<std::uint8_t, 16 * 1024> inBuf_{};
+    std::uint64_t fed_ = 0;
+    bool fileEof_ = false;
+    bool memberEnd_ = false;
+    bool done_ = false;
+};
+
+#endif // CRITMEM_HAVE_ZLIB
+
+std::unique_ptr<ByteSource>
+openSource(const std::string &path)
+{
+    // Route the gzip transport on the raw file magic; everything
+    // downstream sees the decoded stream.
+    std::uint8_t magic[2] = {0, 0};
+    {
+        std::FILE *probe = std::fopen(path.c_str(), "rb");
+        if (!probe) {
+            throw TraceError("cannot open trace file '" + path + "'",
+                             0);
+        }
+        const std::size_t got = std::fread(magic, 1, 2, probe);
+        std::fclose(probe);
+        if (got < 2)
+            magic[0] = magic[1] = 0; // too short; header parser reports
+    }
+    if (magic[0] == 0x1f && magic[1] == 0x8b) {
+#ifdef CRITMEM_HAVE_ZLIB
+        return std::make_unique<GzipSource>(path);
+#else
+        throw TraceError("'" + path +
+                             "' is gzip-compressed but this build "
+                             "has no zlib; decompress it first",
+                         0);
+#endif
+    }
+    return std::make_unique<FileSource>(path);
+}
+
+// --------------------------------------------------- buffered input
+
+/** Buffered reader tracking the decoded-stream byte offset. */
+class Input
+{
+  public:
+    explicit Input(std::unique_ptr<ByteSource> src)
+        : src_(std::move(src))
+    {
+    }
+
+    /** Next byte, or -1 at end of stream. */
+    int
+    get()
+    {
+        if (pos_ == len_ && !fill())
+            return -1;
+        ++offset_;
+        return buf_[pos_++];
+    }
+
+    /**
+     * Copy the next @p n bytes without consuming them; returns how
+     * many were available (n must fit the buffer; callers peek <= 8).
+     */
+    std::size_t
+    peek(std::uint8_t *out, std::size_t n)
+    {
+        while (len_ - pos_ < n) {
+            std::memmove(buf_.data(), buf_.data() + pos_,
+                         len_ - pos_);
+            len_ -= pos_;
+            pos_ = 0;
+            const std::size_t got =
+                src_->read(buf_.data() + len_, buf_.size() - len_);
+            if (got == 0)
+                break;
+            len_ += got;
+        }
+        const std::size_t have = std::min(n, len_ - pos_);
+        std::memcpy(out, buf_.data() + pos_, have);
+        return have;
+    }
+
+    /** Read up to @p n bytes; returns the count actually read. */
+    std::size_t
+    read(std::uint8_t *out, std::size_t n)
+    {
+        std::size_t done = 0;
+        while (done < n) {
+            if (pos_ == len_ && !fill())
+                break;
+            const std::size_t take =
+                std::min(n - done, len_ - pos_);
+            std::memcpy(out + done, buf_.data() + pos_, take);
+            pos_ += take;
+            done += take;
+        }
+        offset_ += done;
+        return done;
+    }
+
+    /** Offset of the next unread byte in the decoded stream. */
+    std::uint64_t offset() const { return offset_; }
+
+    void
+    rewind()
+    {
+        src_->rewind();
+        pos_ = len_ = 0;
+        offset_ = 0;
+    }
+
+  private:
+    bool
+    fill()
+    {
+        pos_ = 0;
+        len_ = src_->read(buf_.data(), buf_.size());
+        return len_ > 0;
+    }
+
+    std::unique_ptr<ByteSource> src_;
+    std::array<std::uint8_t, 64 * 1024> buf_{};
+    std::size_t pos_ = 0;
+    std::size_t len_ = 0;
+    std::uint64_t offset_ = 0;
+};
+
+// ------------------------------------------------------ field parsing
+
+/** Strict u64 parse: full token, decimal or 0x-hex, no sign. */
+bool
+parseU64(std::string_view text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    std::from_chars_result res{};
+    if (text.size() > 2 && begin[0] == '0' &&
+        (begin[1] == 'x' || begin[1] == 'X')) {
+        res = std::from_chars(begin + 2, end, out, 16);
+    } else {
+        res = std::from_chars(begin, end, out, 10);
+    }
+    return res.ec == std::errc() && res.ptr == end;
+}
+
+bool
+classFromLetter(char c, OpClass &cls)
+{
+    switch (c) {
+      case 'A': cls = OpClass::IntAlu; return true;
+      case 'M': cls = OpClass::IntMul; return true;
+      case 'F': cls = OpClass::FpAlu; return true;
+      case 'G': cls = OpClass::FpMul; return true;
+      case 'L': cls = OpClass::Load; return true;
+      case 'S': cls = OpClass::Store; return true;
+      case 'B': cls = OpClass::Branch; return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- decoder
+
+class DecoderImpl
+{
+  public:
+    DecoderImpl(const std::string &path, const IngestOptions &opts)
+        : path_(path), opts_(opts), input_(openSource(path))
+    {
+        detectFormat();
+        parseHeader();
+    }
+
+    bool
+    next(TraceRecord &rec)
+    {
+        if (eof_)
+            return false;
+        for (;;) {
+            Issue issue;
+            const Step s = format_ == TraceFormat::Binary
+                ? parseBinaryRecord(rec, issue)
+                : parseTextRecord(rec, issue);
+            if (s == Step::Eof) {
+                eof_ = true;
+                return false;
+            }
+            if (s == Step::Ok) {
+                ++stats_.records;
+                return true;
+            }
+            if (opts_.policy == RecoveryPolicy::Truncate) {
+                stats_.truncated = true;
+                stats_.truncatedAtByte = issue.off;
+                eof_ = true;
+                return false;
+            }
+            if (issue.structural ||
+                opts_.policy == RecoveryPolicy::Fail)
+                throw TraceError(issue.msg, issue.off);
+            // SkipRecord on a resyncable (content) error.
+            ++stats_.dropped;
+            if (dropCounter_)
+                ++*dropCounter_;
+            if (stats_.dropped > opts_.skipBudget) {
+                throw TraceError(
+                    issue.msg + "; skip budget of " +
+                        std::to_string(opts_.skipBudget) +
+                        " exhausted",
+                    issue.off);
+            }
+        }
+    }
+
+    void
+    rewind()
+    {
+        input_.rewind();
+        stats_ = PassStats{};
+        eof_ = false;
+        parseHeader();
+    }
+
+    std::string path_;
+    IngestOptions opts_;
+    Input input_;
+    TraceFormat format_ = TraceFormat::Text; // resolved, never Auto
+    std::uint32_t numCores_ = 0;
+    PassStats stats_;
+    stats::Scalar *dropCounter_ = nullptr;
+
+  private:
+    enum class Step : std::uint8_t { Ok, Eof, Bad };
+    enum class LineStatus : std::uint8_t { Ok, Eof, TooLong };
+
+    /** One decode problem, classified for the recovery policy. */
+    struct Issue
+    {
+        std::string msg;
+        std::uint64_t off = 0;
+        /** True when the stream cannot resync past the problem. */
+        bool structural = false;
+    };
+
+    struct Token
+    {
+        std::string_view text;
+        std::uint64_t off = 0;
+    };
+
+    void
+    detectFormat()
+    {
+        if (opts_.format != TraceFormat::Auto) {
+            format_ = opts_.format;
+            return;
+        }
+        std::uint8_t magic[6] = {};
+        const std::size_t got = input_.peek(magic, 6);
+        if (got >= 4 && std::memcmp(magic, "CTIB", 4) == 0) {
+            format_ = TraceFormat::Binary;
+            return;
+        }
+        if (got >= 6 && std::memcmp(magic, "ctrace", 6) == 0) {
+            format_ = TraceFormat::Text;
+            return;
+        }
+        // The record/replay format's little-endian magic, for a
+        // friendlier redirect than "unrecognized".
+        static const std::uint8_t ctmt[4] = {0x54, 0x4d, 0x54, 0x43};
+        if (got >= 4 && std::memcmp(magic, ctmt, 4) == 0) {
+            throw TraceError(
+                "'" + path_ +
+                    "' is a critmem record/replay trace (CTMT); "
+                    "ingest reads ctext/cbin",
+                0);
+        }
+        throw TraceError("unrecognized trace format in '" + path_ +
+                             "' (expected a 'ctrace text' or 'CTIB' "
+                             "header)",
+                         0);
+    }
+
+    void
+    parseHeader()
+    {
+        if (format_ == TraceFormat::Binary)
+            parseBinaryHeader();
+        else
+            parseTextHeader();
+    }
+
+    void
+    parseBinaryHeader()
+    {
+        std::uint8_t hdr[kBinHeaderBytes] = {};
+        const std::uint64_t start = input_.offset();
+        const std::size_t got = input_.read(hdr, kBinHeaderBytes);
+        if (got < kBinHeaderBytes) {
+            throw TraceError("binary trace '" + path_ +
+                                 "' is shorter than its 8-byte "
+                                 "header",
+                             start + got);
+        }
+        static const char magic[4] = {'C', 'T', 'I', 'B'};
+        for (std::size_t i = 0; i < 4; ++i) {
+            if (hdr[i] != static_cast<std::uint8_t>(magic[i])) {
+                throw TraceError("binary trace '" + path_ +
+                                     "' has bad magic",
+                                 start + i);
+            }
+        }
+        if (hdr[4] != 1) {
+            throw TraceError("binary trace '" + path_ +
+                                 "' has unsupported version " +
+                                 std::to_string(hdr[4]),
+                             start + 4);
+        }
+        if (hdr[5] == 0) {
+            throw TraceError("binary trace '" + path_ +
+                                 "' declares zero cores",
+                             start + 5);
+        }
+        if (hdr[5] > opts_.limits.maxCores) {
+            throw TraceError("binary trace '" + path_ +
+                                 "' declares " +
+                                 std::to_string(hdr[5]) +
+                                 " cores (cap " +
+                                 std::to_string(
+                                     opts_.limits.maxCores) +
+                                 ")",
+                             start + 5);
+        }
+        if (hdr[6] != 0 || hdr[7] != 0) {
+            throw TraceError("binary trace '" + path_ +
+                                 "' has nonzero reserved header "
+                                 "bytes",
+                             start + (hdr[6] != 0 ? 6 : 7));
+        }
+        numCores_ = hdr[5];
+    }
+
+    void
+    parseTextHeader()
+    {
+        std::uint64_t lineStart = 0;
+        const LineStatus st = readLine(lineStart);
+        if (st == LineStatus::Eof) {
+            throw TraceError("text trace '" + path_ + "' is empty",
+                             0);
+        }
+        if (st == LineStatus::TooLong) {
+            throw TraceError(
+                "text trace '" + path_ +
+                    "' header line exceeds the " +
+                    std::to_string(opts_.limits.maxLineBytes) +
+                    "-byte line cap",
+                input_.offset());
+        }
+        splitLine(lineStart);
+        if (toks_.size() != 4 || toks_[0].text != "ctrace" ||
+            toks_[1].text != "text") {
+            throw TraceError("text trace '" + path_ +
+                                 "' header must be 'ctrace text 1 "
+                                 "<numCores>'",
+                             lineStart);
+        }
+        std::uint64_t version = 0;
+        if (!parseU64(toks_[2].text, version) || version != 1) {
+            throw TraceError("text trace '" + path_ +
+                                 "' has unsupported version '" +
+                                 std::string(toks_[2].text) + "'",
+                             toks_[2].off);
+        }
+        std::uint64_t cores = 0;
+        if (!parseU64(toks_[3].text, cores)) {
+            throw TraceError("text trace '" + path_ +
+                                 "' core count '" +
+                                 std::string(toks_[3].text) +
+                                 "' is not a number",
+                             toks_[3].off);
+        }
+        if (cores == 0) {
+            throw TraceError("text trace '" + path_ +
+                                 "' declares zero cores",
+                             toks_[3].off);
+        }
+        if (cores > opts_.limits.maxCores) {
+            throw TraceError("text trace '" + path_ + "' declares " +
+                                 std::to_string(cores) +
+                                 " cores (cap " +
+                                 std::to_string(
+                                     opts_.limits.maxCores) +
+                                 ")",
+                             toks_[3].off);
+        }
+        numCores_ = static_cast<std::uint32_t>(cores);
+    }
+
+    /**
+     * Read one line into line_ (newline excluded, trailing CR
+     * stripped), bounded by the line cap.
+     */
+    LineStatus
+    readLine(std::uint64_t &lineStart)
+    {
+        line_.clear();
+        lineStart = input_.offset();
+        for (;;) {
+            const int c = input_.get();
+            if (c < 0) {
+                if (line_.empty())
+                    return LineStatus::Eof;
+                break;
+            }
+            if (c == '\n')
+                break;
+            if (line_.size() >= opts_.limits.maxLineBytes)
+                return LineStatus::TooLong;
+            line_.push_back(static_cast<char>(c));
+        }
+        if (!line_.empty() && line_.back() == '\r')
+            line_.pop_back();
+        return LineStatus::Ok;
+    }
+
+    /** Whitespace-split line_ into toks_; '#' starts a comment. */
+    void
+    splitLine(std::uint64_t lineStart)
+    {
+        toks_.clear();
+        const std::string_view line(line_);
+        std::size_t i = 0;
+        while (i < line.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(line[i]);
+            if (line[i] == '#')
+                break;
+            if (std::isspace(c)) {
+                ++i;
+                continue;
+            }
+            std::size_t j = i;
+            while (j < line.size() && line[j] != '#' &&
+                   !std::isspace(
+                       static_cast<unsigned char>(line[j])))
+                ++j;
+            toks_.push_back({line.substr(i, j - i), lineStart + i});
+            i = j;
+        }
+    }
+
+    Step
+    parseTextRecord(TraceRecord &rec, Issue &issue)
+    {
+        for (;;) {
+            std::uint64_t lineStart = 0;
+            const LineStatus st = readLine(lineStart);
+            if (st == LineStatus::Eof)
+                return Step::Eof;
+            if (st == LineStatus::TooLong) {
+                issue = {"text line starting at byte " +
+                             std::to_string(lineStart) +
+                             " exceeds the " +
+                             std::to_string(
+                                 opts_.limits.maxLineBytes) +
+                             "-byte line cap",
+                         input_.offset(), true};
+                return Step::Bad;
+            }
+            splitLine(lineStart);
+            if (!toks_.empty())
+                break; // a record; blank/comment lines loop
+        }
+        if (toks_.size() < 4) {
+            issue = {"record has only " +
+                         std::to_string(toks_.size()) +
+                         " fields (need core cls pc addr)",
+                     toks_[0].off, false};
+            return Step::Bad;
+        }
+        if (toks_.size() > 8) {
+            issue = {"record has " + std::to_string(toks_.size()) +
+                         " fields (at most 8)",
+                     toks_[8].off, false};
+            return Step::Bad;
+        }
+
+        std::uint64_t core = 0;
+        if (!parseU64(toks_[0].text, core)) {
+            issue = {"core id '" + std::string(toks_[0].text) +
+                         "' is not a number",
+                     toks_[0].off, false};
+            return Step::Bad;
+        }
+        if (core >= numCores_) {
+            issue = {"core id " + std::to_string(core) +
+                         " out of range (trace declares " +
+                         std::to_string(numCores_) + " cores)",
+                     toks_[0].off, false};
+            return Step::Bad;
+        }
+
+        OpClass cls = OpClass::IntAlu;
+        if (toks_[1].text.size() != 1 ||
+            !classFromLetter(toks_[1].text[0], cls)) {
+            issue = {"unknown op class '" +
+                         std::string(toks_[1].text) +
+                         "' (expected one of A M F G L S B)",
+                     toks_[1].off, false};
+            return Step::Bad;
+        }
+
+        std::uint64_t pc = 0, addr = 0;
+        if (!parseU64(toks_[2].text, pc)) {
+            issue = {"pc '" + std::string(toks_[2].text) +
+                         "' is not a number",
+                     toks_[2].off, false};
+            return Step::Bad;
+        }
+        if (!parseU64(toks_[3].text, addr)) {
+            issue = {"address '" + std::string(toks_[3].text) +
+                         "' is not a number",
+                     toks_[3].off, false};
+            return Step::Bad;
+        }
+
+        std::uint64_t latency = 1;
+        if (toks_.size() > 4 &&
+            (!parseU64(toks_[4].text, latency) || latency == 0 ||
+             latency > 255)) {
+            issue = {"latency '" + std::string(toks_[4].text) +
+                         "' is not in 1..255",
+                     toks_[4].off, false};
+            return Step::Bad;
+        }
+        std::uint64_t dep1 = 0, dep2 = 0;
+        if (toks_.size() > 5 &&
+            (!parseU64(toks_[5].text, dep1) || dep1 > 0xffff)) {
+            issue = {"dep1 '" + std::string(toks_[5].text) +
+                         "' is not in 0..65535",
+                     toks_[5].off, false};
+            return Step::Bad;
+        }
+        if (toks_.size() > 6 &&
+            (!parseU64(toks_[6].text, dep2) || dep2 > 0xffff)) {
+            issue = {"dep2 '" + std::string(toks_[6].text) +
+                         "' is not in 0..65535",
+                     toks_[6].off, false};
+            return Step::Bad;
+        }
+        std::uint64_t mispredict = 0;
+        if (toks_.size() > 7 &&
+            (!parseU64(toks_[7].text, mispredict) ||
+             mispredict > 1)) {
+            issue = {"mispredict flag '" +
+                         std::string(toks_[7].text) +
+                         "' is not 0 or 1",
+                     toks_[7].off, false};
+            return Step::Bad;
+        }
+
+        rec.core = static_cast<std::uint32_t>(core);
+        rec.op = MicroOp{};
+        rec.op.cls = cls;
+        rec.op.pc = pc;
+        rec.op.addr = addr;
+        rec.op.latency = static_cast<std::uint8_t>(latency);
+        rec.op.dep1 = static_cast<std::uint16_t>(dep1);
+        rec.op.dep2 = static_cast<std::uint16_t>(dep2);
+        rec.op.mispredict = mispredict != 0;
+        return Step::Ok;
+    }
+
+    Step
+    parseBinaryRecord(TraceRecord &rec, Issue &issue)
+    {
+        const std::uint64_t recStart = input_.offset();
+        std::uint8_t lenBuf[2] = {};
+        std::size_t got = input_.read(lenBuf, 2);
+        if (got == 0)
+            return Step::Eof;
+        if (got == 1) {
+            issue = {"record length prefix at byte " +
+                         std::to_string(recStart) +
+                         " is torn by end of file",
+                     input_.offset(), true};
+            return Step::Bad;
+        }
+        const std::uint16_t len = static_cast<std::uint16_t>(
+            lenBuf[0] | (lenBuf[1] << 8));
+        if (len < kBinPayloadMin) {
+            issue = {"record at byte " + std::to_string(recStart) +
+                         " declares a " + std::to_string(len) +
+                         "-byte payload (min 24)",
+                     recStart, true};
+            return Step::Bad;
+        }
+        if (len > opts_.limits.maxRecordBytes) {
+            issue = {"record at byte " + std::to_string(recStart) +
+                         " declares a " + std::to_string(len) +
+                         "-byte payload (cap " +
+                         std::to_string(
+                             opts_.limits.maxRecordBytes) +
+                         ")",
+                     recStart, true};
+            return Step::Bad;
+        }
+        payload_.resize(len);
+        got = input_.read(payload_.data(), len);
+        if (got < len) {
+            issue = {"record at byte " + std::to_string(recStart) +
+                         " is torn by end of file",
+                     recStart + 2 + got, true};
+            return Step::Bad;
+        }
+
+        // Payload layout: core, cls, latency, flags, pc, addr, deps.
+        if (payload_[0] >= numCores_) {
+            issue = {"core id " + std::to_string(payload_[0]) +
+                         " out of range (trace declares " +
+                         std::to_string(numCores_) + " cores)",
+                     recStart + 2, false};
+            return Step::Bad;
+        }
+        if (payload_[1] >
+            static_cast<std::uint8_t>(OpClass::Branch)) {
+            issue = {"invalid op class " +
+                         std::to_string(payload_[1]),
+                     recStart + 3, false};
+            return Step::Bad;
+        }
+        if (payload_[2] == 0) {
+            issue = {"latency 0 is not in 1..255", recStart + 4,
+                     false};
+            return Step::Bad;
+        }
+        if ((payload_[3] & ~std::uint8_t{1}) != 0) {
+            issue = {"flags byte " + std::to_string(payload_[3]) +
+                         " has reserved bits set",
+                     recStart + 5, false};
+            return Step::Bad;
+        }
+
+        rec.core = payload_[0];
+        rec.op = MicroOp{};
+        rec.op.cls = static_cast<OpClass>(payload_[1]);
+        rec.op.latency = payload_[2];
+        rec.op.mispredict = (payload_[3] & 1) != 0;
+        std::memcpy(&rec.op.pc, payload_.data() + 4, 8);
+        std::memcpy(&rec.op.addr, payload_.data() + 12, 8);
+        std::memcpy(&rec.op.dep1, payload_.data() + 20, 2);
+        std::memcpy(&rec.op.dep2, payload_.data() + 22, 2);
+        // Payload bytes past 24 are a forward-compat extension area.
+        return Step::Ok;
+    }
+
+    bool eof_ = false;
+    std::string line_;
+    std::vector<Token> toks_;
+    std::vector<std::uint8_t> payload_;
+};
+
+// --------------------------------------------------------- wrappers
+
+TraceDecoder::TraceDecoder(const std::string &path,
+                           const IngestOptions &opts)
+    : impl_(std::make_unique<DecoderImpl>(path, opts))
+{
+}
+
+TraceDecoder::~TraceDecoder() = default;
+
+bool
+TraceDecoder::next(TraceRecord &rec)
+{
+    return impl_->next(rec);
+}
+
+void
+TraceDecoder::rewind()
+{
+    impl_->rewind();
+}
+
+std::uint32_t
+TraceDecoder::numCores() const
+{
+    return impl_->numCores_;
+}
+
+TraceFormat
+TraceDecoder::format() const
+{
+    return impl_->format_;
+}
+
+const PassStats &
+TraceDecoder::passStats() const
+{
+    return impl_->stats_;
+}
+
+const std::string &
+TraceDecoder::path() const
+{
+    return impl_->path_;
+}
+
+void
+TraceDecoder::setDropCounter(stats::Scalar *dropped)
+{
+    impl_->dropCounter_ = dropped;
+}
+
+// ------------------------------------------------------------- names
+
+const char *
+toString(RecoveryPolicy policy)
+{
+    switch (policy) {
+      case RecoveryPolicy::Fail: return "fail";
+      case RecoveryPolicy::SkipRecord: return "skip-record";
+      case RecoveryPolicy::Truncate: return "truncate";
+    }
+    return "?";
+}
+
+bool
+findRecoveryPolicy(const std::string &name, RecoveryPolicy &out)
+{
+    for (RecoveryPolicy p :
+         {RecoveryPolicy::Fail, RecoveryPolicy::SkipRecord,
+          RecoveryPolicy::Truncate}) {
+        if (name == toString(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+toString(TraceFormat fmt)
+{
+    switch (fmt) {
+      case TraceFormat::Auto: return "auto";
+      case TraceFormat::Text: return "text";
+      case TraceFormat::Binary: return "binary";
+    }
+    return "?";
+}
+
+bool
+findTraceFormat(const std::string &name, TraceFormat &out)
+{
+    for (TraceFormat f : {TraceFormat::Auto, TraceFormat::Text,
+                          TraceFormat::Binary}) {
+        if (name == toString(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+IngestLimits::validate(ConfigErrors &errors) const
+{
+    if (maxLineBytes < 64 || maxLineBytes > kHardMaxBytes) {
+        errors.push_back({"trace.maxLineBytes",
+                          "must be in [64, " +
+                              std::to_string(kHardMaxBytes) +
+                              "], got " +
+                              std::to_string(maxLineBytes)});
+    }
+    if (maxRecordBytes < 24 || maxRecordBytes > kHardMaxBytes) {
+        errors.push_back({"trace.maxRecordBytes",
+                          "must be in [24, " +
+                              std::to_string(kHardMaxBytes) +
+                              "], got " +
+                              std::to_string(maxRecordBytes)});
+    }
+    if (maxCores < 1 || maxCores > kHardMaxCores) {
+        errors.push_back({"trace.maxCores",
+                          "must be in [1, " +
+                              std::to_string(kHardMaxCores) +
+                              "], got " + std::to_string(maxCores)});
+    }
+}
+
+void
+IngestOptions::validate(ConfigErrors &errors) const
+{
+    limits.validate(errors);
+}
+
+bool
+haveGzip()
+{
+#ifdef CRITMEM_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+// -------------------------------------------------------------- scan
+
+std::uint64_t
+hashFileBytes(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw TraceError("cannot open trace file '" + path + "'", 0);
+    std::uint64_t hash = 1469598103934665603ull;
+    std::array<std::uint8_t, 64 * 1024> buf;
+    std::uint64_t consumed = 0;
+    std::size_t got = 0;
+    while ((got = std::fread(buf.data(), 1, buf.size(), file)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            hash ^= buf[i];
+            hash *= 1099511628211ull;
+        }
+        consumed += got;
+    }
+    const bool bad = std::ferror(file) != 0;
+    std::fclose(file);
+    if (bad) {
+        throw TraceError("I/O error hashing trace '" + path + "'",
+                         consumed);
+    }
+    return hash;
+}
+
+ScanSummary
+scanTrace(const std::string &path, const IngestOptions &opts)
+{
+    TraceDecoder dec(path, opts);
+    ScanSummary sum;
+    sum.format = dec.format();
+    sum.numCores = dec.numCores();
+    sum.perCoreRecords.assign(sum.numCores, 0);
+    std::vector<Addr> lo(sum.numCores, kNoAddr);
+    std::vector<Addr> hi(sum.numCores, 0);
+    TraceRecord rec;
+    while (dec.next(rec)) {
+        ++sum.perCoreRecords[rec.core];
+        if (rec.op.cls == OpClass::Load ||
+            rec.op.cls == OpClass::Store) {
+            lo[rec.core] = std::min(lo[rec.core], rec.op.addr);
+            hi[rec.core] = std::max(hi[rec.core], rec.op.addr);
+        }
+    }
+    const PassStats &ps = dec.passStats();
+    sum.records = ps.records;
+    sum.dropped = ps.dropped;
+    sum.truncated = ps.truncated;
+    sum.truncatedAtByte = ps.truncatedAtByte;
+    sum.coreRegions.resize(sum.numCores, {0, 0});
+    for (std::uint32_t c = 0; c < sum.numCores; ++c) {
+        if (lo[c] == kNoAddr)
+            continue; // no memory ops on this core
+        const std::uint64_t span = hi[c] - lo[c];
+        const std::uint64_t most =
+            std::numeric_limits<std::uint64_t>::max() - 64;
+        sum.coreRegions[c] = {lo[c],
+                              span > most ? span : span + 64};
+    }
+    sum.contentHash = hashFileBytes(path);
+    return sum;
+}
+
+// ------------------------------------------------------------ reader
+
+ExternalTraceReader::ExternalTraceReader(
+    std::string name, const std::string &path,
+    const IngestOptions &opts, std::uint32_t core,
+    std::vector<std::pair<Addr, std::uint64_t>> farRegions,
+    stats::Scalar *records, stats::Scalar *dropped)
+    : name_(std::move(name)), core_(core), decoder_(path, opts),
+      far_(std::move(farRegions)), records_(records)
+{
+    decoder_.setDropCounter(dropped);
+    if (core_ >= decoder_.numCores()) {
+        throw TraceError("core " + std::to_string(core_) +
+                             " out of range for trace '" + path +
+                             "' (declares " +
+                             std::to_string(decoder_.numCores()) +
+                             " cores)",
+                         0);
+    }
+}
+
+void
+ExternalTraceReader::next(MicroOp &op)
+{
+    TraceRecord rec;
+    for (;;) {
+        if (!decoder_.next(rec)) {
+            if (matchedThisPass_ == 0) {
+                throw TraceError(
+                    "trace '" + decoder_.path() +
+                        "' yields no records for core " +
+                        std::to_string(core_) +
+                        "; the stream cannot loop",
+                    0);
+            }
+            matchedThisPass_ = 0;
+            decoder_.rewind();
+            continue;
+        }
+        if (rec.core != core_)
+            continue;
+        ++matchedThisPass_;
+        if (records_)
+            ++*records_;
+        op = rec.op;
+        return;
+    }
+}
+
+} // namespace ingest
+} // namespace critmem

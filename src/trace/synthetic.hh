@@ -102,7 +102,8 @@ class SyntheticApp : public TraceGenerator
      * (base, size) pairs — used to prewarm the shared cache with
      * plausibly-resident lines before measurement.
      */
-    std::vector<std::pair<Addr, std::uint64_t>> farRegions() const;
+    std::vector<std::pair<Addr, std::uint64_t>>
+    farRegions() const override;
 
   private:
     enum class StreamKind : std::uint8_t

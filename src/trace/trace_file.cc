@@ -1,9 +1,13 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstring>
+#include <limits>
 
-#include "sim/log.hh"
+#include "sim/atomic_file.hh"
+#include "sim/types.hh"
 
 namespace critmem
 {
@@ -55,25 +59,37 @@ TraceError::TraceError(const std::string &message,
 }
 
 TraceWriter::TraceWriter(const std::string &path)
-    // lint:allow(durable-write): traces are rewritable inputs, not
-    // result artifacts — close() finalizes the header, and a torn
-    // file is rejected by TraceReader's validation on next load.
-    : file_(std::fopen(path.c_str(), "wb"))
 {
-    if (!file_)
-        fatal("cannot open trace file '", path, "' for writing");
+    try {
+        file_ = std::make_unique<AtomicFile>(path);
+    } catch (const std::runtime_error &e) {
+        throw TraceError("cannot stage trace file '" + path +
+                             "' for writing: " + e.what(),
+                         0);
+    }
     // Header: magic, version, reserved count slot (fixed on close).
     const std::uint32_t magic = kMagic;
     const std::uint32_t version = kVersion;
     const std::uint64_t count = 0;
-    std::fwrite(&magic, 4, 1, file_);
-    std::fwrite(&version, 4, 1, file_);
-    std::fwrite(&count, 8, 1, file_);
+    std::ostream &os = file_->stream();
+    os.write(reinterpret_cast<const char *>(&magic), 4);
+    os.write(reinterpret_cast<const char *>(&version), 4);
+    os.write(reinterpret_cast<const char *>(&count), 8);
+    if (!os) {
+        throw TraceError("cannot write trace header to '" + path +
+                             "'",
+                         0);
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; AtomicFile discards the
+        // uncommitted temp and any previous trace survives.
+    }
 }
 
 void
@@ -81,8 +97,14 @@ TraceWriter::append(const MicroOp &op)
 {
     std::array<std::uint8_t, kRecordBytes> record{};
     encode(op, record.data());
-    if (std::fwrite(record.data(), record.size(), 1, file_) != 1)
-        fatal("short write to trace file");
+    std::ostream &os = file_->stream();
+    os.write(reinterpret_cast<const char *>(record.data()),
+             record.size());
+    if (!os) {
+        throw TraceError("short write to trace '" + file_->path() +
+                             "'",
+                         kHeaderBytes + count_ * kRecordBytes);
+    }
     ++count_;
 }
 
@@ -91,10 +113,26 @@ TraceWriter::close()
 {
     if (!file_)
         return;
-    std::fseek(file_, 8, SEEK_SET);
-    std::fwrite(&count_, 8, 1, file_);
-    std::fclose(file_);
-    file_ = nullptr;
+    // Hand ownership to a local so a throw below discards the temp
+    // instead of retrying on destruction.
+    std::unique_ptr<AtomicFile> file = std::move(file_);
+    std::ostream &os = file->stream();
+    // Patch the record count into the reserved header slot.
+    os.seekp(8, std::ios::beg);
+    const std::uint64_t count = count_;
+    os.write(reinterpret_cast<const char *>(&count), 8);
+    if (!os) {
+        throw TraceError("cannot finalize the header of trace '" +
+                             file->path() + "'",
+                         8);
+    }
+    try {
+        file->commit();
+    } catch (const std::runtime_error &e) {
+        throw TraceError("cannot publish trace '" + file->path() +
+                             "': " + e.what(),
+                         0);
+    }
 }
 
 TraceReader::TraceReader(const std::string &path) : name_(path)
@@ -185,6 +223,25 @@ TraceReader::next(MicroOp &op)
 {
     op = ops_[pos_];
     pos_ = (pos_ + 1) % ops_.size();
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+TraceReader::farRegions() const
+{
+    Addr lo = kNoAddr;
+    Addr hi = 0;
+    for (const MicroOp &op : ops_) {
+        if (op.cls != OpClass::Load && op.cls != OpClass::Store)
+            continue;
+        lo = std::min(lo, op.addr);
+        hi = std::max(hi, op.addr);
+    }
+    if (lo == kNoAddr)
+        return {};
+    const std::uint64_t span = hi - lo;
+    const std::uint64_t most =
+        std::numeric_limits<std::uint64_t>::max() - 64;
+    return {{lo, span > most ? span : span + 64}};
 }
 
 } // namespace critmem

@@ -14,7 +14,7 @@
 #define CRITMEM_TRACE_TRACE_FILE_HH
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,6 +23,8 @@
 
 namespace critmem
 {
+
+class AtomicFile;
 
 /**
  * A malformed or unreadable trace file. Carries the byte offset of
@@ -40,21 +42,31 @@ class TraceError : public std::runtime_error
     std::uint64_t byteOffset_;
 };
 
-/** Writes micro-ops to a trace file. */
+/**
+ * Writes micro-ops to a trace file. Output is staged through
+ * AtomicFile, so a crash or error leaves either the previous trace or
+ * the complete new one on disk — never a torn file.
+ */
 class TraceWriter
 {
   public:
-    /** Open @p path for writing; fatal on failure. */
+    /** Stage @p path for writing; throws TraceError on failure. */
     explicit TraceWriter(const std::string &path);
+
+    /** Finalizes via close(), swallowing errors (no-throw). */
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one micro-op. */
+    /** Append one micro-op; throws TraceError on a failed write. */
     void append(const MicroOp &op);
 
-    /** Flush and finalize the header; called by the destructor too. */
+    /**
+     * Finalize the header and atomically publish the file; called by
+     * the destructor too. Throws TraceError on failure (the staged
+     * temp is discarded and any previous trace survives).
+     */
     void close();
 
     std::uint64_t written() const { return count_; }
@@ -63,7 +75,7 @@ class TraceWriter
     static constexpr std::uint32_t kVersion = 1;
 
   private:
-    std::FILE *file_ = nullptr;
+    std::unique_ptr<AtomicFile> file_;
     std::uint64_t count_ = 0;
 };
 
@@ -86,6 +98,10 @@ class TraceReader : public TraceGenerator
     void next(MicroOp &op) override;
 
     const std::string &name() const override { return name_; }
+
+    /** The span of Load/Store addresses in the trace (for prewarm). */
+    std::vector<std::pair<Addr, std::uint64_t>>
+    farRegions() const override;
 
     std::uint64_t size() const { return ops_.size(); }
 
@@ -112,6 +128,12 @@ class RecordingGenerator : public TraceGenerator
     }
 
     const std::string &name() const override { return inner_.name(); }
+
+    std::vector<std::pair<Addr, std::uint64_t>>
+    farRegions() const override
+    {
+        return inner_.farRegions();
+    }
 
   private:
     TraceGenerator &inner_;

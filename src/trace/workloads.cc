@@ -324,4 +324,112 @@ findBundle(const std::string &name)
     return nullptr;
 }
 
+namespace
+{
+
+std::vector<TraceWorkload> &
+traceRegistry()
+{
+    static std::vector<TraceWorkload> traces;
+    return traces;
+}
+
+} // namespace
+
+const TraceWorkload &
+registerTraceWorkload(const std::string &name, const std::string &path,
+                      const ingest::IngestOptions &opts)
+{
+    if (name.empty())
+        throw std::runtime_error("trace workload name is empty");
+    if (name.find('/') != std::string::npos ||
+        name.find_first_of(" \t") != std::string::npos) {
+        throw std::runtime_error("trace workload name '" + name +
+                                 "' contains '/' or whitespace");
+    }
+    if (haveApp(name) || findBundle(name) != nullptr) {
+        throw std::runtime_error(
+            "trace workload name '" + name +
+            "' collides with a built-in application or bundle");
+    }
+    ConfigErrors errors;
+    opts.validate(errors);
+    if (!errors.empty()) {
+        std::string msg = "invalid trace options for '" + name + "':";
+        for (const ConfigError &e : errors)
+            msg += " [" + e.field + "] " + e.message;
+        throw std::runtime_error(msg);
+    }
+    for (const TraceWorkload &wl : traceRegistry()) {
+        if (wl.name == name && wl.path != path) {
+            throw std::runtime_error(
+                "trace workload '" + name +
+                "' is already registered with path '" + wl.path +
+                "'");
+        }
+    }
+
+    const ingest::ScanSummary sum = ingest::scanTrace(path, opts);
+    if (sum.records == 0) {
+        throw TraceError("trace '" + path +
+                             "' yields no records under policy '" +
+                             std::string(ingest::toString(
+                                 opts.policy)) +
+                             "'",
+                         sum.truncated ? sum.truncatedAtByte : 0);
+    }
+    for (std::uint32_t c = 0; c < sum.numCores; ++c) {
+        if (sum.perCoreRecords[c] == 0) {
+            throw TraceError(
+                "trace '" + path + "' declares " +
+                    std::to_string(sum.numCores) +
+                    " cores but has no records for core " +
+                    std::to_string(c) +
+                    " (the loop replay would starve it)",
+                0);
+        }
+    }
+
+    TraceWorkload entry;
+    entry.name = name;
+    entry.path = path;
+    entry.options = opts;
+    entry.numCores = sum.numCores;
+    entry.records = sum.records;
+    entry.dropped = sum.dropped;
+    entry.contentHash = sum.contentHash;
+    entry.coreRegions = sum.coreRegions;
+
+    for (TraceWorkload &wl : traceRegistry()) {
+        if (wl.name == name) {
+            wl = std::move(entry);
+            return wl;
+        }
+    }
+    traceRegistry().push_back(std::move(entry));
+    return traceRegistry().back();
+}
+
+const std::vector<TraceWorkload> &
+traceWorkloads()
+{
+    return traceRegistry();
+}
+
+const TraceWorkload *
+findTraceWorkload(const std::string &name)
+{
+    for (const TraceWorkload &wl : traceRegistry()) {
+        if (wl.name == name)
+            return &wl;
+    }
+    return nullptr;
+}
+
+void
+clearTraceWorkloads()
+{
+    traceRegistry().clear();
+}
+
 } // namespace critmem

@@ -1,0 +1,814 @@
+/**
+ * @file
+ * Tests for the external-trace ingestion frontend (src/trace/ingest):
+ * byte-offset accuracy of every TraceError class in both the text and
+ * binary formats, the recovery policies and their budgets, the
+ * resource caps, gzip transport, the loop-replay TraceGenerator
+ * adapter, the trace-workload registry, and the execution-engine
+ * integration (sweep specs, job execution, campaign hashing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef CRITMEM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+#include "exec/campaign.hh"
+#include "exec/job.hh"
+#include "exec/sweep.hh"
+#include "sim/stats.hh"
+#include "system/experiment.hh"
+#include "trace/ingest/ingest.hh"
+#include "trace/workloads.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+class IngestTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Per-process dir: ctest -jN runs each test in its own
+        // process, and a shared path would race TearDown's
+        // remove_all against a sibling's file creation.
+        dir_ = std::filesystem::temp_directory_path() /
+            ("critmem_ingest_test." + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+        clearTraceWorkloads();
+    }
+
+    void
+    TearDown() override
+    {
+        clearTraceWorkloads();
+        std::filesystem::remove_all(dir_);
+    }
+
+    /** Write @p bytes as file @p name under the test dir. */
+    std::string
+    spill(const std::string &name, const std::string &bytes)
+    {
+        const std::string path = (dir_ / name).string();
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        EXPECT_NE(f, nullptr);
+        if (!bytes.empty()) {
+            EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                      bytes.size());
+        }
+        std::fclose(f);
+        return path;
+    }
+
+    /** Decode @p path and return the TraceError it must throw. */
+    TraceError
+    mustThrow(const std::string &path,
+              const ingest::IngestOptions &opts = {})
+    {
+        try {
+            ingest::TraceDecoder decoder(path, opts);
+            ingest::TraceRecord rec;
+            while (decoder.next(rec)) {
+            }
+        } catch (const TraceError &err) {
+            return err;
+        }
+        ADD_FAILURE() << "decoder accepted " << path;
+        return TraceError("unreachable", 0);
+    }
+
+    std::filesystem::path dir_;
+};
+
+/** A minimal valid binary record for core @p core. */
+std::string
+binRecord(std::uint8_t core, std::uint8_t cls, std::uint64_t pc,
+          std::uint64_t addr, std::uint8_t latency = 1,
+          std::uint16_t len = 24)
+{
+    std::string out;
+    out.push_back(static_cast<char>(len & 0xff));
+    out.push_back(static_cast<char>(len >> 8));
+    out.push_back(static_cast<char>(core));
+    out.push_back(static_cast<char>(cls));
+    out.push_back(static_cast<char>(latency));
+    out.push_back(0); // flags
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((pc >> (8 * i)) & 0xff));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((addr >> (8 * i)) & 0xff));
+    out.append(4, '\0'); // dep1, dep2
+    for (std::uint16_t i = 24; i < len; ++i)
+        out.push_back('\x5a'); // extension bytes, must be ignored
+    return out;
+}
+
+/** The 8-byte binary header declaring @p cores cores. */
+std::string
+binHeader(std::uint8_t cores)
+{
+    std::string out = "CTIB";
+    out.push_back(1);
+    out.push_back(static_cast<char>(cores));
+    out.push_back(0);
+    out.push_back(0);
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Text format
+// ---------------------------------------------------------------
+
+TEST_F(IngestTest, TextRoundTrip)
+{
+    const std::string path = spill("round.ctext",
+                                   "ctrace text 1 2\n"
+                                   "# a comment\n"
+                                   "\n"
+                                   "0 L 0x400 0x10040 3 2 1\r\n"
+                                   "1 B 1024 0 1 0 0 1\n"
+                                   "0 S 0x408 66624\n");
+    ingest::TraceDecoder decoder(path, {});
+    EXPECT_EQ(decoder.numCores(), 2u);
+    EXPECT_EQ(decoder.format(), ingest::TraceFormat::Text);
+
+    ingest::TraceRecord rec;
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.core, 0u);
+    EXPECT_EQ(rec.op.cls, OpClass::Load);
+    EXPECT_EQ(rec.op.pc, 0x400u);
+    EXPECT_EQ(rec.op.addr, 0x10040u);
+    EXPECT_EQ(rec.op.latency, 3);
+    EXPECT_EQ(rec.op.dep1, 2);
+    EXPECT_EQ(rec.op.dep2, 1);
+    EXPECT_FALSE(rec.op.mispredict);
+
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.core, 1u);
+    EXPECT_EQ(rec.op.cls, OpClass::Branch);
+    EXPECT_EQ(rec.op.pc, 1024u);
+    EXPECT_TRUE(rec.op.mispredict);
+
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.op.cls, OpClass::Store);
+    EXPECT_EQ(rec.op.addr, 66624u); // decimal == 0x10440
+
+    EXPECT_FALSE(decoder.next(rec));
+    EXPECT_EQ(decoder.passStats().records, 3u);
+
+    // rewind() replays the stream identically.
+    decoder.rewind();
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.op.pc, 0x400u);
+}
+
+TEST_F(IngestTest, TextTruncatedHeaderGoldens)
+{
+    ingest::IngestOptions text;
+    text.format = ingest::TraceFormat::Text;
+
+    // Empty file.
+    EXPECT_EQ(mustThrow(spill("a.ctext", ""), text).byteOffset(), 0u);
+    // Header cut mid-token (no newline): too few tokens, reported at
+    // the start of the header line.
+    EXPECT_EQ(mustThrow(spill("b.ctext", "ctrace te"), text)
+                  .byteOffset(),
+              0u);
+    // Missing the core count.
+    EXPECT_EQ(mustThrow(spill("c.ctext", "ctrace text 1\n"), text)
+                  .byteOffset(),
+              0u);
+    // Bad version: third token, at byte 7 + 5 = 12.
+    EXPECT_EQ(mustThrow(spill("d.ctext", "ctrace text 9 2\n"), text)
+                  .byteOffset(),
+              12u);
+    // Zero cores: fourth token at byte 14.
+    EXPECT_EQ(mustThrow(spill("e.ctext", "ctrace text 1 0\n"), text)
+                  .byteOffset(),
+              14u);
+    // Core count over the cap, same token.
+    EXPECT_EQ(
+        mustThrow(spill("f.ctext", "ctrace text 1 9999\n"), text)
+            .byteOffset(),
+        14u);
+}
+
+TEST_F(IngestTest, TextMidFileCorruptionOffset)
+{
+    // Header is 16 bytes, the first record 14; the bad op class
+    // letter sits at 16 + 14 + 2 = 32.
+    const std::string path = spill("mid.ctext",
+                                   "ctrace text 1 2\n"
+                                   "0 L 0x10 0x20\n"
+                                   "1 X 0x10 0x20\n"
+                                   "0 S 0x10 0x20\n");
+    const TraceError err = mustThrow(path);
+    EXPECT_EQ(err.byteOffset(), 32u);
+    EXPECT_NE(std::string(err.what()).find("op class"),
+              std::string::npos);
+}
+
+TEST_F(IngestTest, TextTornFinalRecordOffset)
+{
+    // The final line is cut after three fields and has no newline;
+    // the error points at the start of that line (byte 16 + 14 = 30).
+    const std::string path = spill("torn.ctext",
+                                   "ctrace text 1 2\n"
+                                   "0 L 0x10 0x20\n"
+                                   "1 L 0x10");
+    const TraceError err = mustThrow(path);
+    EXPECT_EQ(err.byteOffset(), 30u);
+    EXPECT_NE(std::string(err.what()).find("fields"),
+              std::string::npos);
+}
+
+TEST_F(IngestTest, TextFieldValidationOffsets)
+{
+    // Offsets inside the record line at byte 16.
+    struct Case
+    {
+        const char *line;
+        std::uint64_t off;
+    };
+    const std::vector<Case> cases = {
+        {"7 L 0x10 0x20\n", 16},      // core out of range
+        {"x L 0x10 0x20\n", 16},      // core not a number
+        {"0 L 0x1g 0x20\n", 20},      // pc not a number
+        {"0 L 0x10 zz\n", 25},        // addr not a number
+        {"0 L 0x10 0x20 0\n", 30},    // latency 0
+        {"0 L 0x10 0x20 1 70000\n", 32}, // dep1 too big
+        {"0 L 0x10 0x20 1 0 0 2\n", 36}, // mispredict not 0/1
+        {"0 L 0x10 0x20 1 0 0 1 9\n", 38}, // too many fields
+    };
+    for (const Case &c : cases) {
+        const std::string path =
+            spill("field.ctext",
+                  std::string("ctrace text 1 2\n") + c.line);
+        EXPECT_EQ(mustThrow(path).byteOffset(), c.off) << c.line;
+    }
+}
+
+TEST_F(IngestTest, TextLineCapIsStructural)
+{
+    ingest::IngestOptions opts;
+    opts.limits.maxLineBytes = 64;
+    const std::string path =
+        spill("long.ctext", "ctrace text 1 1\n0 L 0x10 0x20\n"
+                            "0 L 0x10 " + std::string(100, '1') +
+                  "\n0 S 0x10 0x20\n");
+    // Structural: not recoverable by skipping records.
+    opts.policy = ingest::RecoveryPolicy::SkipRecord;
+    EXPECT_THROW(ingest::scanTrace(path, opts), TraceError);
+    // Truncate ends the stream instead.
+    opts.policy = ingest::RecoveryPolicy::Truncate;
+    const ingest::ScanSummary scan = ingest::scanTrace(path, opts);
+    EXPECT_TRUE(scan.truncated);
+    EXPECT_EQ(scan.records, 1u);
+}
+
+TEST_F(IngestTest, SkipRecordPolicyAndBudget)
+{
+    const std::string path = spill("skip.ctext",
+                                   "ctrace text 1 1\n"
+                                   "0 L 0x10 0x40\n"
+                                   "0 X 0x10 0x40\n"
+                                   "0 S 0x14 0x80\n"
+                                   "0 Y 0x10 0x40\n"
+                                   "0 A 0x18 0\n");
+    ingest::IngestOptions opts;
+    opts.policy = ingest::RecoveryPolicy::SkipRecord;
+    opts.skipBudget = 2;
+    const ingest::ScanSummary scan = ingest::scanTrace(path, opts);
+    EXPECT_EQ(scan.records, 3u);
+    EXPECT_EQ(scan.dropped, 2u);
+
+    // One damaged record over budget: the throw carries the offset
+    // of the record that exhausted it.
+    opts.skipBudget = 1;
+    const TraceError err = mustThrow(path, opts);
+    EXPECT_NE(std::string(err.what()).find("skip budget"),
+              std::string::npos);
+    // Records are 14 bytes; the second bad line starts at
+    // 16 + 3*14 = 58, its class letter at 60.
+    EXPECT_EQ(err.byteOffset(), 60u);
+}
+
+TEST_F(IngestTest, TruncatePolicyRecordsCut)
+{
+    const std::string path = spill("trunc.ctext",
+                                   "ctrace text 1 1\n"
+                                   "0 L 0x10 0x40\n"
+                                   "0 X 0x10 0x40\n"
+                                   "0 S 0x14 0x80\n");
+    ingest::IngestOptions opts;
+    opts.policy = ingest::RecoveryPolicy::Truncate;
+    const ingest::ScanSummary scan = ingest::scanTrace(path, opts);
+    EXPECT_EQ(scan.records, 1u);
+    EXPECT_TRUE(scan.truncated);
+    EXPECT_EQ(scan.truncatedAtByte, 32u); // the bad class letter
+}
+
+TEST_F(IngestTest, DropCounterSurvivesRewind)
+{
+    const std::string path = spill("drops.ctext",
+                                   "ctrace text 1 1\n"
+                                   "0 L 0x10 0x40\n"
+                                   "0 X 0x10 0x40\n"
+                                   "0 S 0x14 0x80\n");
+    ingest::IngestOptions opts;
+    opts.policy = ingest::RecoveryPolicy::SkipRecord;
+
+    stats::Group group("test", nullptr);
+    stats::Scalar dropped(group, "dropped", "cumulative drops");
+
+    ingest::TraceDecoder decoder(path, opts);
+    decoder.setDropCounter(&dropped);
+    ingest::TraceRecord rec;
+    while (decoder.next(rec)) {
+    }
+    EXPECT_EQ(decoder.passStats().dropped, 1u);
+    decoder.rewind();
+    EXPECT_EQ(decoder.passStats().dropped, 0u); // per-pass reset
+    while (decoder.next(rec)) {
+    }
+    EXPECT_EQ(decoder.passStats().dropped, 1u);
+    EXPECT_EQ(dropped.value(), 2u); // cumulative across passes
+}
+
+// ---------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------
+
+TEST_F(IngestTest, BinaryRoundTrip)
+{
+    std::string bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040, 3);
+    bytes += binRecord(1, 6, 0x404, 0, 1, 30); // extended record
+    const std::string path = spill("round.cbin", bytes);
+
+    ingest::TraceDecoder decoder(path, {});
+    EXPECT_EQ(decoder.numCores(), 2u);
+    EXPECT_EQ(decoder.format(), ingest::TraceFormat::Binary);
+
+    ingest::TraceRecord rec;
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.core, 0u);
+    EXPECT_EQ(rec.op.cls, OpClass::Load);
+    EXPECT_EQ(rec.op.pc, 0x400u);
+    EXPECT_EQ(rec.op.addr, 0x10040u);
+    EXPECT_EQ(rec.op.latency, 3);
+    ASSERT_TRUE(decoder.next(rec));
+    EXPECT_EQ(rec.core, 1u);
+    EXPECT_EQ(rec.op.cls, OpClass::Branch);
+    EXPECT_FALSE(decoder.next(rec));
+}
+
+TEST_F(IngestTest, BinaryHeaderGoldens)
+{
+    // Header cut after five bytes.
+    EXPECT_EQ(mustThrow(spill("a.cbin", binHeader(2).substr(0, 5)))
+                  .byteOffset(),
+              5u);
+    // Magic wrong at its third byte. Forcing the format bypasses
+    // auto-detection (which would not recognize the file at all).
+    ingest::IngestOptions bin;
+    bin.format = ingest::TraceFormat::Binary;
+    std::string bad = binHeader(2);
+    bad[2] = 'X';
+    EXPECT_EQ(mustThrow(spill("b.cbin", bad), bin).byteOffset(), 2u);
+    // Unsupported version.
+    bad = binHeader(2);
+    bad[4] = 9;
+    EXPECT_EQ(mustThrow(spill("c.cbin", bad)).byteOffset(), 4u);
+    // Zero cores.
+    EXPECT_EQ(mustThrow(spill("d.cbin", binHeader(0))).byteOffset(),
+              5u);
+    // Core count over the cap.
+    ingest::IngestOptions capped;
+    capped.limits.maxCores = 4;
+    EXPECT_EQ(mustThrow(spill("e.cbin", binHeader(200)), capped)
+                  .byteOffset(),
+              5u);
+    // Reserved header bytes must be zero.
+    bad = binHeader(2);
+    bad[7] = 1;
+    EXPECT_EQ(mustThrow(spill("f.cbin", bad)).byteOffset(), 7u);
+}
+
+TEST_F(IngestTest, BinaryTornFinalRecordOffset)
+{
+    // One full record (8..33), then a second whose 24-byte payload is
+    // cut after 10 bytes: the tear is at 34 + 2 + 10 = 46.
+    std::string bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040);
+    const std::string second = binRecord(1, 5, 0x404, 0x10080);
+    bytes += second.substr(0, 12);
+    const TraceError err = mustThrow(spill("torn.cbin", bytes));
+    EXPECT_EQ(err.byteOffset(), 46u);
+    EXPECT_NE(std::string(err.what()).find("torn"),
+              std::string::npos);
+
+    // A lone length-prefix byte at the very end: structural, at the
+    // offset where the file ends.
+    bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040);
+    bytes += '\x18';
+    EXPECT_EQ(mustThrow(spill("torn2.cbin", bytes)).byteOffset(),
+              35u);
+}
+
+TEST_F(IngestTest, BinaryMidFileCorruptionOffset)
+{
+    // Second record (at byte 34) carries op class 9: content error
+    // at 34 + 3 = 37.
+    std::string bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040);
+    bytes += binRecord(1, 9, 0x404, 0x10080);
+    bytes += binRecord(0, 5, 0x408, 0x100c0);
+    const std::string path = spill("mid.cbin", bytes);
+    EXPECT_EQ(mustThrow(path).byteOffset(), 37u);
+
+    // The same damage is skippable: SkipRecord resynchronizes on the
+    // length prefix and keeps the good records.
+    ingest::IngestOptions opts;
+    opts.policy = ingest::RecoveryPolicy::SkipRecord;
+    const ingest::ScanSummary scan = ingest::scanTrace(path, opts);
+    EXPECT_EQ(scan.records, 2u);
+    EXPECT_EQ(scan.dropped, 1u);
+}
+
+TEST_F(IngestTest, BinaryLengthCapsAreStructural)
+{
+    // Payload length below the 24-byte minimum.
+    std::string bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040);
+    bytes += binRecord(1, 4, 0x404, 0x10080, 1, 30);
+    bytes[8 + 26] = 10; // rewrite the second record's length to 10
+    bytes[8 + 27] = 0;
+    const std::string path = spill("len.cbin", bytes);
+    EXPECT_EQ(mustThrow(path).byteOffset(), 34u);
+
+    // Structural framing damage cannot be skipped...
+    ingest::IngestOptions opts;
+    opts.policy = ingest::RecoveryPolicy::SkipRecord;
+    EXPECT_THROW(ingest::scanTrace(path, opts), TraceError);
+    // ...but Truncate keeps everything before it.
+    opts.policy = ingest::RecoveryPolicy::Truncate;
+    const ingest::ScanSummary scan = ingest::scanTrace(path, opts);
+    EXPECT_EQ(scan.records, 1u);
+    EXPECT_TRUE(scan.truncated);
+    EXPECT_EQ(scan.truncatedAtByte, 34u);
+
+    // A length above limits.maxRecordBytes is equally structural.
+    ingest::IngestOptions small;
+    small.limits.maxRecordBytes = 64;
+    bytes = binHeader(2);
+    bytes += binRecord(0, 4, 0x400, 0x10040, 1, 200);
+    EXPECT_EQ(mustThrow(spill("big.cbin", bytes), small).byteOffset(),
+              8u);
+}
+
+TEST_F(IngestTest, AutoDetectGoldens)
+{
+    // Unknown leading bytes.
+    EXPECT_EQ(mustThrow(spill("x.trace", "hello world\n"))
+                  .byteOffset(),
+              0u);
+    // Legacy CTMT replay traces are recognized and redirected.
+    std::string ctmt;
+    const std::uint32_t magic = 0x43544d54;
+    ctmt.resize(4);
+    std::memcpy(ctmt.data(), &magic, 4);
+    ctmt += std::string(12, '\0');
+    const TraceError err = mustThrow(spill("y.bin", ctmt));
+    EXPECT_EQ(err.byteOffset(), 0u);
+    EXPECT_NE(std::string(err.what()).find("CTMT"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Gzip transport
+// ---------------------------------------------------------------
+
+#ifdef CRITMEM_HAVE_ZLIB
+std::string
+gzipCompress(const std::string &raw)
+{
+    z_stream strm{};
+    EXPECT_EQ(deflateInit2(&strm, Z_BEST_COMPRESSION, Z_DEFLATED,
+                           16 + MAX_WBITS, 8, Z_DEFAULT_STRATEGY),
+              Z_OK);
+    std::string out;
+    out.resize(deflateBound(&strm, raw.size()));
+    strm.next_in =
+        reinterpret_cast<Bytef *>(const_cast<char *>(raw.data()));
+    strm.avail_in = static_cast<uInt>(raw.size());
+    strm.next_out = reinterpret_cast<Bytef *>(out.data());
+    strm.avail_out = static_cast<uInt>(out.size());
+    EXPECT_EQ(deflate(&strm, Z_FINISH), Z_STREAM_END);
+    out.resize(out.size() - strm.avail_out);
+    deflateEnd(&strm);
+    return out;
+}
+
+TEST_F(IngestTest, GzipRoundTrip)
+{
+    EXPECT_TRUE(ingest::haveGzip());
+    const std::string raw = "ctrace text 1 2\n"
+                            "0 L 0x400 0x10040\n"
+                            "1 S 0x404 0x20040\n"
+                            "0 A 0x408 0\n";
+    const std::string rawPath = spill("plain.ctext", raw);
+    const std::string gzPath =
+        spill("plain.ctext.gz", gzipCompress(raw));
+
+    const ingest::ScanSummary a = ingest::scanTrace(rawPath, {});
+    const ingest::ScanSummary b = ingest::scanTrace(gzPath, {});
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.numCores, b.numCores);
+    EXPECT_EQ(a.format, b.format);
+    EXPECT_EQ(a.perCoreRecords, b.perCoreRecords);
+    EXPECT_EQ(a.coreRegions, b.coreRegions);
+    // Identity covers the raw (compressed) bytes, so the two files
+    // hash differently.
+    EXPECT_NE(a.contentHash, b.contentHash);
+}
+
+TEST_F(IngestTest, GzipCorruptionIsTraceError)
+{
+    const std::string raw = "ctrace text 1 1\n0 L 0x400 0x10040\n";
+    std::string gz = gzipCompress(raw);
+    gz[gz.size() / 2] ^= 0x40; // damage the deflate stream
+    const std::string path = spill("bad.ctext.gz", gz);
+    EXPECT_THROW(ingest::scanTrace(path, {}), TraceError);
+
+    // Truncation of the compressed stream is also a TraceError, not
+    // a silent short read.
+    const std::string cut =
+        spill("cut.ctext.gz",
+              gzipCompress(raw).substr(0, gz.size() - 6));
+    EXPECT_THROW(ingest::scanTrace(cut, {}), TraceError);
+}
+#endif // CRITMEM_HAVE_ZLIB
+
+// ---------------------------------------------------------------
+// Loop-replay adapter and registry
+// ---------------------------------------------------------------
+
+TEST_F(IngestTest, ExternalTraceReaderLoops)
+{
+    const std::string path = spill("loop.ctext",
+                                   "ctrace text 1 2\n"
+                                   "0 L 0x10 0x40\n"
+                                   "1 S 0x20 0x80\n"
+                                   "0 A 0x14 0\n");
+    ingest::ExternalTraceReader reader("loop", path, {}, 0);
+    MicroOp op;
+    for (int pass = 0; pass < 3; ++pass) {
+        reader.next(op);
+        EXPECT_EQ(op.pc, 0x10u) << "pass " << pass;
+        EXPECT_EQ(op.cls, OpClass::Load);
+        reader.next(op);
+        EXPECT_EQ(op.pc, 0x14u) << "pass " << pass;
+        EXPECT_EQ(op.cls, OpClass::IntAlu);
+    }
+}
+
+TEST_F(IngestTest, ExternalTraceReaderStarvedCoreThrows)
+{
+    const std::string path = spill("starve.ctext",
+                                   "ctrace text 1 2\n"
+                                   "0 L 0x10 0x40\n");
+    ingest::ExternalTraceReader reader("starve", path, {}, 1);
+    MicroOp op;
+    EXPECT_THROW(reader.next(op), TraceError);
+}
+
+TEST_F(IngestTest, RegistryValidatesAndRefreshes)
+{
+    const std::string path = spill("reg.ctext",
+                                   "ctrace text 1 2\n"
+                                   "0 L 0x10 0x40\n"
+                                   "1 S 0x20 0x80\n");
+    const TraceWorkload &wl =
+        registerTraceWorkload("regt", path, {});
+    EXPECT_EQ(wl.numCores, 2u);
+    EXPECT_EQ(wl.records, 2u);
+    EXPECT_NE(wl.contentHash, 0u);
+    ASSERT_EQ(wl.coreRegions.size(), 2u);
+    EXPECT_EQ(wl.coreRegions[0].first, 0x40u);
+    EXPECT_NE(findTraceWorkload("regt"), nullptr);
+
+    // Misuse: bad names, collisions with the built-in registries,
+    // and renaming a path out from under a workload.
+    EXPECT_THROW(registerTraceWorkload("", path, {}),
+                 std::runtime_error);
+    EXPECT_THROW(registerTraceWorkload("has space", path, {}),
+                 std::runtime_error);
+    EXPECT_THROW(registerTraceWorkload("a/b", path, {}),
+                 std::runtime_error);
+    EXPECT_THROW(registerTraceWorkload("art", path, {}),
+                 std::runtime_error);
+    const std::string other = spill("reg2.ctext",
+                                    "ctrace text 1 1\n"
+                                    "0 L 0x10 0x40\n");
+    EXPECT_THROW(registerTraceWorkload("regt", other, {}),
+                 std::runtime_error);
+
+    // Same name + same path refreshes (file may have changed).
+    const std::uint64_t before = wl.contentHash;
+    spill("reg.ctext",
+          "ctrace text 1 2\n"
+          "0 L 0x10 0x40\n"
+          "1 S 0x20 0x80\n"
+          "1 A 0x24 0\n");
+    const TraceWorkload &fresh =
+        registerTraceWorkload("regt", path, {});
+    EXPECT_EQ(fresh.records, 3u);
+    EXPECT_NE(fresh.contentHash, before);
+    EXPECT_EQ(traceWorkloads().size(), 1u);
+
+    // Invalid ingest options are rejected as misuse, not TraceError.
+    ingest::IngestOptions bad;
+    bad.limits.maxCores = 0;
+    EXPECT_THROW(registerTraceWorkload("regb", path, bad),
+                 std::runtime_error);
+}
+
+TEST_F(IngestTest, RegistryRejectsStarvedCores)
+{
+    const std::string path = spill("starved.ctext",
+                                   "ctrace text 1 3\n"
+                                   "0 L 0x10 0x40\n"
+                                   "1 S 0x20 0x80\n");
+    try {
+        registerTraceWorkload("starved", path, {});
+        FAIL() << "registered a trace with a record-less core";
+    } catch (const TraceError &err) {
+        EXPECT_NE(std::string(err.what()).find("core 2"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(IngestTest, RegistryRejectsEmptyTraces)
+{
+    const std::string path =
+        spill("empty.ctext", "ctrace text 1 1\n# nothing\n");
+    EXPECT_THROW(registerTraceWorkload("empty", path, {}),
+                 TraceError);
+}
+
+// ---------------------------------------------------------------
+// System / exec integration
+// ---------------------------------------------------------------
+
+/** A 2-core trace with enough memory traffic to exercise DRAM. */
+std::string
+twoCoreTrace()
+{
+    std::string out = "ctrace text 1 2\n";
+    char line[64];
+    for (int i = 0; i < 64; ++i) {
+        std::snprintf(line, sizeof(line), "%d %c 0x%x 0x%x %d\n",
+                      i % 2, i % 3 == 0 ? 'L' : i % 3 == 1 ? 'S'
+                                                           : 'A',
+                      0x400 + i * 4,
+                      0x100000 + (i % 2) * 0x40000 + i * 4096, 1);
+        out += line;
+    }
+    return out;
+}
+
+TEST_F(IngestTest, SystemFromTraceIsDeterministic)
+{
+    const std::string path = spill("sys.ctext", twoCoreTrace());
+    const TraceWorkload &wl =
+        registerTraceWorkload("syst", path, {});
+
+    SystemConfig cfg = SystemConfig::parallelDefault();
+    cfg.numCores = wl.numCores;
+    ASSERT_TRUE(cfg.validate().empty());
+
+    std::uint64_t cycles[2] = {};
+    for (int run = 0; run < 2; ++run) {
+        System sys(cfg, wl);
+        const RunResult r = runSystem(sys, 2000, 500, true);
+        cycles[run] = r.cycles;
+        EXPECT_GT(r.cycles, 0u);
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+TEST_F(IngestTest, SweepSpecParsesTraceLines)
+{
+    std::istringstream in(
+        "mode = parallel\n"
+        "workloads = tr1\n"
+        "trace tr1 : path=/tmp/x.ctext policy=skip-record "
+        "skip-budget=5 format=text max-line=256\n"
+        "variant base : sched=frfcfs\n");
+    const exec::SweepSpec spec = exec::parseSweepSpec(in);
+    ASSERT_EQ(spec.traces.size(), 1u);
+    EXPECT_EQ(spec.traces[0].name, "tr1");
+    EXPECT_EQ(spec.traces[0].path, "/tmp/x.ctext");
+    EXPECT_EQ(spec.traces[0].options.policy,
+              ingest::RecoveryPolicy::SkipRecord);
+    EXPECT_EQ(spec.traces[0].options.skipBudget, 5u);
+    EXPECT_EQ(spec.traces[0].options.format,
+              ingest::TraceFormat::Text);
+    EXPECT_EQ(spec.traces[0].options.limits.maxLineBytes, 256u);
+
+    // Malformed trace lines carry SweepError line info.
+    const std::vector<std::string> bad = {
+        "trace t :\n",                       // missing path
+        "trace t : policy=bogus path=/x\n",  // unknown policy
+        "trace t : path=/x nope=1\n",        // unknown key
+        "trace t : path=/x max-cores=0\n",   // cap out of range
+        "trace a : path=/x\ntrace a : path=/y\n", // duplicate
+    };
+    for (const std::string &body : bad) {
+        std::istringstream is("mode = parallel\n" + body +
+                              "variant base : sched=frfcfs\n");
+        EXPECT_THROW(exec::parseSweepSpec(is), exec::SweepError)
+            << body;
+    }
+}
+
+TEST_F(IngestTest, SweepExpandsTraceJobs)
+{
+    const std::string path = spill("sweep.ctext", twoCoreTrace());
+
+    exec::SweepSpec spec;
+    spec.traces.push_back({"swt", path, {}});
+    spec.variants.push_back(
+        {"base", {{"sched", "frfcfs"}, {"cores", "8"}}});
+    // Empty workload list: every parallel app plus the trace.
+    const std::vector<exec::JobSpec> all = spec.expand();
+    bool sawTrace = false;
+    for (const exec::JobSpec &job : all) {
+        if (job.workload != "swt")
+            continue;
+        sawTrace = true;
+        EXPECT_EQ(job.kind, exec::RunKind::Trace);
+        // The trace dictates the core count over the cores= setting.
+        EXPECT_EQ(job.cfg.numCores, 2u);
+    }
+    EXPECT_TRUE(sawTrace);
+
+    // Explicit selection by trace name and job execution.
+    spec.workloads = {"swt"};
+    spec.quota = 500;
+    const std::vector<exec::JobSpec> jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    const RunResult r = exec::executeJob(jobs[0]);
+    EXPECT_GT(r.cycles, 0u);
+
+    // The repro command round-trips the trace registration.
+    const std::string repro = exec::reproCommand(jobs[0]);
+    EXPECT_NE(repro.find("--trace swt=" + path), std::string::npos);
+
+    // A spec declaring a missing trace file fails to expand with the
+    // underlying TraceError.
+    exec::SweepSpec missing = spec;
+    missing.traces[0].name = "swm";
+    missing.traces[0].path = (dir_ / "nope.ctext").string();
+    missing.workloads = {"swm"};
+    EXPECT_THROW(missing.expand(), TraceError);
+}
+
+TEST_F(IngestTest, CampaignHashTracksTraceContent)
+{
+    const std::string path = spill("hash.ctext", twoCoreTrace());
+
+    exec::SweepSpec spec;
+    spec.traces.push_back({"hsh", path, {}});
+    spec.workloads = {"hsh"};
+    spec.variants.push_back({"base", {{"sched", "frfcfs"}}});
+
+    const std::vector<exec::JobSpec> jobs = spec.expand();
+    const std::uint64_t h1 = exec::campaignHash(jobs);
+    // Re-expanding over unchanged bytes is stable.
+    EXPECT_EQ(exec::campaignHash(spec.expand()), h1);
+
+    // Appending one record changes the campaign identity even though
+    // the job list itself is unchanged.
+    spill("hash.ctext", twoCoreTrace() + "0 L 0x900 0x900000\n");
+    const std::vector<exec::JobSpec> jobs2 = spec.expand();
+    EXPECT_NE(exec::campaignHash(jobs2), h1);
+}
+
+} // namespace

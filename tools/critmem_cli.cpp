@@ -24,6 +24,7 @@
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "system/experiment.hh"
+#include "trace/workloads.hh"
 
 using namespace critmem;
 
@@ -40,6 +41,17 @@ usage()
         " --list-workloads)\n"
         "  --bundle NAME      Table 4 bundle instead (AELV CMLI GAMV"
         " GDPC GSMV RFEV RFGI RGTM)\n"
+        "  --trace [NAME=]PATH\n"
+        "                     register an external trace file as a\n"
+        "                     workload (repeatable; default name is\n"
+        "                     the file stem); with no --app it is also\n"
+        "                     the workload to run\n"
+        "  --trace-format F   auto (default) | text | binary\n"
+        "  --trace-policy P   fail (default) | skip-record |"
+        " truncate\n"
+        "  --trace-skip-budget N\n"
+        "                     damaged records tolerated per pass under"
+        " skip-record (default 64)\n"
         "  --alone            run --app on core 0 with the other cores"
         " idle\n"
         "  --preset NAME      base config: parallel (default) |"
@@ -98,6 +110,20 @@ listWorkloads()
                     bundle.apps[1].c_str(), bundle.apps[2].c_str(),
                     bundle.apps[3].c_str());
     }
+    if (!traceWorkloads().empty()) {
+        std::printf("trace-backed workloads (--trace / --app):\n");
+        for (const TraceWorkload &wl : traceWorkloads()) {
+            std::printf("  %-12s %s  (%u cores, %llu records",
+                        wl.name.c_str(), wl.path.c_str(), wl.numCores,
+                        static_cast<unsigned long long>(wl.records));
+            if (wl.dropped != 0) {
+                std::printf(", %llu dropped",
+                            static_cast<unsigned long long>(
+                                wl.dropped));
+            }
+            std::printf(")\n");
+        }
+    }
 }
 
 void
@@ -139,6 +165,13 @@ main(int argc, char **argv)
     bool alone = false;
     bool speedSet = false;
     DramSpeed speed = DramSpeed::DDR3_2133;
+    // Trace sources register after the flag pass so the recovery
+    // flags apply no matter where they appear on the command line,
+    // and so --list-workloads can include them.
+    std::vector<std::pair<std::string, std::string>> traceArgs;
+    ingest::IngestOptions traceOpts;
+    bool doListWorkloads = false;
+    bool doListSchedulers = false;
 
     auto nextArg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -152,6 +185,38 @@ main(int argc, char **argv)
             app = nextArg(i);
         } else if (arg == "--bundle") {
             bundleName = nextArg(i);
+        } else if (arg == "--trace") {
+            const std::string spec = nextArg(i);
+            const std::size_t eq = spec.find('=');
+            std::string name;
+            std::string path;
+            if (eq != std::string::npos) {
+                name = spec.substr(0, eq);
+                path = spec.substr(eq + 1);
+            } else {
+                path = spec;
+                const std::size_t slash = path.find_last_of('/');
+                name = slash == std::string::npos
+                    ? path
+                    : path.substr(slash + 1);
+                const std::size_t dot = name.find('.');
+                if (dot != std::string::npos)
+                    name = name.substr(0, dot);
+            }
+            if (name.empty() || path.empty())
+                fatal("--trace needs [NAME=]PATH, got '", spec, "'");
+            traceArgs.emplace_back(name, path);
+        } else if (arg == "--trace-format") {
+            const std::string name = nextArg(i);
+            if (!ingest::findTraceFormat(name, traceOpts.format))
+                fatal("unknown trace format '", name, "'");
+        } else if (arg == "--trace-policy") {
+            const std::string name = nextArg(i);
+            if (!ingest::findRecoveryPolicy(name, traceOpts.policy))
+                fatal("unknown trace recovery policy '", name, "'");
+        } else if (arg == "--trace-skip-budget") {
+            traceOpts.skipBudget = std::strtoull(nextArg(i), nullptr,
+                                                 10);
         } else if (arg == "--alone") {
             alone = true;
         } else if (arg == "--preset") {
@@ -209,11 +274,9 @@ main(int argc, char **argv)
         } else if (arg == "--stats-json") {
             statsJsonPath = nextArg(i);
         } else if (arg == "--list-workloads") {
-            listWorkloads();
-            return 0;
+            doListWorkloads = true;
         } else if (arg == "--list-schedulers") {
-            listSchedulers();
-            return 0;
+            doListSchedulers = true;
         } else if (arg == "--check") {
             cfg.check.enabled = true;
         } else if (arg == "--inject") {
@@ -232,8 +295,28 @@ main(int argc, char **argv)
             usage();
         }
     }
+    // Register trace sources before anything that can consult the
+    // registry (the listings below, workload resolution).
+    for (const auto &[name, path] : traceArgs) {
+        try {
+            registerTraceWorkload(name, path, traceOpts);
+        } catch (const std::exception &err) {
+            fatal("cannot register trace '", name, "': ", err.what());
+        }
+    }
+    if (doListWorkloads || doListSchedulers) {
+        if (doListWorkloads)
+            listWorkloads();
+        if (doListSchedulers)
+            listSchedulers();
+        return 0;
+    }
+    // A lone --trace with neither --app nor --bundle is itself the
+    // workload to run.
+    if (app.empty() && bundleName.empty() && traceArgs.size() == 1)
+        app = traceArgs[0].first;
     if (app.empty() == bundleName.empty())
-        usage(); // exactly one of --app / --bundle
+        usage(); // exactly one of --app / --bundle / a lone --trace
     if (alone && app.empty())
         fatal("--alone requires --app");
 
@@ -250,9 +333,15 @@ main(int argc, char **argv)
 
     std::unique_ptr<System> sys;
     if (!app.empty()) {
-        if (!haveApp(app))
+        if (const TraceWorkload *wl = findTraceWorkload(app)) {
+            if (alone)
+                fatal("--alone does not apply to trace workloads");
+            // The trace file dictates the core count.
+            cfg.numCores = wl->numCores;
+            sys = std::make_unique<System>(cfg, *wl);
+        } else if (!haveApp(app)) {
             fatal("unknown application '", app, "'");
-        if (alone) {
+        } else if (alone) {
             std::vector<AppParams> perCore(cfg.numCores);
             perCore[0] = appParams(app);
             sys = std::make_unique<System>(cfg, perCore);

@@ -1,0 +1,566 @@
+/**
+ * @file
+ * critmem-tracefuzz: deterministic structured fuzzing of the trace
+ * ingestion frontend.
+ *
+ * Loads a seed corpus of valid traces, applies seeded structured
+ * mutations (bit flips, byte sets, zero-fill, truncations,
+ * extensions, field splices, header lies), and feeds every mutant to
+ * the decoder, asserting the contract the rest of the tree relies
+ * on: each input is either accepted or rejected with a TraceError
+ * whose byte offset points inside the mutated region — never a
+ * crash, a hang, or an error pointing somewhere unrelated.
+ *
+ * The run is fully deterministic: all randomness comes from one
+ * seeded critmem::Rng and the corpus is visited in sorted order, so
+ * a failing (seed, iteration) pair reproduces exactly.
+ *
+ *   critmem-tracefuzz --corpus tests/trace/fixtures \
+ *                     --iterations 10000 --seed 1
+ *   critmem-tracefuzz --write-corpus tests/trace/fixtures
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#ifdef CRITMEM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+#include "sim/atomic_file.hh"
+#include "sim/random.hh"
+#include "trace/ingest/ingest.hh"
+#include "trace/trace_file.hh"
+
+using namespace critmem;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: critmem-tracefuzz [options]\n"
+        "  --corpus DIR       seed traces to mutate (default\n"
+        "                     tests/trace/fixtures)\n"
+        "  --iterations N     mutants to try (default 10000)\n"
+        "  --seed N           fuzz seed (default 1)\n"
+        "  --scratch FILE     scratch path for mutants (default\n"
+        "                     tracefuzz.scratch)\n"
+        "  --write-corpus DIR deterministically regenerate the seed\n"
+        "                     corpus into DIR and exit\n"
+        "  --quiet            only print the final summary\n");
+    std::exit(1);
+}
+
+/** How a corpus entry is decoded and how its offsets are judged. */
+enum class Kind
+{
+    Ingest, ///< text/binary ingest formats, raw transport
+    Gzip,   ///< ingest behind gzip: error offsets are decompressed
+    Ctmt,   ///< legacy CTMT replay trace (TraceReader)
+};
+
+struct CorpusEntry
+{
+    std::string name;
+    Kind kind = Kind::Ingest;
+    std::vector<unsigned char> bytes;
+};
+
+Kind
+classify(const std::vector<unsigned char> &bytes)
+{
+    if (bytes.size() >= 2 && bytes[0] == 0x1f && bytes[1] == 0x8b)
+        return Kind::Gzip;
+    if (bytes.size() >= 4 && bytes[0] == 0x54 && bytes[1] == 0x4d &&
+        bytes[2] == 0x54 && bytes[3] == 0x43)
+        return Kind::Ctmt;
+    return Kind::Ingest;
+}
+
+std::vector<CorpusEntry>
+loadCorpus(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    }
+    // Directory iteration order is filesystem-dependent; sort for a
+    // deterministic corpus <-> iteration mapping.
+    std::sort(files.begin(), files.end());
+
+    std::vector<CorpusEntry> corpus;
+    for (const fs::path &file : files) {
+        std::FILE *f = std::fopen(file.string().c_str(), "rb");
+        if (!f) {
+            std::fprintf(stderr, "cannot open corpus file %s\n",
+                         file.string().c_str());
+            std::exit(1);
+        }
+        CorpusEntry entry;
+        entry.name = file.filename().string();
+        unsigned char buf[4096];
+        std::size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            entry.bytes.insert(entry.bytes.end(), buf, buf + got);
+        std::fclose(f);
+        entry.kind = classify(entry.bytes);
+        corpus.push_back(std::move(entry));
+    }
+    return corpus;
+}
+
+// --------------------------------------------------------------
+// Corpus generation (--write-corpus): small valid traces covering
+// every format the decoder speaks. Deterministic for a given seed so
+// the checked-in fixtures are reproducible.
+// --------------------------------------------------------------
+
+std::string
+makeTextTrace(Rng &rng)
+{
+    static const char kLetters[] = {'A', 'M', 'F', 'G',
+                                    'L', 'S', 'B'};
+    std::string out = "ctrace text 1 4\n";
+    out += "# 4-core mixed workload (seeded fuzz corpus)\n";
+    char line[160];
+    for (int i = 0; i < 200; ++i) {
+        const unsigned core = static_cast<unsigned>(i) % 4;
+        // Weight toward memory ops so the trace exercises the DRAM
+        // path when replayed.
+        const std::uint64_t pick = rng.below(10);
+        const char cls = pick < 4 ? 'L'
+            : pick < 6           ? 'S'
+            : kLetters[rng.below(4)]; // A M F G
+        const std::uint64_t pc =
+            0x400000ull + core * 0x100000ull +
+            static_cast<std::uint64_t>(i) * 4;
+        // MB-spread, line-aligned addresses per core.
+        const std::uint64_t addr = (1ull << 30) +
+            core * (1ull << 24) + (rng.below(1ull << 22) & ~63ull);
+        if (i % 11 == 0)
+            out += "# interleaved comment\n";
+        switch (i % 4) {
+          case 0: // minimal four-field form, hex
+            std::snprintf(line, sizeof(line),
+                          "%u %c 0x%llx 0x%llx\n", core, cls,
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned long long>(addr));
+            break;
+          case 1: // with latency, decimal addresses
+            std::snprintf(line, sizeof(line), "%u %c %llu %llu %u\n",
+                          core, cls,
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned long long>(addr),
+                          static_cast<unsigned>(1 + rng.below(8)));
+            break;
+          case 2: // with dependence distances
+            std::snprintf(line, sizeof(line),
+                          "%u %c 0x%llx 0x%llx %u %u %u\n", core, cls,
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned long long>(addr),
+                          static_cast<unsigned>(1 + rng.below(4)),
+                          static_cast<unsigned>(rng.below(8)),
+                          static_cast<unsigned>(rng.below(8)));
+            break;
+          default: // full form; branches sometimes mispredict
+            std::snprintf(line, sizeof(line),
+                          "%u B 0x%llx 0 1 %u 0 %u\n", core,
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned>(rng.below(4)),
+                          static_cast<unsigned>(rng.below(2)));
+            break;
+        }
+        out += line;
+    }
+    return out;
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>(v >> 8));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::string
+makeBinaryTrace(Rng &rng)
+{
+    std::string out = "CTIB";
+    out.push_back(1); // version
+    out.push_back(2); // cores
+    out.push_back(0); // reserved
+    out.push_back(0);
+    for (int i = 0; i < 120; ++i) {
+        const unsigned core = static_cast<unsigned>(i) % 2;
+        const std::uint64_t pick = rng.below(10);
+        const std::uint8_t cls = pick < 4 ? 4 // Load
+            : pick < 6                    ? 5 // Store
+            : static_cast<std::uint8_t>(rng.below(4));
+        // ~10% extended records exercise forward compatibility.
+        const std::uint16_t len =
+            rng.below(10) == 0 ? 28 : 24;
+        putU16(out, len);
+        out.push_back(static_cast<char>(core));
+        out.push_back(static_cast<char>(cls));
+        out.push_back(
+            static_cast<char>(1 + rng.below(8)));       // latency
+        out.push_back(cls == 6 && rng.below(4) == 0 ? 1 // mispredict
+                                                    : 0);
+        putU64(out, 0x400000ull + core * 0x100000ull +
+                   static_cast<std::uint64_t>(i) * 4); // pc
+        putU64(out, (1ull << 28) + core * (1ull << 24) +
+                   (rng.below(1ull << 21) & ~63ull)); // addr
+        putU16(out, static_cast<std::uint16_t>(rng.below(8)));
+        putU16(out, static_cast<std::uint16_t>(rng.below(8)));
+        for (std::uint16_t extra = 24; extra < len; ++extra)
+            out.push_back(static_cast<char>(rng.below(256)));
+    }
+    return out;
+}
+
+#ifdef CRITMEM_HAVE_ZLIB
+std::string
+gzipCompress(const std::string &raw)
+{
+    z_stream strm{};
+    // 16+MAX_WBITS selects the gzip wrapper; zlib writes a zeroed
+    // mtime so the output is byte-identical across runs.
+    if (deflateInit2(&strm, Z_BEST_COMPRESSION, Z_DEFLATED,
+                     16 + MAX_WBITS, 8,
+                     Z_DEFAULT_STRATEGY) != Z_OK) {
+        std::fprintf(stderr, "deflateInit2 failed\n");
+        std::exit(1);
+    }
+    std::string out;
+    out.resize(deflateBound(&strm, raw.size()));
+    strm.next_in = reinterpret_cast<Bytef *>(
+        const_cast<char *>(raw.data()));
+    strm.avail_in = static_cast<uInt>(raw.size());
+    strm.next_out = reinterpret_cast<Bytef *>(out.data());
+    strm.avail_out = static_cast<uInt>(out.size());
+    if (deflate(&strm, Z_FINISH) != Z_STREAM_END) {
+        std::fprintf(stderr, "deflate failed\n");
+        std::exit(1);
+    }
+    out.resize(out.size() - strm.avail_out);
+    deflateEnd(&strm);
+    return out;
+}
+#endif
+
+void
+writeCtmtTrace(const std::string &path, Rng &rng)
+{
+    TraceWriter writer(path);
+    for (int i = 0; i < 48; ++i) {
+        MicroOp op;
+        const std::uint64_t pick = rng.below(10);
+        op.cls = pick < 4 ? OpClass::Load
+            : pick < 6   ? OpClass::Store
+            : pick < 9   ? OpClass::IntAlu
+                         : OpClass::Branch;
+        op.pc = 0x400000ull + static_cast<std::uint64_t>(i) * 4;
+        op.addr = (1ull << 26) + (rng.below(1ull << 18) & ~63ull);
+        op.latency = static_cast<std::uint8_t>(1 + rng.below(4));
+        op.dep1 = static_cast<std::uint16_t>(rng.below(8));
+        op.mispredict =
+            op.cls == OpClass::Branch && rng.below(4) == 0;
+        writer.append(op);
+    }
+    writer.close();
+}
+
+int
+writeCorpus(const std::string &dir, std::uint64_t seed)
+{
+    std::filesystem::create_directories(dir);
+    Rng rng(seed);
+    AtomicFile::writeAll(dir + "/mix4.ctext", makeTextTrace(rng));
+    const std::string bin = makeBinaryTrace(rng);
+    AtomicFile::writeAll(dir + "/pair2.cbin", bin);
+#ifdef CRITMEM_HAVE_ZLIB
+    AtomicFile::writeAll(dir + "/pair2.cbin.gz", gzipCompress(bin));
+#else
+    std::fprintf(stderr,
+                 "note: zlib unavailable, skipping pair2.cbin.gz\n");
+#endif
+    writeCtmtTrace(dir + "/tiny.bin", rng);
+    std::printf("corpus written to %s\n", dir.c_str());
+    return 0;
+}
+
+// --------------------------------------------------------------
+// Mutation engine
+// --------------------------------------------------------------
+
+/**
+ * Apply one structured mutation to @p buf; @return the smallest byte
+ * offset the mutation could have disturbed (for the offset-window
+ * check), or SIZE_MAX when the mutation was a no-op on this buffer.
+ */
+std::uint64_t
+mutateOnce(std::vector<unsigned char> &buf, Rng &rng,
+           std::uint64_t headerSpan)
+{
+    const std::uint64_t which = rng.below(7);
+    // Extension is the only mutation that works on an empty buffer.
+    if (buf.empty() && which != 4)
+        return ~std::uint64_t{0};
+    switch (which) {
+      case 0: { // bit flip
+        const std::size_t pos = rng.below(buf.size());
+        buf[pos] ^= static_cast<unsigned char>(1u << rng.below(8));
+        return pos;
+      }
+      case 1: { // byte set
+        const std::size_t pos = rng.below(buf.size());
+        buf[pos] = static_cast<unsigned char>(rng.below(256));
+        return pos;
+      }
+      case 2: { // zero-fill a short run
+        const std::size_t pos = rng.below(buf.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.below(64),
+                                  buf.size() - pos);
+        std::fill_n(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+                    len, 0);
+        return pos;
+      }
+      case 3: { // truncate
+        const std::size_t pos = rng.below(buf.size());
+        buf.resize(pos);
+        return pos;
+      }
+      case 4: { // extend with garbage
+        const std::size_t old = buf.size();
+        const std::size_t len = 1 + rng.below(128);
+        for (std::size_t i = 0; i < len; ++i)
+            buf.push_back(
+                static_cast<unsigned char>(rng.below(256)));
+        return old;
+      }
+      case 5: { // field splice: copy a chunk elsewhere in the file
+        const std::size_t src = rng.below(buf.size());
+        const std::size_t dst = rng.below(buf.size());
+        const std::size_t len = std::min<std::size_t>(
+            1 + rng.below(64),
+            std::min(buf.size() - src, buf.size() - dst));
+        std::memmove(buf.data() + dst, buf.data() + src, len);
+        return dst;
+      }
+      default: { // header lie
+        const std::size_t span = std::min<std::size_t>(
+            buf.size(), static_cast<std::size_t>(headerSpan));
+        const std::size_t pos = rng.below(span);
+        buf[pos] = static_cast<unsigned char>(rng.below(256));
+        return pos;
+      }
+    }
+}
+
+struct FuzzStats
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t failures = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string corpusDir = "tests/trace/fixtures";
+    std::string scratch = "tracefuzz.scratch";
+    std::string writeDir;
+    std::uint64_t iterations = 10000;
+    std::uint64_t seed = 1;
+    bool quiet = false;
+
+    auto nextArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--corpus") {
+            corpusDir = nextArg(i);
+        } else if (arg == "--iterations") {
+            iterations = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--scratch") {
+            scratch = nextArg(i);
+        } else if (arg == "--write-corpus") {
+            writeDir = nextArg(i);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage();
+        }
+    }
+    if (!writeDir.empty())
+        return writeCorpus(writeDir, seed);
+
+    const std::vector<CorpusEntry> corpus = loadCorpus(corpusDir);
+    if (corpus.empty()) {
+        std::fprintf(stderr, "no corpus files under %s\n",
+                     corpusDir.c_str());
+        return 1;
+    }
+    // Every corpus entry must decode cleanly before mutation: a
+    // rejected seed would make "rejection near the mutation" vacuous.
+    for (const CorpusEntry &entry : corpus) {
+        const std::string path = corpusDir + "/" + entry.name;
+        try {
+            if (entry.kind == Kind::Ctmt) {
+                TraceReader reader(path);
+            } else {
+                ingest::scanTrace(path, ingest::IngestOptions{});
+            }
+        } catch (const std::exception &err) {
+            std::fprintf(stderr, "seed corpus %s does not decode: %s\n",
+                         entry.name.c_str(), err.what());
+            return 1;
+        }
+    }
+
+    Rng rng(seed);
+    FuzzStats stats;
+    std::vector<unsigned char> buf;
+    for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+        const CorpusEntry &entry = corpus[rng.below(corpus.size())];
+        buf = entry.bytes;
+
+        // The fixed-layout header is where "lies" (plausible but
+        // wrong counts/magics) live; everything after it is records.
+        const std::uint64_t headerSpan = entry.kind == Kind::Ctmt
+            ? 16
+            : 64; // binary header is 8 bytes, the text header line <64
+        const std::uint64_t mutations = 1 + rng.below(3);
+        std::uint64_t minStart = ~std::uint64_t{0};
+        for (std::uint64_t m = 0; m < mutations; ++m)
+            minStart =
+                std::min(minStart, mutateOnce(buf, rng, headerSpan));
+
+        {
+            // lint:allow(durable-write): scratch mutant, rewritten
+            // every iteration; a torn scratch is itself a fuzz input
+            std::FILE *f = std::fopen(scratch.c_str(), "wb");
+            if (!f || (buf.size() &&
+                       std::fwrite(buf.data(), 1, buf.size(), f) !=
+                           buf.size())) {
+                std::fprintf(stderr, "cannot write scratch file %s\n",
+                             scratch.c_str());
+                return 1;
+            }
+            std::fclose(f);
+        }
+
+        // Rotate the recovery policy so every policy's error paths
+        // see every mutation class.
+        ingest::IngestOptions opts;
+        opts.policy = iter % 3 == 0 ? ingest::RecoveryPolicy::Fail
+            : iter % 3 == 1 ? ingest::RecoveryPolicy::SkipRecord
+                            : ingest::RecoveryPolicy::Truncate;
+        opts.skipBudget = 8;
+
+        bool ok = true;
+        std::string problem;
+        try {
+            if (entry.kind == Kind::Ctmt) {
+                TraceReader reader(scratch);
+            } else {
+                ingest::scanTrace(scratch, opts);
+            }
+            ++stats.accepted;
+        } catch (const TraceError &err) {
+            ++stats.rejected;
+            const std::uint64_t off = err.byteOffset();
+            // The error must point inside the file, and either at
+            // the header (always fair game for framing errors) or
+            // no earlier than one max-sized record/line before the
+            // first mutated byte. Gzip offsets are in the
+            // decompressed domain and cannot be window-checked
+            // against compressed-file positions.
+            if (entry.kind != Kind::Gzip) {
+                const std::uint64_t slack = 4096 + 8;
+                const std::uint64_t windowLo =
+                    minStart == ~std::uint64_t{0} || minStart < slack
+                    ? 0
+                    : minStart - slack;
+                if (off > buf.size()) {
+                    ok = false;
+                    problem = "offset " + std::to_string(off) +
+                        " past end of " +
+                        std::to_string(buf.size()) + "-byte mutant";
+                } else if (off > headerSpan && off < windowLo) {
+                    ok = false;
+                    problem = "offset " + std::to_string(off) +
+                        " points before the mutated region (first "
+                        "mutation at " + std::to_string(minStart) +
+                        ")";
+                }
+                if (!ok)
+                    problem += "; error: " + std::string(err.what());
+            }
+        } catch (const std::exception &err) {
+            // Anything but TraceError is a contract violation.
+            ok = false;
+            problem = std::string("non-TraceError exception: ") +
+                err.what();
+        }
+        if (!ok) {
+            ++stats.failures;
+            std::fprintf(stderr,
+                         "FAIL seed=%llu iter=%llu corpus=%s "
+                         "policy=%s: %s\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(iter),
+                         entry.name.c_str(),
+                         ingest::toString(opts.policy),
+                         problem.c_str());
+        }
+        if (!quiet && iter != 0 && iter % 2000 == 0) {
+            std::fprintf(stderr,
+                         "... %llu/%llu mutants (%llu accepted, "
+                         "%llu rejected)\n",
+                         static_cast<unsigned long long>(iter),
+                         static_cast<unsigned long long>(iterations),
+                         static_cast<unsigned long long>(
+                             stats.accepted),
+                         static_cast<unsigned long long>(
+                             stats.rejected));
+        }
+    }
+    std::remove(scratch.c_str());
+
+    std::printf("tracefuzz: %llu mutants over %zu corpus files: "
+                "%llu accepted, %llu rejected, %llu contract "
+                "failures\n",
+                static_cast<unsigned long long>(iterations),
+                corpus.size(),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.failures));
+    return stats.failures == 0 ? 0 : 1;
+}
