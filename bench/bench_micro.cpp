@@ -10,11 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include "crit/cbp.hh"
+#include "dram/dram.hh"
 #include "sched/ahb.hh"
 #include "sched/crit_frfcfs.hh"
 #include "sched/frfcfs.hh"
 #include "sched/morse.hh"
 #include "sched/parbs.hh"
+#include "sched/registry.hh"
 #include "sched/tcm.hh"
 #include "sim/random.hh"
 #include "system/system.hh"
@@ -138,6 +140,186 @@ BM_CbpUpdate(benchmark::State &state)
 }
 
 void
+BM_CmacLookup(benchmark::State &state)
+{
+    Cmac cmac;
+    Cmac::ActiveTiles tiles;
+    Rng rng(3);
+    float features[8];
+    // Pre-train so value() reads non-trivial weights.
+    for (int i = 0; i < 4096; ++i) {
+        for (int f = 0; f < 8; ++f)
+            features[f] = static_cast<float>(rng.next() % 64);
+        cmac.tiles(features, 8, tiles);
+        cmac.update(tiles, 0.01f);
+    }
+    for (auto _ : state) {
+        for (int f = 0; f < 8; ++f)
+            features[f] = static_cast<float>(rng.next() % 64);
+        cmac.tiles(features, 8, tiles);
+        benchmark::DoNotOptimize(cmac.value(tiles));
+    }
+}
+
+void
+BM_BankTimingUpdate(benchmark::State &state)
+{
+    // The per-command bookkeeping plus the ready/min scan the channel
+    // runs every tick, on the SoA layout the channel actually uses.
+    const std::size_t nBanks =
+        static_cast<std::size_t>(state.range(0));
+    BankTimingSoA banks(nBanks);
+    Rng rng(11);
+    DramCycle now = 100;
+    for (auto _ : state) {
+        const std::size_t b = rng.next() % nBanks;
+        // One command's worth of state transitions.
+        if (banks.open[b]) {
+            banks.readyPre[b] = now + 24;
+            banks.readyRead[b] = now + 5;
+            banks.readyWrite[b] = now + 5;
+        } else {
+            banks.open[b] = 1;
+            banks.row[b] = rng.next() % 16384;
+            banks.readyAct[b] = now + 26;
+        }
+        // The nextEventCycle-style min scan over all banks.
+        DramCycle earliest = ~DramCycle{0};
+        for (std::size_t i = 0; i < banks.size(); ++i) {
+            const DramCycle ready = banks.open[i]
+                                        ? banks.readyRead[i]
+                                        : banks.readyAct[i];
+            earliest = ready < earliest ? ready : earliest;
+        }
+        benchmark::DoNotOptimize(earliest);
+        ++now;
+    }
+}
+
+/** Keep one channel ~16 transactions deep and measure tick(). */
+void
+BM_DramChannelTick(benchmark::State &state)
+{
+    stats::Group root;
+    SystemConfig sysCfg = SystemConfig::parallelDefault();
+    sysCfg.dram.channels = 1;
+    validateOrFatal(sysCfg);
+    const auto sched = makeScheduler(sysCfg);
+    DramSystem dram(sysCfg.dram, *sched, root);
+    Rng rng(7);
+    DramCycle now = 0;
+    for (auto _ : state) {
+        while (dram.channel(0).readQueueSize() +
+                   dram.channel(0).writeQueueSize() <
+               16) {
+            MemRequest req;
+            req.addr = (rng.next() % (1u << 26)) & ~Addr{63};
+            req.type = rng.next() % 4 == 0 ? ReqType::Write
+                                           : ReqType::Read;
+            req.core = static_cast<CoreId>(rng.next() % 8);
+            dram.enqueue(std::move(req));
+        }
+        dram.tick(++now);
+    }
+}
+
+/**
+ * The idle-probe path fast-forwarding leans on: nextEventCycle() on a
+ * loaded channel that has reached a steady mid-burst state.
+ */
+void
+BM_DramReadyScan(benchmark::State &state)
+{
+    stats::Group root;
+    SystemConfig sysCfg = SystemConfig::parallelDefault();
+    sysCfg.dram.channels = 1;
+    validateOrFatal(sysCfg);
+    const auto sched = makeScheduler(sysCfg);
+    DramSystem dram(sysCfg.dram, *sched, root);
+    Rng rng(13);
+    DramCycle now = 0;
+    for (int i = 0; i < 400; ++i) {
+        if (i % 3 == 0) {
+            MemRequest req;
+            req.addr = (rng.next() % (1u << 26)) & ~Addr{63};
+            req.type = rng.next() % 4 == 0 ? ReqType::Write
+                                           : ReqType::Read;
+            req.core = static_cast<CoreId>(rng.next() % 8);
+            dram.enqueue(std::move(req));
+        }
+        dram.tick(++now);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dram.nextEventCycle(now));
+}
+
+/**
+ * A pure pointer-chase application: every load is a far miss whose
+ * address depends on the previous load, so the pipeline fully drains
+ * between misses and the machine spends most cycles provably idle —
+ * the long-idle-gap shape where event-driven cycle skipping shines.
+ */
+AppParams
+chaseParams()
+{
+    AppParams p = appParams("mcf");
+    p.name = "chase";
+    p.loadFrac = 0.40;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.fpFrac = 0.0;
+    p.mispredictRate = 0.0;
+    p.localFrac = 0.0;
+    p.seqFrac = 0.0;
+    p.randomFrac = 0.0;
+    p.chaseFrac = 1.0;
+    p.sharedFrac = 0.0;
+    p.fanoutLoadFrac = 0.0;
+    p.privateBytes = 64ull << 20;
+    p.rowLocality = 0.0;
+    // A short loop keeps the chase-load count under the generator's
+    // one-chain threshold: a single serialized pointer chain, MLP 1.
+    p.loopLength = 64;
+    return p;
+}
+
+void
+runSystem(benchmark::State &state, bool fastForward)
+{
+    std::uint64_t totalCycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = SystemConfig::parallelDefault();
+        cfg.sched.algo = SchedAlgo::FrFcfs;
+        cfg.fastForward = fastForward;
+        // One core: the misses serialize and the whole machine goes
+        // quiescent for most of every miss's latency.
+        cfg.numCores = 1;
+        System sys(cfg, chaseParams());
+        sys.prewarmCaches();
+        state.ResumeTiming();
+        totalCycles += sys.run(2000, true, 50'000'000);
+    }
+    state.counters["cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(totalCycles),
+        benchmark::Counter::kIsRate);
+}
+
+/** End-to-end System::run() with event-driven cycle skipping on. */
+void
+BM_SystemRunSkip(benchmark::State &state)
+{
+    runSystem(state, true);
+}
+
+/** The same workload with the plain tick-every-cycle loop. */
+void
+BM_SystemRunNoSkip(benchmark::State &state)
+{
+    runSystem(state, false);
+}
+
+void
 BM_SystemTick(benchmark::State &state)
 {
     SystemConfig cfg = SystemConfig::parallelDefault();
@@ -165,6 +347,14 @@ BENCHMARK(BM_PickParBs)->Arg(8)->Arg(32);
 BENCHMARK(BM_PickMorse)->Arg(6)->Arg(24);
 BENCHMARK(BM_CbpPredict);
 BENCHMARK(BM_CbpUpdate);
+BENCHMARK(BM_CmacLookup);
+BENCHMARK(BM_BankTimingUpdate)->Arg(16)->Arg(64);
+BENCHMARK(BM_DramChannelTick);
+BENCHMARK(BM_DramReadyScan);
+BENCHMARK(BM_SystemRunSkip)->Unit(benchmark::kMillisecond)
+    ->Iterations(3)->Repetitions(3)->ReportAggregatesOnly(true);
+BENCHMARK(BM_SystemRunNoSkip)->Unit(benchmark::kMillisecond)
+    ->Iterations(3)->Repetitions(3)->ReportAggregatesOnly(true);
 BENCHMARK(BM_SystemTick)->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

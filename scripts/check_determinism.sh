@@ -51,3 +51,8 @@ echo "sweep: --jobs 1 and --jobs 4 byte-identical"
 #    campaign SIGKILLed mid-flight and resumed must reproduce the
 #    uninterrupted run's result files byte-for-byte.
 "$(dirname "$0")/check_resume.sh" "$sweep" "$spec"
+
+# 4. Simulator-speed optimizations are not allowed to change results:
+#    event-driven cycle skipping on vs off must be byte-identical
+#    over the representative config matrix.
+"$(dirname "$0")/check_skip_equivalence.sh" "$sim"

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Performance regression gate over the google-benchmark JSON that
+# scripts/run_bench.sh emits.
+#
+#   check_perf.sh CURRENT_JSON [BASELINE_JSON]
+#
+# Two checks:
+#  1. Cycle-skip speedup floor (always enforced): within CURRENT_JSON
+#     the end-to-end BM_SystemRunSkip rate must beat BM_SystemRunNoSkip
+#     by at least CRITMEM_PERF_FLOOR (default 1.5x). A ratio between
+#     two runs of the same binary on the same host is immune to how
+#     fast the host is, so this holds even on busy CI machines.
+#  2. Per-kernel comparison against BASELINE_JSON with a
+#     CRITMEM_PERF_TOL slack (default 0.5 = +50%). Absolute times are
+#     host-dependent and wall-clock noise on shared runners is real,
+#     so by default a kernel regression only warns; set
+#     CRITMEM_PERF_STRICT=1 on a quiet, pinned-frequency host to turn
+#     warnings into failures.
+set -euo pipefail
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+    echo "usage: $0 CURRENT_JSON [BASELINE_JSON]" >&2
+    exit 2
+fi
+current=$1
+baseline=${2:-"$(cd "$(dirname "$0")/.." && pwd)/BENCH_micro.json"}
+
+CRITMEM_PERF_FLOOR=${CRITMEM_PERF_FLOOR:-1.5} \
+CRITMEM_PERF_TOL=${CRITMEM_PERF_TOL:-0.5} \
+CRITMEM_PERF_STRICT=${CRITMEM_PERF_STRICT:-0} \
+python3 - "$current" "$baseline" <<'EOF'
+import json
+import os
+import sys
+
+floor = float(os.environ["CRITMEM_PERF_FLOOR"])
+tol = float(os.environ["CRITMEM_PERF_TOL"])
+strict = os.environ["CRITMEM_PERF_STRICT"] == "1"
+
+
+def load(path):
+    """name -> cpu_time (ns), preferring the _median aggregate."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b["run_name"]
+        # ns regardless of the display unit.
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            b.get("time_unit", "ns")]
+        out[name] = {
+            "cpu_ns": b["cpu_time"] * scale,
+            "counters": {
+                k: v for k, v in b.items()
+                if isinstance(v, (int, float)) and k == "cycles_per_sec"
+            },
+        }
+    return out
+
+
+cur = load(sys.argv[1])
+
+
+def rate(entries, key):
+    for name, e in entries.items():
+        if key in name and "cycles_per_sec" in e["counters"]:
+            return e["counters"]["cycles_per_sec"]
+    return None
+
+
+# 1. The skip-on/skip-off ratio inside the current run.
+on = rate(cur, "BM_SystemRunSkip")
+off = rate(cur, "BM_SystemRunNoSkip")
+if on is None or off is None:
+    print("FAIL: BM_SystemRunSkip/BM_SystemRunNoSkip missing from "
+          f"{sys.argv[1]}", file=sys.stderr)
+    sys.exit(1)
+ratio = on / off
+print(f"cycle-skip speedup: {ratio:.2f}x "
+      f"({on:.3g} vs {off:.3g} cycles/sec, floor {floor}x)")
+if ratio < floor:
+    print(f"FAIL: cycle-skip speedup {ratio:.2f}x below the "
+          f"{floor}x floor", file=sys.stderr)
+    sys.exit(1)
+
+# 2. Per-kernel regression vs the committed baseline.
+try:
+    base = load(sys.argv[2])
+except FileNotFoundError:
+    print(f"no baseline at {sys.argv[2]}; skipping kernel comparison")
+    sys.exit(0)
+
+regressions = []
+for name, b in sorted(base.items()):
+    c = cur.get(name)
+    if c is None:
+        continue
+    if c["cpu_ns"] > b["cpu_ns"] * (1.0 + tol):
+        regressions.append(
+            f"{name}: {c['cpu_ns']:.0f}ns vs baseline "
+            f"{b['cpu_ns']:.0f}ns (+{c['cpu_ns'] / b['cpu_ns'] - 1:.0%},"
+            f" tolerance +{tol:.0%})")
+
+if regressions:
+    label = "FAIL" if strict else "WARN (CRITMEM_PERF_STRICT=0)"
+    for r in regressions:
+        print(f"{label}: {r}", file=sys.stderr)
+    if strict:
+        sys.exit(1)
+else:
+    print(f"kernels: no regression beyond +{tol:.0%} "
+          f"({len([n for n in base if n in cur])} compared)")
+EOF

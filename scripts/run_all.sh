@@ -72,11 +72,21 @@ fi
 {
     for b in $(find ./build/bench -maxdepth 1 -type f -executable | sort); do
         name=$(basename "$b")
-        echo "=== $name ==="
+        # bench_micro runs separately below through run_bench.sh so
+        # its JSON feeds the perf regression gate.
         if [ "$name" = "bench_micro" ]; then
-            "$b" --benchmark_min_time=0.05
-        else
-            "$b"
+            continue
         fi
+        echo "=== $name ==="
+        "$b"
     done
 } | tee bench_output.txt
+
+# Micro-benchmarks + perf gate: a fresh statistical run compared
+# against the committed BENCH_micro.json baseline. The cycle-skip
+# speedup floor always holds (it is a same-host ratio); absolute
+# per-kernel times only warn unless CRITMEM_PERF_STRICT=1 (shared
+# runners have too much wall-clock noise to hard-fail on them).
+CRITMEM_BENCH_OUT=build/bench_current.json ./scripts/run_bench.sh \
+    | tee -a bench_output.txt
+./scripts/check_perf.sh build/bench_current.json BENCH_micro.json

@@ -515,6 +515,114 @@ class DurableWriteRule : public SourceRule
     }
 };
 
+/**
+ * hot-path-alloc: tick()-named functions run once per simulated
+ * cycle — billions of times per campaign — so a heap allocation or a
+ * std::function construction inside one is a per-cycle malloc the
+ * profiler later finds at the top of the flame graph (the PR-7
+ * hot-path overhaul hoisted exactly these into member scratch
+ * buffers). Flags `new`, make_unique/make_shared, std::function
+ * construction and local STL container declarations inside any
+ * function whose name contains "tick". One-time or error-path
+ * allocations may carry an inline lint:allow(hot-path-alloc) with
+ * the justification.
+ */
+class HotPathAllocRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "hot-path-alloc", Severity::Error,
+            "no per-cycle heap allocation inside tick() hot paths"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        const std::string joined = file.joinedCode();
+        // Function *definitions* whose name contains "tick": an
+        // identifier, an argument list, optional qualifiers, then an
+        // opening brace (declarations end in ';' and never match).
+        static const std::regex kTickFn(
+            "\\b([A-Za-z_]\\w*[Tt]ick\\w*|[Tt]ick\\w*)\\s*\\("
+            "[^;{)]*\\)\\s*(?:const\\s*)?(?:noexcept\\s*)?"
+            "(?:override\\s*)?\\{");
+        for (auto it = std::sregex_iterator(joined.begin(),
+                                            joined.end(), kTickFn);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position()) +
+                it->length() - 1;
+            const std::size_t close = matchBrace(joined, open);
+            if (close == std::string::npos)
+                continue;
+            scanBody(file, joined, (*it)[1], open, close, out);
+        }
+    }
+
+  private:
+    void
+    scanBody(const SourceFile &file, const std::string &joined,
+             const std::string &fn, std::size_t open,
+             std::size_t close, std::vector<Finding> &out) const
+    {
+        const std::string body =
+            joined.substr(open, close - open + 1);
+        struct Pattern
+        {
+            const std::regex re;
+            const char *what;
+        };
+        static const Pattern kPatterns[] = {
+            {std::regex("\\bnew\\s+[A-Za-z_(]"),
+             "operator new"},
+            {std::regex("\\bmake_(?:unique|shared)\\s*<"),
+             "make_unique/make_shared"},
+            {std::regex("\\bstd\\s*::\\s*function\\s*<"),
+             "std::function construction"},
+            {std::regex("\\b(?:std\\s*::\\s*)?"
+                        "(?:vector|deque|string|map|set|multimap|"
+                        "multiset|unordered_map|unordered_set|list)"
+                        "\\s*<[^;{}()]*>\\s+\\w+\\s*[;={(]"),
+             "local container declaration"},
+        };
+        for (const Pattern &p : kPatterns) {
+            for (auto it = std::sregex_iterator(body.begin(),
+                                                body.end(), p.re);
+                 it != std::sregex_iterator(); ++it) {
+                out.push_back(
+                    {meta().id, meta().severity, file.path,
+                     file.lineOfOffset(
+                         open +
+                         static_cast<std::size_t>(it->position())),
+                     std::string(p.what) + " inside per-cycle hot "
+                     "path '" + fn + "': this runs every simulated "
+                     "cycle; hoist into member scratch state or add "
+                     "lint:allow(hot-path-alloc) with why it is not "
+                     "per-cycle"});
+            }
+        }
+    }
+
+    /** Offset of the '}' matching the '{' at @p open; npos if none. */
+    static std::size_t
+    matchBrace(const std::string &text, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++depth;
+            else if (text[i] == '}' && --depth == 0)
+                return i;
+        }
+        return std::string::npos;
+    }
+};
+
 } // namespace
 
 const std::vector<const SourceRule *> &
@@ -527,10 +635,11 @@ sourceRules()
     static const ConfigValidateRule configValidate;
     static const IncludeHygieneRule includeHygiene;
     static const DurableWriteRule durableWrite;
+    static const HotPathAllocRule hotPathAlloc;
     static const std::vector<const SourceRule *> kRules{
         &wallClock,      &unseededRandom, &unorderedIter,
         &narrowCycle,    &configValidate, &includeHygiene,
-        &durableWrite};
+        &durableWrite,   &hotPathAlloc};
     return kRules;
 }
 

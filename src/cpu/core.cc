@@ -199,6 +199,7 @@ Core::issueLoad(RobEntry &entry, Cycle now, bool &accepted)
     const CritLevel crit = criticalityOf(entry.op);
     const SeqNum seq = entry.seq;
     const bool ok = mem_.load(id_, entry.op.addr, crit, [this, seq] {
+        wake();
         RobEntry &done = entryOf(seq);
         markComplete(done, now_);
     });
@@ -230,8 +231,10 @@ Core::issueStage(Cycle now)
     std::uint32_t intAlu = 0, intMul = 0, fpAlu = 0, fpMul = 0;
     std::uint32_t loads = 0, stores = 0, branches = 0;
 
-    std::vector<std::uint32_t> still;
-    still.reserve(readyList_.size());
+    // Persistent scratch (swapped back below) so the per-cycle issue
+    // scan never allocates.
+    std::vector<std::uint32_t> &still = stillScratch_;
+    still.clear();
     for (const std::uint32_t idx : readyList_) {
         RobEntry &entry = rob_[idx];
         if (entry.state != EntryState::Ready)
@@ -326,6 +329,7 @@ Core::drainStores(Cycle now)
     while (!storeDrain_.empty() && drained < cfg_.core.storePorts) {
         const Addr addr = storeDrain_.front();
         const bool ok = mem_.store(id_, addr, [this, addr] {
+            wake();
             --sqCount_;
             const auto it = pendingStoreAddrs_.find(wordAlign(addr));
             if (it != pendingStoreAddrs_.end() && --it->second == 0)
@@ -373,6 +377,7 @@ Core::dispatchStage(Cycle now)
                 fetchedBlock_ = block;
             } else {
                 if (mem_.fetch(id_, op.pc, [this, block] {
+                        wake();
                         fetchBlockedOnIcache_ = false;
                         fetchedBlock_ = block;
                     })) {
@@ -485,6 +490,136 @@ Core::tick(Cycle now)
     issueStage(now);
     drainStores(now);
     dispatchStage(now);
+}
+
+Core::DispatchState
+Core::dispatchState() const
+{
+    // Mirrors dispatchStage()'s decision order exactly, minus the
+    // fetchResumeAt_ time gate (the caller handles time) and with no
+    // side effects. Every input is frozen between events: the counts
+    // only change on commits, issues, drains, or memory callbacks.
+    if (stopAtQuota_ && quota_ != 0 && fetched_ >= quota_ &&
+        !hasPendingOp_)
+        return DispatchState::Idle;
+    if (fetchBlockedOnIcache_)
+        return DispatchState::Idle; // woken by the iL1 fill callback
+    if (redirectBranch_ != ~SeqNum{0})
+        return DispatchState::Idle; // woken by the branch completing
+    if (robCount_ >= rob_.size())
+        return DispatchState::RobFull;
+    if (!hasPendingOp_)
+        return DispatchState::Busy; // would fetch a new micro-op
+    const Addr block = pendingOp_.pc & ~Addr{cfg_.il1.blockBytes - 1};
+    if (block != fetchedBlock_)
+        return DispatchState::Busy; // would probe the iL1
+    const CoreConfig &c = cfg_.core;
+    const bool isFp = pendingOp_.cls == OpClass::FpAlu ||
+        pendingOp_.cls == OpClass::FpMul;
+    if (isFp ? fpIqCount_ >= c.fpIqEntries
+             : intIqCount_ >= c.intIqEntries)
+        return DispatchState::IqFull;
+    if (pendingOp_.cls == OpClass::Load && lqCount_ >= c.lqEntries)
+        return DispatchState::LqFull;
+    if (pendingOp_.cls == OpClass::Store && sqCount_ >= c.sqEntries)
+        return DispatchState::SqFull;
+    if (pendingOp_.cls == OpClass::Branch &&
+        unresolvedBranches_ >= c.maxUnresolvedBranches)
+        return DispatchState::BranchLimit;
+    return DispatchState::Busy; // would allocate a ROB entry
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    if (!active_)
+        return kNoCycle;
+    if (!readyList_.empty() || !storeDrain_.empty())
+        return now + 1;
+    if (robCount_ > 0) {
+        const RobEntry &head = entryOf(headSeq_);
+        if (head.state == EntryState::Complete)
+            return now + 1; // commit proceeds next tick
+        if (head.op.cls == OpClass::Load &&
+            head.state == EntryState::Issued && !head.blocked) {
+            // The blocking onset (and the naive-forward promote it
+            // triggers) must land on a real tick at its exact cycle.
+            return now + 1;
+        }
+    }
+
+    Cycle next = kNoCycle;
+    if (cbp_)
+        next = std::min(next, cbp_->nextResetAt());
+    if (!fuCompletions_.empty())
+        next = std::min(next, fuCompletions_.top().first);
+
+    const DispatchState d = dispatchState();
+    if (d != DispatchState::Idle) {
+        if (fetchResumeAt_ > now + 1)
+            next = std::min(next, fetchResumeAt_);
+        else if (d == DispatchState::Busy)
+            return now + 1;
+        // else: a deterministic structural stall whose counter
+        // skipTo() bumps in bulk until an event frees the resource.
+    }
+
+    if (next == kNoCycle)
+        return kNoCycle;
+    return std::max(next, now + 1);
+}
+
+void
+Core::skipTo(Cycle to)
+{
+    if (!active_ || to <= now_)
+        return;
+    const Cycle from = now_;
+    const std::uint64_t k = to - from;
+    now_ = to;
+    stats_.cycles += k;
+
+    if (robCount_ > 0) {
+        RobEntry &head = entryOf(headSeq_);
+        if (head.op.cls == OpClass::Load &&
+            head.state == EntryState::Issued && head.blocked)
+            head.stallCycles += k;
+    }
+
+    const DispatchState d = dispatchState();
+    if (d == DispatchState::Idle || d == DispatchState::Busy)
+        return;
+    if (fetchResumeAt_ > from + 1)
+        return; // certified window ends before the fetch resumes
+    switch (d) {
+      case DispatchState::RobFull:
+        stats_.robFullCycles += k;
+        break;
+      case DispatchState::IqFull:
+        stats_.iqFullCycles += k;
+        break;
+      case DispatchState::LqFull:
+        stats_.lqFullCycles += k;
+        break;
+      case DispatchState::SqFull:
+        stats_.sqFullCycles += k;
+        break;
+      case DispatchState::BranchLimit:
+        stats_.branchLimitCycles += k;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Core::wake()
+{
+    // The hierarchy's clock is the cycle being ticked right now; the
+    // skipped window's accounting must be replayed against the state
+    // the caller is about to mutate.
+    skipTo(mem_.now() - 1);
+    poked_ = true;
 }
 
 } // namespace critmem

@@ -66,6 +66,35 @@ class Core
     /** Advance one CPU cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest CPU cycle > @p now at which tick() could do anything
+     * besides deterministic idle accounting (cycle/stall counters):
+     * an FU completion, the fetch-redirect resume, a CBP reset, or
+     * "next cycle" whenever the core has actionable work (ready ops,
+     * stores to drain, a committable or about-to-block ROB head, an
+     * unblocked front end). kNoCycle for an inactive or fully
+     * quiescent core. Memory wakeups arrive through MemHierarchy
+     * events and are bounded by its nextEventCycle, not this one.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bulk-apply the per-cycle idle accounting tick() would have done
+     * for every cycle in (now_, to]: the cycle counter, the blocked
+     * ROB-head stall counter, and the dispatch stall counter the
+     * front end is deterministically pinned on. Only legal when
+     * to < nextEventCycle(now_).
+     */
+    void skipTo(Cycle to);
+
+    /**
+     * True when a memory completion has touched core state since the
+     * last tick() — the signal that a lazily-skipped core must tick
+     * on the current cycle regardless of its cached nextEventCycle().
+     */
+    bool poked() const { return poked_; }
+    void clearPoked() { poked_ = false; }
+
     /** Committed instruction count. */
     std::uint64_t committed() const { return stats_.committedOps.value(); }
 
@@ -165,6 +194,38 @@ class Core
     }
 
     RobEntry &entryOf(SeqNum seq) { return rob_[robIndex(seq)]; }
+    const RobEntry &entryOf(SeqNum seq) const
+    {
+        return rob_[robIndex(seq)];
+    }
+
+    /**
+     * What dispatchStage() would do this cycle if the front end's
+     * time gate (fetchResumeAt_) is open: real work (Busy), nothing
+     * at all (Idle: quota reached, iL1 miss pending, or an unresolved
+     * mispredict), or a deterministic structural stall that bumps one
+     * stall counter per cycle until an event frees the resource.
+     */
+    enum class DispatchState : std::uint8_t
+    {
+        Busy,
+        Idle,
+        RobFull,
+        IqFull,
+        LqFull,
+        SqFull,
+        BranchLimit,
+    };
+
+    DispatchState dispatchState() const;
+
+    /**
+     * First statement of every memory-completion callback: replay the
+     * idle accounting up to the cycle before the delivering event
+     * (while the pre-completion state the skipped window saw is still
+     * intact) and flag the core for a real tick this cycle.
+     */
+    void wake();
 
     void commitStage(Cycle now);
     void completeStage(Cycle now);
@@ -204,6 +265,8 @@ class Core
                         std::greater<>> fuCompletions_;
 
     std::vector<std::uint32_t> readyList_;
+    /** issueStage()'s not-issued survivors; reused every cycle. */
+    std::vector<std::uint32_t> stillScratch_;
 
     /** Front-end state. */
     Cycle fetchResumeAt_ = 0;
@@ -220,6 +283,7 @@ class Core
     std::uint64_t fetched_ = 0;
     bool stopAtQuota_ = true;
     bool active_ = true;
+    bool poked_ = false;
     Cycle finishCycle_ = kNoCycle;
     Cycle now_ = 0;
 

@@ -64,6 +64,12 @@ class CommitBlockPredictor
     /** Apply the periodic reset if the interval elapsed. */
     void maybeReset(Cycle now);
 
+    /**
+     * Cycle of the next periodic reset (kNoCycle when resets are
+     * disabled) — the core's cycle-skip bound for maybeReset().
+     */
+    Cycle nextResetAt() const { return nextReset_; }
+
     /** Largest raw value ever written (Table 5's "Max Obs. Value"). */
     std::uint64_t maxObserved() const { return maxObserved_; }
 

@@ -38,7 +38,7 @@ DramChannel::Stats::Stats(stats::Group &parent, std::uint32_t id)
 DramChannel::DramChannel(const DramConfig &cfg, std::uint32_t id,
                          Scheduler &sched, stats::Group &parent)
     : cfg_(cfg), id_(id), sched_(sched),
-      banks_(cfg.ranksPerChannel * cfg.banksPerRank),
+      banks_(std::size_t{cfg.ranksPerChannel} * cfg.banksPerRank),
       ranks_(cfg.ranksPerChannel),
       stats_(parent, id)
 {
@@ -145,34 +145,35 @@ DramChannel::refreshTick(DramCycle now)
         // Close any open bank as soon as its precharge is legal.
         bool allClosed = true;
         DramCycle readyRef = 0;
+        const std::uint32_t base = bankIdx(r, 0);
         for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
-            BankState &bank = this->bank(r, b);
-            if (bank.open) {
+            const std::uint32_t bi = base + b;
+            if (banks_.open[bi]) {
                 allClosed = false;
-                if (now >= bank.readyPre) {
+                if (now >= banks_.readyPre[bi]) {
                     if (observer_) {
                         DramCoord coord;
                         coord.channel = id_;
                         coord.rank = r;
                         coord.bank = b;
-                        coord.row = bank.row;
+                        coord.row = banks_.row[bi];
                         observer_->onCommand(id_, DramCmd::Pre, coord,
                                              now);
                     }
-                    bank.open = false;
-                    bank.readyAct =
-                        std::max(bank.readyAct, now + cfg_.t.tRP);
+                    banks_.open[bi] = 0;
+                    banks_.readyAct[bi] =
+                        std::max(banks_.readyAct[bi], now + cfg_.t.tRP);
                     ++stats_.precharges;
                     lastProgress_ = now;
                     return true; // consumed the command bus
                 }
             } else {
-                readyRef = std::max(readyRef, bank.readyAct);
+                readyRef = std::max(readyRef, banks_.readyAct[bi]);
             }
         }
         if (allClosed && now >= readyRef) {
             for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b)
-                bank(r, b).readyAct = now + cfg_.t.tRFC;
+                banks_.readyAct[base + b] = now + cfg_.t.tRFC;
             rank.refreshPending = false;
             rank.refreshDue += cfg_.t.tREFI;
             ++stats_.refreshes;
@@ -191,24 +192,72 @@ DramChannel::refreshTick(DramCycle now)
     return false;
 }
 
+DramChannel::TxnReady
+DramChannel::txnReady(const DramCoord &c, bool isWrite,
+                      std::uint32_t slack) const
+{
+    const std::uint32_t bi = bankIdx(c.rank, c.bank);
+    if (!banks_.open[bi]) {
+        // ACT: the bank's own window plus the rank's tFAW window
+        // (fawOk() admits when the oldest slot is 0 or aged past
+        // tFAW; the max below encodes exactly that).
+        const RankState &rank = ranks_[c.rank];
+        const DramCycle oldest = rank.actTimes[rank.actHead];
+        const DramCycle fawReady =
+            oldest == 0 ? 0 : oldest + cfg_.t.tFAW;
+        return {DramCmd::Act, false,
+                std::max(banks_.readyAct[bi], fawReady)};
+    }
+    if (banks_.row[bi] == c.row) {
+        // CAS: the bank window and the shared data bus, both loosened
+        // by the injector's EarlyCas slack (saturating: a window the
+        // slack fully covers opened at cycle 0).
+        const DramCycle ready =
+            isWrite ? banks_.readyWrite[bi] : banks_.readyRead[bi];
+        const DramCycle busFree = dataBusFreeFor(c.rank);
+        const DramCycle casLead =
+            (isWrite ? cfg_.t.tWL : cfg_.t.tCL) + slack;
+        const DramCycle at =
+            std::max(ready > slack ? ready - slack : 0,
+                     busFree > casLead ? busFree - casLead : 0);
+        return {isWrite ? DramCmd::Write : DramCmd::Read, true, at};
+    }
+    return {DramCmd::Pre, false, banks_.readyPre[bi]};
+}
+
+bool
+DramChannel::writesEligible() const
+{
+    if (cfg_.unifiedQueue)
+        return true;
+    // Split-queue mode: drain writes under a high/low watermark or
+    // opportunistically when no read is pending. Project the
+    // hysteresis forward from the stored state so const callers
+    // (nextEventCycle) see the decision the next tick would make.
+    const std::uint32_t hi = cfg_.queueEntries * 3 / 4;
+    const std::uint32_t lo = cfg_.queueEntries / 4;
+    bool draining = draining_;
+    if (!draining && writeQ_.size() >= hi)
+        draining = true;
+    else if (draining && writeQ_.size() <= lo)
+        draining = false;
+    return draining || (readQ_.empty() && !writeQ_.empty());
+}
+
 void
 DramChannel::buildCandidates(DramCycle now)
 {
     cands_.clear();
 
-    bool writesEligible = true;
     if (!cfg_.unifiedQueue) {
-        // Split-queue mode: drain writes under a high/low watermark
-        // or opportunistically when no read is pending.
         const std::uint32_t hi = cfg_.queueEntries * 3 / 4;
         const std::uint32_t lo = cfg_.queueEntries / 4;
         if (!draining_ && writeQ_.size() >= hi)
             draining_ = true;
         else if (draining_ && writeQ_.size() <= lo)
             draining_ = false;
-        writesEligible =
-            draining_ || (readQ_.empty() && !writeQ_.empty());
     }
+    const bool wElig = writesEligible();
 
     // EarlyCas fault: pretend CAS timing windows open `slack` cycles
     // sooner than they really do. issue() applies honest timings, so
@@ -224,8 +273,10 @@ DramChannel::buildCandidates(DramCycle now)
                 continue;
             if (injector_ && injector_->starveCore(trans.req.core))
                 continue; // fault: scheduler never sees this core
-            const BankState &bank =
-                banks_[c.rank * cfg_.banksPerRank + c.bank];
+
+            const TxnReady ready = txnReady(c, isWrite, slack);
+            if (ready.at > now)
+                continue;
 
             SchedCandidate cand;
             cand.queueIndex = i;
@@ -236,36 +287,14 @@ DramChannel::buildCandidates(DramCycle now)
             cand.crit = trans.req.crit;
             cand.arrival = trans.arrival;
             cand.seq = trans.req.id;
-
-            if (!bank.open) {
-                if (now < bank.readyAct ||
-                    !ranks_[c.rank].fawOk(now, cfg_.t.tFAW))
-                    continue;
-                cand.cmd = DramCmd::Act;
-            } else if (bank.row == c.row) {
-                if (isWrite) {
-                    if (now + slack < bank.readyWrite ||
-                        now + cfg_.t.tWL + slack < dataBusFreeFor(c.rank))
-                        continue;
-                    cand.cmd = DramCmd::Write;
-                } else {
-                    if (now + slack < bank.readyRead ||
-                        now + cfg_.t.tCL + slack < dataBusFreeFor(c.rank))
-                        continue;
-                    cand.cmd = DramCmd::Read;
-                }
-                cand.rowHit = true;
-            } else {
-                if (now < bank.readyPre)
-                    continue;
-                cand.cmd = DramCmd::Pre;
-            }
+            cand.cmd = ready.cmd;
+            cand.rowHit = ready.rowHit;
             cands_.push_back(cand);
         }
     };
 
     consider(readQ_, false);
-    if (writesEligible)
+    if (wElig)
         consider(writeQ_, true);
 }
 
@@ -273,17 +302,20 @@ void
 DramChannel::applyRead(const DramCoord &c, DramCycle now)
 {
     const DramTiming &t = cfg_.t;
-    BankState &b = bank(c.rank, c.bank);
+    const std::uint32_t bi = bankIdx(c.rank, c.bank);
     const DramCycle burstEnd = now + t.tCL + t.dataCycles();
 
-    b.readyPre = std::max(b.readyPre, now + t.tRTP);
+    banks_.readyPre[bi] = std::max(banks_.readyPre[bi], now + t.tRTP);
+    // Read-to-write turnaround: the write burst must start after the
+    // read burst clears the bus plus a rank switch gap.
+    const DramCycle rdReady = now + t.tCCD;
+    const DramCycle wrCmd = burstEnd + t.tRTRS - t.tWL;
+    const std::uint32_t base = bankIdx(c.rank, 0);
     for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
-        BankState &other = bank(c.rank, i);
-        other.readyRead = std::max(other.readyRead, now + t.tCCD);
-        // Read-to-write turnaround: the write burst must start after
-        // the read burst clears the bus plus a rank switch gap.
-        const DramCycle wrCmd = burstEnd + t.tRTRS - t.tWL;
-        other.readyWrite = std::max(other.readyWrite, wrCmd);
+        banks_.readyRead[base + i] =
+            std::max(banks_.readyRead[base + i], rdReady);
+        banks_.readyWrite[base + i] =
+            std::max(banks_.readyWrite[base + i], wrCmd);
     }
     busFreeAt_ = burstEnd;
     lastBusRank_ = c.rank;
@@ -296,12 +328,17 @@ DramChannel::applyWrite(const DramCoord &c, DramCycle now)
     const DramTiming &t = cfg_.t;
     const DramCycle burstEnd = now + t.tWL + t.dataCycles();
 
-    BankState &b = bank(c.rank, c.bank);
-    b.readyPre = std::max(b.readyPre, burstEnd + t.tWR);
+    const std::uint32_t bi = bankIdx(c.rank, c.bank);
+    banks_.readyPre[bi] =
+        std::max(banks_.readyPre[bi], burstEnd + t.tWR);
+    const DramCycle wrReady = now + t.tCCD;
+    const DramCycle rdReady = burstEnd + t.tWTR;
+    const std::uint32_t base = bankIdx(c.rank, 0);
     for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
-        BankState &other = bank(c.rank, i);
-        other.readyWrite = std::max(other.readyWrite, now + t.tCCD);
-        other.readyRead = std::max(other.readyRead, burstEnd + t.tWTR);
+        banks_.readyWrite[base + i] =
+            std::max(banks_.readyWrite[base + i], wrReady);
+        banks_.readyRead[base + i] =
+            std::max(banks_.readyRead[base + i], rdReady);
     }
     busFreeAt_ = burstEnd;
     lastBusRank_ = c.rank;
@@ -332,9 +369,10 @@ DramChannel::maybeAutoPrecharge(const DramCoord &coord, DramCycle now)
     // window (already folded into readyPre by applyRead/applyWrite)
     // elapses; model it as an immediate close whose next activate
     // honors that window plus tRP.
-    BankState &bank = this->bank(coord.rank, coord.bank);
-    bank.open = false;
-    bank.readyAct = std::max(bank.readyAct, bank.readyPre + cfg_.t.tRP);
+    const std::uint32_t bi = bankIdx(coord.rank, coord.bank);
+    banks_.open[bi] = 0;
+    banks_.readyAct[bi] =
+        std::max(banks_.readyAct[bi], banks_.readyPre[bi] + cfg_.t.tRP);
     ++stats_.autoPrecharges;
     if (observer_)
         observer_->onAutoPrecharge(id_, coord, now);
@@ -345,31 +383,33 @@ DramChannel::issue(const SchedCandidate &cand, DramCycle now)
 {
     const DramTiming &t = cfg_.t;
     auto &queue = cand.isWrite ? writeQ_ : readQ_;
-    BankState &b = bank(cand.coord.rank, cand.coord.bank);
+    const std::uint32_t bi = bankIdx(cand.coord.rank, cand.coord.bank);
 
     lastProgress_ = now;
     if (observer_)
         observer_->onCommand(id_, cand.cmd, cand.coord, now);
 
     switch (cand.cmd) {
-      case DramCmd::Act:
+      case DramCmd::Act: {
         ranks_[cand.coord.rank].recordAct(now);
-        b.open = true;
-        b.row = cand.coord.row;
-        b.readyRead = std::max(b.readyRead, now + t.tRCD);
-        b.readyWrite = std::max(b.readyWrite, now + t.tRCD);
-        b.readyPre = std::max(b.readyPre, now + t.tRAS);
-        b.readyAct = std::max(b.readyAct, now + t.tRC);
+        banks_.open[bi] = 1;
+        banks_.row[bi] = cand.coord.row;
+        banks_.readyRead[bi] = std::max(banks_.readyRead[bi], now + t.tRCD);
+        banks_.readyWrite[bi] =
+            std::max(banks_.readyWrite[bi], now + t.tRCD);
+        banks_.readyPre[bi] = std::max(banks_.readyPre[bi], now + t.tRAS);
+        banks_.readyAct[bi] = std::max(banks_.readyAct[bi], now + t.tRC);
+        const std::uint32_t base = bankIdx(cand.coord.rank, 0);
         for (std::uint32_t i = 0; i < cfg_.banksPerRank; ++i) {
             if (i != cand.coord.bank) {
-                BankState &other = bank(cand.coord.rank, i);
-                other.readyAct =
-                    std::max(other.readyAct, now + t.tRRD);
+                banks_.readyAct[base + i] =
+                    std::max(banks_.readyAct[base + i], now + t.tRRD);
             }
         }
         ++stats_.activates;
         ++stats_.rowMisses;
         break;
+      }
 
       case DramCmd::Read: {
         applyRead(cand.coord, now);
@@ -400,8 +440,8 @@ DramChannel::issue(const SchedCandidate &cand, DramCycle now)
       }
 
       case DramCmd::Pre:
-        b.open = false;
-        b.readyAct = std::max(b.readyAct, now + t.tRP);
+        banks_.open[bi] = 0;
+        banks_.readyAct[bi] = std::max(banks_.readyAct[bi], now + t.tRP);
         ++stats_.precharges;
         ++stats_.rowConflicts;
         break;
@@ -453,6 +493,95 @@ DramChannel::tick(DramCycle now)
     issue(cands_[choice], now);
 }
 
+DramCycle
+DramChannel::nextEventCycle(DramCycle now) const
+{
+    if (injector_)
+        return now + 1; // faults are probed every cycle: never skip
+
+    DramCycle next = kNoCycle;
+    if (!completions_.empty())
+        next = std::min(next, completions_.top().at);
+
+    // Refresh engine events: a rank crossing its tREFI deadline, a
+    // pending refresh becoming able to PRE an open bank, or REF
+    // becoming legal once every bank's activate window has drained.
+    for (std::uint32_t r = 0; r < cfg_.ranksPerChannel; ++r) {
+        const RankState &rank = ranks_[r];
+        if (!rank.refreshPending) {
+            next = std::min(next, rank.refreshDue);
+            continue;
+        }
+        bool allClosed = true;
+        DramCycle readyRef = 0;
+        DramCycle preAt = kNoCycle;
+        const std::uint32_t base = bankIdx(r, 0);
+        for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
+            if (banks_.open[base + b]) {
+                allClosed = false;
+                preAt = std::min(preAt, banks_.readyPre[base + b]);
+            } else {
+                readyRef = std::max(readyRef, banks_.readyAct[base + b]);
+            }
+        }
+        next = std::min(next, allClosed ? readyRef : preAt);
+    }
+
+    if (!readQ_.empty() || !writeQ_.empty()) {
+        // The watchdog only fires while queued work exists; stop the
+        // skip at its threshold so onStall() triggers on schedule.
+        if (cfg_.watchdogCycles != 0 && observer_)
+            next = std::min(next, lastProgress_ + cfg_.watchdogCycles);
+
+        // Earliest cycle any queued transaction becomes issuable,
+        // using the same txnReady() formula buildCandidates() admits
+        // with. Transactions on refresh-pending ranks resurface via
+        // the refresh events above.
+        auto scan = [&](const std::vector<Transaction> &queue,
+                        bool isWrite) {
+            for (const Transaction &trans : queue) {
+                if (ranks_[trans.coord.rank].refreshPending)
+                    continue;
+                next = std::min(
+                    next, txnReady(trans.coord, isWrite, 0).at);
+            }
+        };
+        scan(readQ_, false);
+        if (writesEligible())
+            scan(writeQ_, true);
+    }
+
+    if (next == kNoCycle)
+        return kNoCycle;
+    return std::max(next, now + 1);
+}
+
+void
+DramChannel::skipTo(DramCycle to)
+{
+    const std::uint64_t n = to - lastTick_;
+    if (n == 0)
+        return;
+    lastTick_ = to;
+
+    // Replay tick()'s per-cycle idle accounting for the n skipped
+    // cycles: queue contents are frozen inside a certified window, so
+    // every skipped cycle samples the same occupancy values.
+    stats_.readQueueOcc.sampleN(static_cast<double>(readQ_.size()), n);
+    std::uint32_t crit = 0;
+    for (const auto &trans : readQ_)
+        crit += trans.req.crit > 0 ? 1 : 0;
+    stats_.critInQueue.sampleN(static_cast<double>(crit), n);
+
+    if (readQ_.empty() && writeQ_.empty()) {
+        // No queued work: idling is progress, not a stall.
+        lastProgress_ = to;
+    } else {
+        // Queued work but (certified) nothing issuable all window.
+        stats_.idleNoCandidate += n;
+    }
+}
+
 void
 DramChannel::checkWatchdog(DramCycle now)
 {
@@ -493,14 +622,14 @@ DramChannel::snapshot(DramCycle now) const
     snap.writeQ = capture(writeQ_);
 
     snap.banks.reserve(banks_.size());
-    for (const BankState &b : banks_) {
+    for (std::size_t i = 0; i < banks_.size(); ++i) {
         ChannelSnapshot::Bank bank;
-        bank.open = b.open;
-        bank.row = b.row;
-        bank.readyAct = b.readyAct;
-        bank.readyRead = b.readyRead;
-        bank.readyWrite = b.readyWrite;
-        bank.readyPre = b.readyPre;
+        bank.open = banks_.open[i] != 0;
+        bank.row = banks_.row[i];
+        bank.readyAct = banks_.readyAct[i];
+        bank.readyRead = banks_.readyRead[i];
+        bank.readyWrite = banks_.readyWrite[i];
+        bank.readyPre = banks_.readyPre[i];
         snap.banks.push_back(bank);
     }
     snap.ranks.reserve(ranks_.size());

@@ -24,17 +24,31 @@ namespace critmem
 {
 
 /**
- * Timing state of a single DRAM bank. The readyX fields hold the
- * earliest DRAM cycle at which command X may be issued to this bank.
+ * Timing state of every bank in a channel, stored struct-of-arrays:
+ * one contiguous ready-time vector per command kind, indexed by
+ * rank * banksPerRank + bank. The readyX vectors hold the earliest
+ * DRAM cycle at which command X may be issued to that bank. The
+ * layout keeps the per-tick ready-command scan (and the
+ * nextEventCycle() min-scan that mirrors it) a branch-light linear
+ * pass over contiguous arrays instead of strided loads through an
+ * array of per-bank structs.
  */
-struct BankState
+struct BankTimingSoA
 {
-    bool open = false;
-    std::uint64_t row = 0;
-    DramCycle readyAct = 0;
-    DramCycle readyRead = 0;
-    DramCycle readyWrite = 0;
-    DramCycle readyPre = 0;
+    explicit BankTimingSoA(std::size_t n)
+        : open(n, 0), row(n, 0), readyAct(n, 0), readyRead(n, 0),
+          readyWrite(n, 0), readyPre(n, 0)
+    {
+    }
+
+    std::size_t size() const { return open.size(); }
+
+    std::vector<std::uint8_t> open;
+    std::vector<std::uint64_t> row;
+    std::vector<DramCycle> readyAct;
+    std::vector<DramCycle> readyRead;
+    std::vector<DramCycle> readyWrite;
+    std::vector<DramCycle> readyPre;
 };
 
 /** Refresh and activate-window bookkeeping for one rank. */
@@ -97,6 +111,31 @@ class DramChannel
 
     /** Advance one DRAM cycle: completions, refresh, scheduling. */
     void tick(DramCycle now);
+
+    /**
+     * Earliest DRAM cycle > the last ticked cycle at which tick()
+     * could do anything besides static idle accounting: a completion
+     * popping, a refresh action (or a rank crossing its tREFI
+     * deadline), a queued transaction's timing window opening, or the
+     * forward-progress watchdog tripping. Returns kNoCycle when the
+     * channel is fully drained and no refresh is on the horizon.
+     * With a fault injector attached every cycle is an event (faults
+     * are probed per tick), so skipping is disabled.
+     *
+     * Contract: for every cycle t in (now, nextEventCycle(now)),
+     * tick(t) would only have resampled the occupancy statistics,
+     * bumped idleNoCandidate, and refreshed lastProgress_/lastTick_
+     * — exactly what skipTo() replays in bulk.
+     */
+    DramCycle nextEventCycle(DramCycle now) const;
+
+    /**
+     * Bulk-apply the idle per-cycle accounting for every skipped
+     * cycle in (lastTick_, to]: occupancy samples, idleNoCandidate,
+     * and the lastProgress_/lastTick_ bookkeeping. Only legal when
+     * to < nextEventCycle(lastTick_).
+     */
+    void skipTo(DramCycle to);
 
     /**
      * Raise the criticality of a queued read to @p crit if the request
@@ -187,10 +226,30 @@ class DramChannel
         }
     };
 
-    BankState &bank(std::uint32_t rank, std::uint32_t bankIdx)
+    std::uint32_t bankIdx(std::uint32_t rank, std::uint32_t bank) const
     {
-        return banks_[rank * cfg_.banksPerRank + bankIdx];
+        return rank * cfg_.banksPerRank + bank;
     }
+
+    /**
+     * The command a queued transaction wants under the current bank
+     * state, and the earliest DRAM cycle that command's timing
+     * windows open. buildCandidates() admits the candidate when
+     * at <= now; nextEventCycle() takes the min over all ats — one
+     * formula, so the scan and the skip bound cannot diverge.
+     */
+    struct TxnReady
+    {
+        DramCmd cmd;
+        bool rowHit;
+        DramCycle at;
+    };
+
+    TxnReady txnReady(const DramCoord &coord, bool isWrite,
+                      std::uint32_t slack) const;
+
+    /** The write-drain watermark decision for the current queue sizes. */
+    bool writesEligible() const;
 
     /** Earliest cycle a CAS to (rank) could start its data burst. */
     DramCycle dataBusFreeFor(std::uint32_t rank) const;
@@ -212,7 +271,7 @@ class DramChannel
     const std::uint32_t id_;
     Scheduler &sched_;
 
-    std::vector<BankState> banks_;
+    BankTimingSoA banks_;
     std::vector<RankState> ranks_;
     std::vector<Transaction> readQ_;
     std::vector<Transaction> writeQ_;

@@ -1,5 +1,7 @@
 #include "dram/dram.hh"
 
+#include <algorithm>
+
 namespace critmem
 {
 
@@ -30,6 +32,23 @@ DramSystem::tick(DramCycle now)
     sched_.tick(now);
     for (auto &channel : channels_)
         channel->tick(now);
+}
+
+DramCycle
+DramSystem::nextEventCycle(DramCycle now) const
+{
+    DramCycle next = sched_.nextEventCycle(now);
+    for (const auto &channel : channels_)
+        next = std::min(next, channel->nextEventCycle(now));
+    return next;
+}
+
+void
+DramSystem::skipTo(DramCycle to)
+{
+    lastNow_ = to;
+    for (auto &channel : channels_)
+        channel->skipTo(to);
 }
 
 bool

@@ -45,6 +45,20 @@ class DramSystem
     /** Advance every channel one DRAM cycle. */
     void tick(DramCycle now);
 
+    /**
+     * Earliest DRAM cycle > @p now at which any channel or the
+     * scheduling policy would do real work (see
+     * DramChannel::nextEventCycle). kNoCycle = fully quiescent.
+     */
+    DramCycle nextEventCycle(DramCycle now) const;
+
+    /**
+     * Bulk-apply idle accounting for the skipped cycles up to and
+     * including @p to on every channel. Only legal when
+     * to < nextEventCycle(last ticked cycle).
+     */
+    void skipTo(DramCycle to);
+
     /** Naive-forwarding criticality promotion (Section 5.1). */
     bool promote(Addr addr, CoreId core, CritLevel crit);
 

@@ -474,6 +474,17 @@ MemHierarchy::quiescent() const
     return true;
 }
 
+Cycle
+MemHierarchy::nextEventCycle(Cycle now) const
+{
+    if (!l2MshrRetry_.empty() || !dramRetry_.empty() ||
+        !writebackRetry_.empty())
+        return now + 1;
+    if (events_.empty())
+        return kNoCycle;
+    return std::max(events_.top().at, now + 1);
+}
+
 void
 MemHierarchy::tick(Cycle now)
 {
@@ -484,26 +495,29 @@ MemHierarchy::tick(Cycle now)
         fn();
     }
 
+    // The retry lists swap into persistent scratch buffers instead of
+    // per-tick locals so the steady state never touches the heap (the
+    // retry loops below may push back into the live lists).
     if (!l2MshrRetry_.empty()) {
-        std::vector<L2Waiter> retry;
-        retry.swap(l2MshrRetry_);
-        for (const L2Waiter &waiter : retry)
+        l2RetryScratch_.clear();
+        l2RetryScratch_.swap(l2MshrRetry_);
+        for (const L2Waiter &waiter : l2RetryScratch_)
             l2Access(waiter.core, waiter.l1Block, waiter.isInst,
                      waiter.rfo);
     }
     if (!dramRetry_.empty()) {
-        std::vector<Addr> retry;
-        retry.swap(dramRetry_);
-        for (const Addr block : retry) {
+        dramRetryScratch_.clear();
+        dramRetryScratch_.swap(dramRetry_);
+        for (const Addr block : dramRetryScratch_) {
             const auto it = l2Mshr_.find(block);
             if (it != l2Mshr_.end() && !it->second.sentToDram)
                 sendToDram(block, it->second);
         }
     }
     if (!writebackRetry_.empty()) {
-        std::vector<MemRequest> retry;
-        retry.swap(writebackRetry_);
-        for (MemRequest &req : retry) {
+        wbRetryScratch_.clear();
+        wbRetryScratch_.swap(writebackRetry_);
+        for (MemRequest &req : wbRetryScratch_) {
             const Addr block = req.addr;
             if (!dram_.enqueue(std::move(req))) {
                 ++stats_.dramRejects;

@@ -67,6 +67,18 @@ class MemHierarchy
     void tick(Cycle now);
 
     /**
+     * Earliest CPU cycle > @p now at which tick() would do anything:
+     * the next scheduled event, or "next cycle" while any retry list
+     * is non-empty (retries run every tick until they drain).
+     * kNoCycle when fully quiescent. tick() has no per-cycle
+     * accounting, so skipping cycles before this bound is free.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Advance the clock across a certified-idle skip window. */
+    void skipTo(Cycle to) { now_ = to; }
+
+    /**
      * Raise the criticality of an in-flight L2 miss (Section 5.1
      * naive forwarding). No effect if the block is no longer queued.
      */
@@ -180,6 +192,15 @@ class MemHierarchy
     std::vector<Addr> dramRetry_;
     /** Writebacks whose DRAM enqueue was rejected. */
     std::vector<MemRequest> writebackRetry_;
+
+    /**
+     * tick()'s drain loops swap the retry lists into these persistent
+     * scratch buffers; reusing their capacity keeps the per-cycle
+     * path free of heap allocation (the hot-path-alloc lint rule).
+     */
+    std::vector<L2Waiter> l2RetryScratch_;
+    std::vector<Addr> dramRetryScratch_;
+    std::vector<MemRequest> wbRetryScratch_;
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events_;

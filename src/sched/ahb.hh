@@ -38,6 +38,13 @@ class AhbScheduler : public Scheduler
                  DramCycle now) override;
     void tick(DramCycle now) override;
 
+    DramCycle
+    nextEventCycle(DramCycle now) const override
+    {
+        (void)now;
+        return nextEpoch_; // tick() is a no-op before the epoch edge
+    }
+
     const char *name() const override { return "AHB"; }
 
   private:

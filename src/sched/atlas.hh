@@ -42,6 +42,13 @@ class AtlasScheduler : public Scheduler
                  DramCycle now) override;
     void tick(DramCycle now) override;
 
+    DramCycle
+    nextEventCycle(DramCycle now) const override
+    {
+        (void)now;
+        return nextQuantum_; // rerank() only fires at quantum edges
+    }
+
     const char *name() const override { return "ATLAS"; }
 
     /** Attained service score of @p core (for tests). */

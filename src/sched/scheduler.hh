@@ -72,6 +72,20 @@ class Scheduler
     /** Called once per DRAM cycle, before any channel picks. */
     virtual void tick(DramCycle now) { (void)now; }
 
+    /**
+     * Earliest DRAM cycle at which tick() would do real work again
+     * (epoch/quantum bookkeeping). Policies whose tick() is a no-op
+     * return kNoCycle ("no scheduled work"), which lets the system
+     * fast-forward across idle gaps without missing a boundary.
+     * Returning a too-early cycle is always safe; too late is not.
+     */
+    virtual DramCycle
+    nextEventCycle(DramCycle now) const
+    {
+        (void)now;
+        return kNoCycle;
+    }
+
     /** @return human-readable policy name. */
     virtual const char *name() const = 0;
 };

@@ -14,6 +14,7 @@
 #ifndef CRITMEM_SCHED_TCM_HH
 #define CRITMEM_SCHED_TCM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,13 @@ class TcmScheduler : public Scheduler
                  DramCycle now) override;
 
     void tick(DramCycle now) override;
+
+    DramCycle
+    nextEventCycle(DramCycle now) const override
+    {
+        (void)now;
+        return std::min(nextQuantum_, nextShuffle_);
+    }
 
     const char *
     name() const override

@@ -344,6 +344,14 @@ struct SystemConfig
 {
     std::uint32_t numCores = 8;
     std::uint64_t seed = 1;
+    /**
+     * Event-driven cycle skipping: run() fast-forwards across windows
+     * every component certifies idle via nextEventCycle(). Statistics
+     * are bulk-replayed, so results are bit-identical with the flag
+     * off (enforced by the Skip.Equivalence test); disable to force
+     * the plain tick-every-cycle loop when debugging.
+     */
+    bool fastForward = true;
     CoreConfig core;
     CacheConfig il1;
     CacheConfig dl1;

@@ -95,6 +95,20 @@ class Average : public StatBase
         ++count_;
     }
 
+    /**
+     * Record @p n identical samples of @p v in one step (used by the
+     * cycle-skip fast path to replay per-cycle sampling in bulk).
+     * Bit-identical to n sample(v) calls as long as v is an integer
+     * and the running sum stays below 2^53, which every per-cycle
+     * occupancy statistic in the simulator satisfies.
+     */
+    void
+    sampleN(double v, std::uint64_t n)
+    {
+        sum_ += v * static_cast<double>(n);
+        count_ += n;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

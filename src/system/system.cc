@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <algorithm>
+
 #include "check/diagnostics.hh"
 #include "sim/log.hh"
 
@@ -156,8 +158,24 @@ System::tickOnce()
 {
     ++cycle_;
     hier_->tick(cycle_);
-    for (auto &core : cores_)
-        core->tick(cycle_);
+    if (lazyTick_) {
+        // Lazy core ticking: only cores whose cached next-event bound
+        // is due (or that a completion delivered by the hierarchy
+        // tick above just poked) run a real tick; the rest stay
+        // frozen and bulk-replay the window when they next wake.
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            Core &core = *cores_[i];
+            if (!core.poked() && coreNext_[i] > cycle_)
+                continue;
+            core.skipTo(cycle_ - 1);
+            core.clearPoked();
+            core.tick(cycle_);
+            coreNext_[i] = core.nextEventCycle(cycle_);
+        }
+    } else {
+        for (auto &core : cores_)
+            core->tick(cycle_);
+    }
     // Clock crossing: one DRAM tick whenever the fractional
     // accumulator of busMHz/cpuMHz wraps (4 CPU cycles per DRAM cycle
     // at DDR3-2133 under a 4.27 GHz core).
@@ -166,6 +184,64 @@ System::tickOnce()
         dramAccum_ -= cfg_.core.freqMHz;
         dram_->tick(++dramCycle_);
     }
+}
+
+void
+System::fastForward(Cycle limit, bool pollBounded)
+{
+    // Gather bounds cheapest-first and bail as soon as one pins the
+    // next event to the very next tick — on busy cycles this keeps
+    // the fast-forward probe close to free.
+    Cycle target = limit;
+    if (pollBounded)
+        target = std::min(target, (cycle_ | Cycle{0x3ff}) + 1);
+    // The cached per-core bounds are current: tickOnce() refreshed
+    // every core that was poked or due this cycle, and the rest are
+    // frozen with their bound still in the future.
+    for (const Cycle bound : coreNext_) {
+        target = std::min(target, bound);
+        if (target <= cycle_ + 1)
+            return;
+    }
+    target = std::min(target, hier_->nextEventCycle(cycle_));
+    if (target <= cycle_ + 1)
+        return;
+
+    // Translate the DRAM domain's next event into the CPU cycle on
+    // which the clock-crossing accumulator reaches it: the m-th
+    // future DRAM tick fires on the k-th future CPU cycle where
+    // dramAccum_ + k*busMHz first reaches m*freqMHz.
+    const DramCycle e = dram_->nextEventCycle(dramCycle_);
+    if (e != kNoCycle) {
+        if (e <= dramCycle_)
+            return; // defensive: treat a stale bound as "event now"
+        const std::uint64_t m = e - dramCycle_;
+        const std::uint64_t need = m * cfg_.core.freqMHz - dramAccum_;
+        const std::uint64_t k =
+            (need + cfg_.dram.busMHz - 1) / cfg_.dram.busMHz;
+        target = std::min(target, cycle_ + k);
+    }
+
+    if (target <= cycle_ + 1)
+        return; // the next event is the very next tick — nothing to skip
+
+    // Skip to the cycle *before* the earliest event; the event's own
+    // cycle runs through the ordinary tickOnce() path.
+    const Cycle stop = target - 1;
+    // Cores stay lazy — their skipped window is replayed when they
+    // next wake or tick; only the hierarchy clock advances eagerly.
+    hier_->skipTo(stop);
+
+    const std::uint64_t cpuCycles = stop - cycle_;
+    const std::uint64_t total =
+        dramAccum_ + cpuCycles * cfg_.dram.busMHz;
+    const std::uint64_t dramTicks = total / cfg_.core.freqMHz;
+    dramAccum_ = total % cfg_.core.freqMHz;
+    if (dramTicks != 0) {
+        dramCycle_ += dramTicks;
+        dram_->skipTo(dramCycle_);
+    }
+    cycle_ = stop;
 }
 
 Cycle
@@ -188,10 +264,45 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
     // legitimately idle.
     const bool watchCommits =
         checker_ != nullptr && cfg_.check.commitWatchdogCycles != 0;
-    std::uint64_t lastCommitTotal = 0;
-    Cycle lastCommitCycle = cycle_;
+
+    // Fault injection perturbs channel timing outside the
+    // nextEventCycle contract, so it forces the plain loop.
+    const bool skip = cfg_.fastForward && injector_ == nullptr;
+    const bool pollBounded = abortFlag_ != nullptr || watchCommits;
+    lazyTick_ = skip;
+    // A zero bound makes every core tick (and publish a real bound)
+    // on the first cycle of the run.
+    coreNext_.assign(cores_.size(), 0);
+    // Lazily-skipped cores replay their idle accounting when poked;
+    // whatever window is still pending at exit (including exits via
+    // the watchdog/abort throws) is settled here so the statistics
+    // always cover the full run.
+    const auto syncCores = [&] {
+        if (!lazyTick_)
+            return;
+        for (auto &core : cores_)
+            core->skipTo(cycle_);
+        lazyTick_ = false;
+    };
 
     const Cycle limit = cycle_ + maxCycles;
+    try {
+        runLoop(limit, skip, pollBounded, watchCommits);
+    } catch (...) {
+        syncCores();
+        throw;
+    }
+    syncCores();
+    return cycle_;
+}
+
+void
+System::runLoop(Cycle limit, bool skip, bool pollBounded,
+                bool watchCommits)
+{
+    const Cycle start = cycle_;
+    std::uint64_t lastCommitTotal = 0;
+    Cycle lastCommitCycle = cycle_;
     while (true) {
         bool allDone = true;
         for (const auto &core : cores_) {
@@ -203,7 +314,7 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
         if (allDone)
             break;
         if (cycle_ >= limit) {
-            warn("run() hit the ", maxCycles,
+            warn("run() hit the ", limit - start,
                  "-cycle safety limit before all cores finished");
             break;
         }
@@ -244,8 +355,21 @@ System::run(std::uint64_t quotaPerCore, bool stopAtQuota,
                         " CPU cycles; channel snapshots:\n" + dump});
             }
         }
+
+        if (skip) {
+            // The loop exits before ticking again once every core is
+            // finished; skipping here would overrun that exit cycle.
+            bool done = true;
+            for (const auto &core : cores_) {
+                if (!core->finished()) {
+                    done = false;
+                    break;
+                }
+            }
+            if (!done)
+                fastForward(limit, pollBounded);
+        }
     }
-    return cycle_;
 }
 
 } // namespace critmem

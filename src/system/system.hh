@@ -138,6 +138,21 @@ class System
     void buildTrace(const TraceWorkload &trace);
     void tickOnce();
 
+    /**
+     * Event-driven cycle skipping: ask every component for its next
+     * event cycle and, when the earliest one is more than a cycle
+     * away, bulk-advance the clocks (and per-cycle statistics) to the
+     * cycle just before it. @p limit caps the skip at the run()'s
+     * safety bound; @p pollBounded additionally caps it at the next
+     * 1024-cycle abort/commit-watchdog poll boundary so those polls
+     * fire on exactly the cycles they would have without skipping.
+     */
+    void fastForward(Cycle limit, bool pollBounded);
+
+    /** The body of run(): tick/poll/fast-forward until done. */
+    void runLoop(Cycle limit, bool skip, bool pollBounded,
+                 bool watchCommits);
+
     /** Record counters for trace-backed systems ("trace" group). */
     struct TraceStats
     {
@@ -168,6 +183,16 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
 
     const std::atomic<bool> *abortFlag_ = nullptr;
+
+    /**
+     * Per-core cached nextEventCycle() bounds for lazy core ticking:
+     * while fast-forwarding is enabled, tickOnce() skips any core
+     * whose bound is still in the future and that no memory
+     * completion has poked; the core replays the skipped window's
+     * accounting (Core::skipTo) when it next ticks.
+     */
+    std::vector<Cycle> coreNext_;
+    bool lazyTick_ = false;
 
     Cycle cycle_ = 0;
     Cycle windowStart_ = 0;

@@ -1,0 +1,32 @@
+// Fixture: per-cycle heap traffic inside tick()-named hot paths. The
+// hot-path-alloc rule must flag each marked line.
+#include <functional>
+#include <memory>
+#include <vector>
+
+struct Widget
+{
+    int x = 0;
+};
+
+struct Component
+{
+    void
+    tick(unsigned long now)
+    {
+        std::vector<int> retry; // BAD: per-cycle container
+        retry.push_back(static_cast<int>(now));
+        auto w = std::make_unique<Widget>(); // BAD: per-cycle alloc
+        w->x = retry.back();
+    }
+
+    void
+    refreshTick(unsigned long now)
+    {
+        std::function<void()> cb = [now] { (void)now; }; // BAD
+        cb();
+        Widget *raw = new Widget; // BAD: naked new
+        raw->x = static_cast<int>(now);
+        delete raw;
+    }
+};

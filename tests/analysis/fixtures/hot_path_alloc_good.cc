@@ -1,0 +1,41 @@
+// Fixture: the clean patterns — scratch members reused across ticks,
+// allocation outside tick-named functions, and a justified inline
+// suppression — must all stay silent.
+#include <memory>
+#include <vector>
+
+struct Widget
+{
+    int x = 0;
+};
+
+struct Component
+{
+    void
+    tick(unsigned long now)
+    {
+        // Swap into persistent scratch: no per-cycle heap traffic.
+        scratch_.clear();
+        scratch_.swap(retry_);
+        for (const int v : scratch_)
+            sink_ += v + static_cast<int>(now);
+        // lint:allow(hot-path-alloc): grows only on the first tick
+        // after a resize, then reuses capacity forever.
+        std::vector<int> once(4, 0);
+        sink_ += once.size();
+    }
+
+    void
+    build()
+    {
+        // Construction-time allocation is not a hot path.
+        widget_ = std::make_unique<Widget>();
+        std::vector<int> setup(128, 0);
+        retry_ = setup;
+    }
+
+    std::vector<int> retry_;
+    std::vector<int> scratch_;
+    std::unique_ptr<Widget> widget_;
+    long sink_ = 0;
+};

@@ -164,6 +164,32 @@ TEST(LintDurableWrite, AtomicFileHelperIsExempt)
     EXPECT_EQ(countRule(analyzeFile(file), "durable-write"), 0u);
 }
 
+TEST(LintHotPathAlloc, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("hot_path_alloc_bad.cc");
+    // tick(): local vector + make_unique; refreshTick():
+    // std::function construction + naked new.
+    EXPECT_EQ(countRule(findings, "hot-path-alloc"), 4u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.severity, Severity::Error);
+}
+
+TEST(LintHotPathAlloc, SilentOnGoodFixture)
+{
+    // Member-scratch reuse inside tick(), construction-time
+    // allocation outside it, and a justified lint:allow: all clean.
+    EXPECT_EQ(lintFixture("hot_path_alloc_good.cc").size(), 0u);
+}
+
+TEST(LintHotPathAlloc, IgnoresNonTickFunctions)
+{
+    const SourceFile file = makeSourceFile(
+        "src/x/y.cc",
+        "#include <vector>\n"
+        "void build() { std::vector<int> v; v.push_back(1); }\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "hot-path-alloc"), 0u);
+}
+
 TEST(LintSuppression, TrailingCommentGuardsItsLine)
 {
     const SourceFile file = makeSourceFile(

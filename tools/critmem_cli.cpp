@@ -13,11 +13,15 @@
  *   critmem-sim --app mg --alone --stats-json mg.json
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "sched/registry.hh"
@@ -77,6 +81,14 @@ usage()
         "  --stats            dump the full statistics tree\n"
         "  --stats-json FILE  write the stats tree as JSON;"
         " '-' = stdout\n"
+        "  --perf             add a host-dependent 'perf' stats group\n"
+        "                     (wall ms, cycles/sec, DRAM cmds/sec);\n"
+        "                     also via CRITMEM_PERF=1. Off by default\n"
+        "                     so stats output stays deterministic\n"
+        "  --no-cycle-skip    force the tick-every-cycle loop (results\n"
+        "                     are identical either way; this only\n"
+        "                     changes simulator speed)\n"
+        "  --cycle-skip       re-enable event-driven cycle skipping\n"
         "  --list-workloads   print every registered workload and"
         " exit\n"
         "  --list-schedulers  print schedulers and predictors and"
@@ -162,6 +174,8 @@ main(int argc, char **argv)
     std::uint64_t instrs = 24000;
     std::uint64_t warmup = ~std::uint64_t{0};
     bool dumpStats = false;
+    const char *perfEnv = std::getenv("CRITMEM_PERF");
+    bool perfStats = perfEnv != nullptr && perfEnv[0] == '1';
     bool alone = false;
     bool speedSet = false;
     DramSpeed speed = DramSpeed::DDR3_2133;
@@ -269,6 +283,12 @@ main(int argc, char **argv)
             cfg.dram.closedPage = true;
         } else if (arg == "--split-wq") {
             cfg.dram.unifiedQueue = false;
+        } else if (arg == "--perf") {
+            perfStats = true;
+        } else if (arg == "--no-cycle-skip") {
+            cfg.fastForward = false;
+        } else if (arg == "--cycle-skip") {
+            cfg.fastForward = true;
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--stats-json") {
@@ -359,14 +379,23 @@ main(int argc, char **argv)
         sys = std::make_unique<System>(cfg, perCore);
     }
 
+    double wallMs = 0.0;
     try {
         sys->prewarmCaches();
         if (warmup > 0) {
             sys->run(warmup, /*stopAtQuota=*/false);
             sys->resetStatsWindow();
         }
+        // lint:allow(wall-clock): host throughput measurement for the
+        // opt-in --perf group; never feeds simulated behaviour.
+        const auto wallStart = std::chrono::steady_clock::now();
         sys->run(instrs,
                  /*stopAtQuota=*/!bundleName.empty() ? false : true);
+        // lint:allow(wall-clock): see above.
+        const auto wallEnd = std::chrono::steady_clock::now();
+        wallMs = std::chrono::duration<double, std::milli>(
+                     wallEnd - wallStart)
+                     .count();
         // Requests still queued at the quota are in flight, not lost.
         sys->finalizeChecks(/*requireDrained=*/false);
     } catch (const CheckViolation &err) {
@@ -410,6 +439,51 @@ main(int argc, char **argv)
                     static_cast<double>(
                         std::max<std::uint64_t>(r.coreCycles, 1)),
                 r.l2MissLatCrit, r.l2MissLatNonCrit);
+
+    // Host-throughput group, opt-in (--perf / CRITMEM_PERF=1): these
+    // values are wall-clock-dependent, so keeping them out of the
+    // default output preserves the byte-identical stats-json
+    // determinism contract. Lives here so it outlasts both dumps.
+    struct PerfGroup
+    {
+        PerfGroup(stats::Group &parent)
+            : group("perf", &parent),
+              wallMs(group, "wallMs",
+                     "host milliseconds for the measured run"),
+              cyclesPerSec(group, "cyclesPerSec",
+                           "simulated CPU cycles per host second"),
+              dramCmdsPerSec(group, "dramCmdsPerSec",
+                             "DRAM commands issued per host second")
+        {
+        }
+
+        stats::Group group;
+        stats::Scalar wallMs;
+        stats::Scalar cyclesPerSec;
+        stats::Scalar dramCmdsPerSec;
+    };
+    std::optional<PerfGroup> perf;
+    if (perfStats) {
+        std::uint64_t dramCmds = 0;
+        for (std::uint32_t c = 0; c < sys->dram().numChannels(); ++c) {
+            const auto &ch = sys->dram().channel(c).channelStats();
+            dramCmds += ch.activates.value() + ch.reads.value() +
+                        ch.writes.value() + ch.precharges.value() +
+                        ch.refreshes.value();
+        }
+        const double wallSec = std::max(wallMs, 1e-6) / 1000.0;
+        perf.emplace(sys->statsRoot());
+        perf->wallMs.set(static_cast<std::uint64_t>(
+            std::llround(wallMs)));
+        perf->cyclesPerSec.set(static_cast<std::uint64_t>(
+            static_cast<double>(r.cycles) / wallSec));
+        perf->dramCmdsPerSec.set(static_cast<std::uint64_t>(
+            static_cast<double>(dramCmds) / wallSec));
+        std::fprintf(stderr,
+                     "perf: wall=%.1fms cycles/s=%.3g dramCmds/s=%.3g\n",
+                     wallMs, static_cast<double>(r.cycles) / wallSec,
+                     static_cast<double>(dramCmds) / wallSec);
+    }
 
     if (dumpStats)
         sys->statsRoot().print(std::cout);
