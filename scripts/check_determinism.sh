@@ -56,3 +56,12 @@ echo "sweep: --jobs 1 and --jobs 4 byte-identical"
 #    event-driven cycle skipping on vs off must be byte-identical
 #    over the representative config matrix.
 "$(dirname "$0")/check_skip_equivalence.sh" "$sim"
+
+# 5. The scheduler arena: the fairness-annotated records and the
+#    ranked leaderboard must also be byte-identical for --jobs 1 vs
+#    --jobs 4 (the report is built from alone-run baselines banked by
+#    the aggregation thread, so this exercises that ordering too).
+arena_spec=$(dirname "$spec")/arena.sweep
+if [ -f "$arena_spec" ]; then
+    "$(dirname "$0")/check_arena.sh" "$sweep" "$arena_spec"
+fi

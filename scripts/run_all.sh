@@ -30,6 +30,12 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
 ./scripts/check_resume.sh ./build/examples/critmem-sweep \
     specs/traces.sweep
 
+# Scheduler-arena smoke (also runs as the Arena.Smoke ctest): the
+# tiny-quota tournament's leaderboard must be --jobs-independent and
+# rank every registered scheduler with fairness metrics.
+./scripts/check_arena.sh ./build/examples/critmem-sweep \
+    specs/arena.sweep
+
 # ASan+UBSan pass: the whole suite again under the sanitizers
 # (includes TraceFuzz.Corpus, so the 10k-mutant seed-1 fuzz run
 # happens under ASan/UBSan too), plus a second fuzz run on a
@@ -61,7 +67,8 @@ fi
 # any violation), plus a CLI run per scheduler.
 if [ "${CRITMEM_SKIP_CHECKED:-0}" != "1" ]; then
     for sched in fcfs frfcfs crit-casras casras-crit parbs tcm \
-                 tcm-crit ahb morse crit-rl atlas minimalist; do
+                 tcm-crit ahb morse crit-rl atlas minimalist \
+                 bliss batch-cap-rr dyn-thresh-crit; do
         ./build/examples/critmem-sim --app art --sched "$sched" \
             --instrs 4000 --check --quiet >/dev/null
     done

@@ -13,10 +13,12 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <set>
 #include <stdexcept>
 
 #include "analysis/rule.hh"
 #include "exec/sweep.hh"
+#include "sched/registry.hh"
 #include "trace/workloads.hh"
 
 namespace critmem::analysis
@@ -244,7 +246,82 @@ class SweepSpecRule : public DataRule
     }
 };
 
+/**
+ * arena-coverage: the arena tournament (specs/arena.sweep) must field
+ * every registered scheduler. Registering a new algorithm without
+ * entering it in the arena silently keeps it off every leaderboard.
+ */
+class ArenaCoverageRule : public DataRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "arena-coverage", Severity::Error,
+            "every registered scheduler must have a variant in "
+            "specs/arena.sweep"};
+        return kMeta;
+    }
+
+    void
+    check(const RepoContext &repo, std::vector<Finding> &out)
+        const override
+    {
+        namespace fs = std::filesystem;
+        const fs::path file =
+            fs::path(repo.root) / "specs" / "arena.sweep";
+        if (!fs::is_regular_file(file)) {
+            out.push_back({meta().id, meta().severity,
+                           "specs/arena.sweep", 0,
+                           "arena campaign spec is missing; every "
+                           "registered scheduler needs a variant "
+                           "there"});
+            return;
+        }
+        checkArenaCoverage(file.string(), "specs/arena.sweep", out);
+    }
+};
+
 } // namespace
+
+void
+checkArenaCoverage(const std::string &absPath,
+                   const std::string &relPath,
+                   std::vector<Finding> &out)
+{
+    const RuleMeta meta{"arena-coverage", Severity::Error, ""};
+    auto fail = [&](const std::string &message) {
+        out.push_back({meta.id, meta.severity, relPath, 0, message});
+    };
+
+    exec::SweepSpec spec;
+    try {
+        spec = exec::parseSweepFile(absPath);
+    } catch (const std::exception &err) {
+        fail(std::string("parse error: ") + err.what());
+        return;
+    }
+
+    // Collect every scheduler any variant selects. Variants without a
+    // sched= setting run the preset default, which the explicit
+    // default variant already covers, so they add nothing here.
+    std::set<std::string> covered;
+    for (const exec::SweepVariant &variant : spec.variants) {
+        for (const auto &[key, value] : variant.settings) {
+            if (key == "sched")
+                covered.insert(value);
+        }
+    }
+
+    for (const SchedInfo &info : schedulerRegistry()) {
+        if (covered.count(info.cliName))
+            continue;
+        fail(std::string("registered scheduler '") + info.cliName +
+             "' (" + info.displayName +
+             ") has no variant in the arena campaign");
+    }
+}
 
 void
 checkSweepFile(const std::string &absPath, const std::string &relPath,
@@ -337,9 +414,11 @@ dataRules()
     static const PresetTimingRule presetTiming;
     static const PresetConfigRule presetConfig;
     static const SweepSpecRule sweepSpec;
+    static const ArenaCoverageRule arenaCoverage;
     static const TraceFixtureRule traceFixture;
     static const std::vector<const DataRule *> kRules{
-        &presetTiming, &presetConfig, &sweepSpec, &traceFixture};
+        &presetTiming, &presetConfig, &sweepSpec, &arenaCoverage,
+        &traceFixture};
     return kRules;
 }
 

@@ -41,6 +41,17 @@ void checkSweepFile(const std::string &absPath,
                     const std::string &relPath,
                     std::vector<Finding> &out);
 
+/**
+ * Append arena-coverage findings for the arena campaign at @p absPath
+ * (reported under @p relPath): one finding per scheduler in
+ * schedulerRegistry() that no variant of the spec selects via a
+ * sched= setting. A new scheduler is not "in the tournament" until it
+ * has a column in specs/arena.sweep.
+ */
+void checkArenaCoverage(const std::string &absPath,
+                        const std::string &relPath,
+                        std::vector<Finding> &out);
+
 } // namespace critmem::analysis
 
 #endif // CRITMEM_ANALYSIS_DATA_RULES_HH

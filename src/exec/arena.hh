@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The scheduler arena: fairness annotation + leaderboard reporting on
+ * top of the campaign engine.
+ *
+ * A FairnessAnnotator plugs into RunnerOptions::annotate. Sweep
+ * expansion emits every alone-run baseline before the bundle jobs
+ * that need it, and the aggregation thread delivers records in
+ * submission order, so the annotator simply banks each Alone record's
+ * IPC in an AloneBaselineCache and decorates every later Bundle
+ * record with fair::FairnessMetrics — deterministically, for any
+ * --jobs count, on fresh and journal-replayed records alike.
+ *
+ * printArenaReport renders the post-campaign leaderboard behind
+ * `critmem-sweep --report arena`: per-workload rankings plus an
+ * overall table, ordered by weighted speedup with lexicographic
+ * tiebreaks so the bytes never depend on thread count.
+ */
+
+#ifndef CRITMEM_EXEC_ARENA_HH
+#define CRITMEM_EXEC_ARENA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "exec/result_sink.hh"
+#include "exec/sweep.hh"
+#include "fair/baseline_cache.hh"
+
+namespace critmem::exec
+{
+
+/**
+ * Decorates Bundle records with fairness metrics computed against the
+ * campaign's own alone-run baselines. Invoked only from the
+ * aggregation thread (submission order); not thread-safe.
+ */
+class FairnessAnnotator
+{
+  public:
+    /** The RunnerOptions::annotate entry point. */
+    void operator()(JobRecord &rec);
+
+    /** Baselines banked so far (tests assert each ran exactly once). */
+    const fair::AloneBaselineCache &cache() const { return cache_; }
+
+  private:
+    fair::AloneBaselineCache cache_;
+    /**
+     * Per-app (config, quota) under which the baseline was banked:
+     * bundle jobs run variant configs whose hash differs from the
+     * base-config alone jobs, so lookups go through the recorded key.
+     */
+    std::map<std::string, std::pair<SystemConfig, std::uint64_t>>
+        baselineRef_;
+};
+
+/**
+ * Splice a "fair" stats group into a captured stats-tree JSON object
+ * so fairness metrics ride the --stats / stats-JSON channel too.
+ * Returns @p statsJson unchanged when it is empty.
+ */
+std::string spliceFairStats(const std::string &statsJson,
+                            const fair::FairnessMetrics &m,
+                            std::uint32_t numCores);
+
+/**
+ * Print the arena leaderboard from a finished campaign's in-memory
+ * records: one ranking per workload, then the overall table (mean
+ * metrics across workloads, ranked by mean weighted speedup).
+ */
+void printArenaReport(const SweepSpec &spec, const MemorySink &memory);
+
+} // namespace critmem::exec
+
+#endif // CRITMEM_EXEC_ARENA_HH

@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "fair/metrics.hh"
 #include "sim/config.hh"
 #include "system/experiment.hh"
 
@@ -92,6 +93,13 @@ struct JobRecord
     RunResult result;
     /** Stats tree JSON when spec.captureStats; else empty. */
     std::string statsJson;
+    /**
+     * Fairness metrics, filled in by the arena annotator
+     * (exec/arena.hh) for Bundle records whose alone baselines were
+     * available; fairness.valid stays false otherwise. Derived
+     * deterministically from other records, so never journaled.
+     */
+    fair::FairnessMetrics fairness;
     /** Wall-clock of the final attempt, ms. Informational only —
      *  never serialized, so result files stay deterministic. */
     double wallMs = 0.0;

@@ -445,6 +445,8 @@ struct Campaign
                 ++summary.ok;
             else
                 ++summary.failed;
+            if (opts.annotate)
+                opts.annotate(*record);
             for (ResultSink *sink : sinks)
                 sink->consume(*record);
 

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "exec/result_sink.hh"
@@ -97,6 +98,15 @@ struct RunnerOptions
     const std::atomic<int> *stopRequested = nullptr;
     /** ms allowed for in-flight jobs to drain after a stop request. */
     std::uint64_t drainDeadlineMs = 20000;
+
+    /**
+     * Record decorator invoked on the aggregation thread, in
+     * submission order, before a record reaches any sink — for fresh
+     * and replayed records alike (the journal stores undecorated
+     * records, so resumes stay byte-identical as long as the decorator
+     * is deterministic). The arena fairness annotator hooks in here.
+     */
+    std::function<void(JobRecord &)> annotate;
 };
 
 /** Campaign-level accounting returned by JobRunner::run(). */

@@ -124,6 +124,24 @@ JsonlSink::consume(const JobRecord &rec)
         stats::jsonDouble(os_, r.l2MissLatCrit);
         jsonKey(os_, first, "l2MissLatNonCrit");
         stats::jsonDouble(os_, r.l2MissLatNonCrit);
+        if (rec.fairness.valid) {
+            const fair::FairnessMetrics &m = rec.fairness;
+            jsonKey(os_, first, "weightedSpeedup");
+            stats::jsonDouble(os_, m.weightedSpeedup);
+            jsonKey(os_, first, "harmonicSpeedup");
+            stats::jsonDouble(os_, m.harmonicSpeedup);
+            jsonKey(os_, first, "maxSlowdown");
+            stats::jsonDouble(os_, m.maxSlowdown);
+            jsonKey(os_, first, "unfairness");
+            stats::jsonDouble(os_, m.unfairness);
+            jsonKey(os_, first, "slowdown");
+            os_ << '[';
+            for (std::size_t i = 0; i < m.slowdown.size(); ++i) {
+                os_ << (i ? "," : "");
+                stats::jsonDouble(os_, m.slowdown[i]);
+            }
+            os_ << ']';
+        }
     } else {
         jsonKey(os_, first, "error");
         stats::jsonEscape(os_, rec.error);
@@ -157,7 +175,9 @@ CsvSink::begin(std::size_t)
     os_ << "name,index,kind,workload,sched,predictor,entries,seed,"
            "quota,warmup,status,attempts,cycles,ipc,dynamicLoads,"
            "blockingLoads,robBlockedCycles,rowHits,rowMisses,"
-           "dramReads,l2MissLatCrit,l2MissLatNonCrit,error\n";
+           "dramReads,l2MissLatCrit,l2MissLatNonCrit,"
+           "weightedSpeedup,harmonicSpeedup,maxSlowdown,unfairness,"
+           "error\n";
 }
 
 namespace
@@ -204,8 +224,22 @@ CsvSink::consume(const JobRecord &rec)
         os_ << ',';
         stats::jsonDouble(os_, r.l2MissLatNonCrit);
         os_ << ',';
+        // Fairness columns stay empty when no baselines were around.
+        if (rec.fairness.valid) {
+            const fair::FairnessMetrics &m = rec.fairness;
+            stats::jsonDouble(os_, m.weightedSpeedup);
+            os_ << ',';
+            stats::jsonDouble(os_, m.harmonicSpeedup);
+            os_ << ',';
+            stats::jsonDouble(os_, m.maxSlowdown);
+            os_ << ',';
+            stats::jsonDouble(os_, m.unfairness);
+            os_ << ',';
+        } else {
+            os_ << ",,,,";
+        }
     } else {
-        os_ << ",,,,,,,,,,";
+        os_ << ",,,,,,,,,,,,,,";
         csvField(os_, rec.error);
     }
     os_ << '\n';

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cache of alone-run IPC baselines.
+ *
+ * Every fairness metric needs IPC_alone,i — the IPC application i
+ * achieves running alone on the same configuration — and an alone run
+ * costs as much as any other simulation. The cache keys baselines by
+ * (application, configuration hash, quota) so a campaign that
+ * evaluates many schedulers over the same workload set computes each
+ * baseline exactly once; the executed-run counter lets tests assert
+ * that. Deliberately not thread-safe: the campaign engine only
+ * touches it from the single aggregation thread, and critmem-sim is
+ * single-threaded.
+ */
+
+#ifndef CRITMEM_FAIR_BASELINE_CACHE_HH
+#define CRITMEM_FAIR_BASELINE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace critmem::fair
+{
+
+/**
+ * FNV-1a-64 over every simulation-affecting SystemConfig field.
+ * Two configurations with equal hashes produce identical alone runs
+ * (the converse — hash collisions — is as unlikely as FNV allows).
+ */
+std::uint64_t configHash(const SystemConfig &cfg);
+
+/** Alone-IPC baselines keyed by (app, configHash, quota). */
+class AloneBaselineCache
+{
+  public:
+    /**
+     * The cached baseline for @p app on @p cfg at @p quota, invoking
+     * @p compute (an alone run) only on the first request.
+     */
+    double getOrCompute(const std::string &app, const SystemConfig &cfg,
+                        std::uint64_t quota,
+                        const std::function<double()> &compute);
+
+    /** Cached value, or nullptr when absent (no run triggered). */
+    const double *find(const std::string &app, const SystemConfig &cfg,
+                       std::uint64_t quota) const;
+
+    /** Record an externally computed baseline (campaign alone jobs). */
+    void insert(const std::string &app, const SystemConfig &cfg,
+                std::uint64_t quota, double aloneIpc);
+
+    /** Number of compute() invocations (cache misses), for tests. */
+    std::uint64_t runsExecuted() const { return runs_; }
+    /** Number of distinct baselines held. */
+    std::size_t size() const { return cache_.size(); }
+
+  private:
+    static std::string key(const std::string &app,
+                           const SystemConfig &cfg, std::uint64_t quota);
+
+    std::map<std::string, double> cache_;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace critmem::fair
+
+#endif // CRITMEM_FAIR_BASELINE_CACHE_HH

@@ -1,0 +1,52 @@
+#include "fair/fairness_stats.hh"
+
+#include <sstream>
+
+namespace critmem::fair
+{
+
+FairnessStats::FairnessStats(stats::Group *parent, std::uint32_t numCores)
+    : group_("fair", parent),
+      valid_(group_, "valid",
+             "1 when every core had positive shared and alone IPC"),
+      weightedSpeedup_(group_, "weightedSpeedup",
+                       "sum over cores of IPC_shared / IPC_alone"),
+      harmonicSpeedup_(group_, "harmonicSpeedup",
+                       "numCores / sum of per-core slowdowns"),
+      maxSlowdown_(group_, "maxSlowdown",
+                   "largest per-core IPC_alone / IPC_shared"),
+      unfairness_(group_, "unfairness",
+                  "max slowdown / min slowdown (1.0 = fair)")
+{
+    slowdown_.reserve(numCores);
+    for (std::uint32_t core = 0; core < numCores; ++core) {
+        slowdown_.push_back(std::make_unique<stats::Value>(
+            group_, "slowdown" + std::to_string(core),
+            "core " + std::to_string(core) +
+                " IPC_alone / IPC_shared"));
+    }
+}
+
+void
+FairnessStats::set(const FairnessMetrics &m)
+{
+    valid_.set(m.valid ? 1.0 : 0.0);
+    weightedSpeedup_.set(m.weightedSpeedup);
+    harmonicSpeedup_.set(m.harmonicSpeedup);
+    maxSlowdown_.set(m.maxSlowdown);
+    unfairness_.set(m.unfairness);
+    for (std::size_t core = 0; core < slowdown_.size(); ++core) {
+        slowdown_[core]->set(
+            m.valid && core < m.slowdown.size() ? m.slowdown[core] : 0.0);
+    }
+}
+
+std::string
+FairnessStats::json() const
+{
+    std::ostringstream os;
+    group_.printJson(os);
+    return os.str();
+}
+
+} // namespace critmem::fair

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fairness metrics as first-class statistics.
+ *
+ * FairnessStats owns a stats::Group named "fair" holding one Value
+ * gauge per metric (plus one per-core slowdown gauge), so fairness
+ * results flow through the same machinery as every other statistic:
+ * critmem-sim --stats / --stats-json, the stats-JSON result sink, and
+ * the campaign record's captured stats tree.
+ */
+
+#ifndef CRITMEM_FAIR_FAIRNESS_STATS_HH
+#define CRITMEM_FAIR_FAIRNESS_STATS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fair/metrics.hh"
+#include "sim/stats.hh"
+
+namespace critmem::fair
+{
+
+/** The "fair" stats group: fairness metrics as Value gauges. */
+class FairnessStats
+{
+  public:
+    /**
+     * @param parent Group to attach the "fair" child group to;
+     *        nullptr keeps it a standalone root (sweep records).
+     * @param numCores Per-core slowdown gauges to create.
+     */
+    FairnessStats(stats::Group *parent, std::uint32_t numCores);
+
+    /** Publish @p m into the gauges (invalid metrics reset to 0). */
+    void set(const FairnessMetrics &m);
+
+    const stats::Group &group() const { return group_; }
+
+    /** The group's JSON object text, e.g. {"weightedSpeedup":...}. */
+    std::string json() const;
+
+  private:
+    stats::Group group_;
+    stats::Value valid_;
+    stats::Value weightedSpeedup_;
+    stats::Value harmonicSpeedup_;
+    stats::Value maxSlowdown_;
+    stats::Value unfairness_;
+    std::vector<std::unique_ptr<stats::Value>> slowdown_;
+};
+
+} // namespace critmem::fair
+
+#endif // CRITMEM_FAIR_FAIRNESS_STATS_HH

@@ -1,0 +1,49 @@
+#include "fair/metrics.hh"
+
+#include <algorithm>
+
+#include "system/experiment.hh"
+
+namespace critmem::fair
+{
+
+FairnessMetrics
+computeFairness(const std::vector<double> &sharedIpc,
+                const std::vector<double> &aloneIpc)
+{
+    FairnessMetrics m;
+    const std::size_t n = sharedIpc.size();
+    if (n == 0 || aloneIpc.size() != n)
+        return m;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sharedIpc[i] <= 0.0 || aloneIpc[i] <= 0.0)
+            return m;
+    }
+
+    m.valid = true;
+    m.slowdown.resize(n);
+    double slowdownSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        m.slowdown[i] = aloneIpc[i] / sharedIpc[i];
+        m.weightedSpeedup += sharedIpc[i] / aloneIpc[i];
+        slowdownSum += m.slowdown[i];
+    }
+    m.harmonicSpeedup = static_cast<double>(n) / slowdownSum;
+    const auto [lo, hi] =
+        std::minmax_element(m.slowdown.begin(), m.slowdown.end());
+    m.maxSlowdown = *hi;
+    m.unfairness = *hi / *lo;
+    return m;
+}
+
+std::vector<double>
+sharedIpcs(const RunResult &run, std::uint64_t quota,
+           std::uint32_t numCores)
+{
+    std::vector<double> ipcs(numCores, 0.0);
+    for (std::uint32_t core = 0; core < numCores; ++core)
+        ipcs[core] = run.ipc(core, quota);
+    return ipcs;
+}
+
+} // namespace critmem::fair

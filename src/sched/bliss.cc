@@ -1,0 +1,72 @@
+#include "sched/bliss.hh"
+
+#include <algorithm>
+#include <tuple>
+
+namespace critmem
+{
+
+BlissScheduler::BlissScheduler(std::uint32_t channels,
+                               std::uint32_t numCores,
+                               std::uint32_t threshold,
+                               DramCycle clearInterval)
+    : numCores_(numCores), threshold_(threshold),
+      clearInterval_(clearInterval), nextClear_(clearInterval),
+      lastCore_(channels, 0), streak_(channels, 0),
+      blacklisted_(numCores, 0)
+{
+}
+
+void
+BlissScheduler::onIssue(std::uint32_t channel, const SchedCandidate &cand,
+                        DramCycle)
+{
+    const bool cas =
+        cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write;
+    if (!cas || cand.core >= numCores_)
+        return;
+    if (streak_[channel] > 0 && lastCore_[channel] == cand.core) {
+        if (++streak_[channel] >= threshold_) {
+            blacklisted_[cand.core] = 1;
+            streak_[channel] = 0;
+        }
+    } else {
+        lastCore_[channel] = cand.core;
+        streak_[channel] = 1;
+    }
+}
+
+void
+BlissScheduler::tick(DramCycle now)
+{
+    // Loop (not if) so that a cycle-skip landing past several clearing
+    // boundaries still re-arms nextClear_ strictly beyond `now`.
+    while (now >= nextClear_) {
+        std::fill(blacklisted_.begin(), blacklisted_.end(),
+                  std::uint8_t{0});
+        nextClear_ += clearInterval_;
+    }
+}
+
+int
+BlissScheduler::pick(std::uint32_t,
+                     const std::vector<SchedCandidate> &cands, DramCycle)
+{
+    // Lower = better: (blacklisted, row-miss, age).
+    using Key = std::tuple<int, int, std::uint64_t>;
+    int best = -1;
+    Key bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        const int black =
+            cand.core < numCores_ && blacklisted_[cand.core] ? 1 : 0;
+        const Key key{black, cand.rowHit ? 0 : 1, cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

@@ -1,0 +1,79 @@
+#include "sched/dyn_thresh.hh"
+
+#include <limits>
+#include <tuple>
+
+namespace critmem
+{
+
+DynThreshCritScheduler::DynThreshCritScheduler(DramCycle epoch,
+                                               std::uint32_t targetPct)
+    : epoch_(epoch), targetPct_(targetPct), nextEpoch_(epoch)
+{
+}
+
+void
+DynThreshCritScheduler::onIssue(std::uint32_t, const SchedCandidate &cand,
+                                DramCycle)
+{
+    const bool cas =
+        cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write;
+    if (!cas)
+        return;
+    ++casIssued_;
+    if (cand.crit >= thresh_)
+        ++critIssued_;
+}
+
+void
+DynThreshCritScheduler::adapt()
+{
+    if (casIssued_ > 0) {
+        const std::uint64_t pct = critIssued_ * 100 / casIssued_;
+        if (pct > targetPct_ &&
+            thresh_ <= std::numeric_limits<CritLevel>::max() / 2) {
+            thresh_ *= 2;
+        } else if (pct < targetPct_ && thresh_ > 1) {
+            thresh_ /= 2;
+        }
+    }
+    casIssued_ = 0;
+    critIssued_ = 0;
+}
+
+void
+DynThreshCritScheduler::tick(DramCycle now)
+{
+    while (now >= nextEpoch_) {
+        adapt();
+        nextEpoch_ += epoch_;
+    }
+}
+
+int
+DynThreshCritScheduler::pick(std::uint32_t,
+                             const std::vector<SchedCandidate> &cands,
+                             DramCycle)
+{
+    // Lower = better: (class, row-miss, ~magnitude, age) with classes
+    // critical CAS < plain CAS < critical RAS/PRE < plain RAS/PRE.
+    using Key = std::tuple<int, int, std::uint64_t, std::uint64_t>;
+    int best = -1;
+    Key bestKey{};
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const SchedCandidate &cand = cands[i];
+        const bool cas =
+            cand.cmd == DramCmd::Read || cand.cmd == DramCmd::Write;
+        const bool crit = cand.crit >= thresh_;
+        const int cls = crit ? (cas ? 0 : 2) : (cas ? 1 : 3);
+        const Key key{cls, cand.rowHit ? 0 : 1,
+                      ~static_cast<std::uint64_t>(cand.crit), cand.seq};
+        if (best < 0 || key < bestKey) {
+            best = static_cast<int>(i);
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+} // namespace critmem

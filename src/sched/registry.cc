@@ -2,7 +2,10 @@
 
 #include "sched/ahb.hh"
 #include "sched/atlas.hh"
+#include "sched/batch_cap_rr.hh"
+#include "sched/bliss.hh"
 #include "sched/crit_frfcfs.hh"
+#include "sched/dyn_thresh.hh"
 #include "sched/frfcfs.hh"
 #include "sched/minimalist.hh"
 #include "sched/morse.hh"
@@ -54,6 +57,16 @@ makeScheduler(const SystemConfig &cfg)
       case SchedAlgo::Minimalist:
         return std::make_unique<MinimalistScheduler>(
             cfg.dram.channels, cfg.numCores, cfg.dram.banksPerRank);
+      case SchedAlgo::Bliss:
+        return std::make_unique<BlissScheduler>(
+            cfg.dram.channels, cfg.numCores, s.blissThreshold,
+            s.blissClearInterval);
+      case SchedAlgo::BatchCapRr:
+        return std::make_unique<BatchCapRrScheduler>(
+            cfg.dram.channels, cfg.numCores, s.batchCap);
+      case SchedAlgo::DynThreshCrit:
+        return std::make_unique<DynThreshCritScheduler>(
+            s.dynThreshEpoch, s.dynThreshTargetPct);
     }
     fatal("unknown scheduler algorithm");
 }
@@ -86,6 +99,12 @@ schedulerRegistry()
          "least-attained-service ranking [11]"},
         {SchedAlgo::Minimalist, "minimalist", "Minimalist",
          "MLP-ranked minimalist open-page [10]"},
+        {SchedAlgo::Bliss, "bliss", "BLISS",
+         "blacklists request streaks, clears periodically"},
+        {SchedAlgo::BatchCapRr, "batch-cap-rr", "BatchCap-RR",
+         "capped per-core batches served round-robin"},
+        {SchedAlgo::DynThreshCrit, "dyn-thresh-crit", "DynThresh-Crit",
+         "criticality FR-FCFS with adaptive threshold"},
     };
     return registry;
 }

@@ -132,6 +132,9 @@ toString(SchedAlgo algo)
       case SchedAlgo::CritRl:     return "Crit-RL";
       case SchedAlgo::Atlas:      return "ATLAS";
       case SchedAlgo::Minimalist: return "Minimalist";
+      case SchedAlgo::Bliss:      return "BLISS";
+      case SchedAlgo::BatchCapRr: return "BatchCap-RR";
+      case SchedAlgo::DynThreshCrit: return "DynThresh-Crit";
     }
     return "?";
 }
@@ -429,6 +432,17 @@ SystemConfig::validate() const
                  "must lie strictly between 0 and 1");
     if (sched.morseMaxCommands == 0)
         addError(errors, "sched.morseMaxCommands", "must be nonzero");
+    if (sched.blissThreshold == 0)
+        addError(errors, "sched.blissThreshold", "must be nonzero");
+    if (sched.blissClearInterval == 0)
+        addError(errors, "sched.blissClearInterval", "must be nonzero");
+    if (sched.batchCap == 0)
+        addError(errors, "sched.batchCap", "must be nonzero");
+    if (sched.dynThreshEpoch == 0)
+        addError(errors, "sched.dynThreshEpoch", "must be nonzero");
+    if (sched.dynThreshTargetPct == 0 || sched.dynThreshTargetPct > 100)
+        addError(errors, "sched.dynThreshTargetPct",
+                 "must lie in [1, 100]");
     if (check.fault == FaultKind::StarveCore &&
         check.faultVictim >= numCores)
         addError(errors, "check.faultVictim",

@@ -266,6 +266,9 @@ enum class SchedAlgo
     CritRl,        ///< MORSE + criticality features (Table 6)
     Atlas,         ///< least-attained-service ranking [11]
     Minimalist,    ///< MLP-ranked minimalist open-page [10]
+    Bliss,         ///< blacklisting scheduler (Subramanian et al.)
+    BatchCapRr,    ///< capped per-core batches served round-robin
+    DynThreshCrit, ///< criticality FR-FCFS with adaptive threshold
 };
 
 const char *toString(SchedAlgo algo);
@@ -284,6 +287,16 @@ struct SchedConfig
     double tcmClusterThresh = 0.10;
     /** MORSE: ready commands evaluable per DRAM cycle (Fig. 11). */
     std::uint32_t morseMaxCommands = 24;
+    /** BLISS: consecutive same-core CAS issues before blacklisting. */
+    std::uint32_t blissThreshold = 4;
+    /** BLISS: blacklist clearing interval in DRAM cycles. */
+    std::uint32_t blissClearInterval = 10000;
+    /** Batch-cap RR: CAS issues served per core before rotating. */
+    std::uint32_t batchCap = 8;
+    /** Dyn-thresh: adaptation epoch in DRAM cycles. */
+    std::uint32_t dynThreshEpoch = 50000;
+    /** Dyn-thresh: target percentage of CAS issues treated critical. */
+    std::uint32_t dynThreshTargetPct = 25;
 };
 
 /**

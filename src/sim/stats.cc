@@ -59,6 +59,18 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Value::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ' ' << value_ << " # " << desc() << '\n';
+}
+
+void
+Value::printJson(std::ostream &os) const
+{
+    jsonDouble(os, value_);
+}
+
+void
 Average::print(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << ' ' << mean() << " # " << desc()
@@ -229,6 +241,12 @@ const Scalar *
 Group::findScalar(const std::string &path) const
 {
     return dynamic_cast<const Scalar *>(find(path));
+}
+
+const Value *
+Group::findValue(const std::string &path) const
+{
+    return dynamic_cast<const Value *>(find(path));
 }
 
 const Average *

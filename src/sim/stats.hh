@@ -82,6 +82,29 @@ class Scalar : public StatBase
     std::uint64_t value_ = 0;
 };
 
+/**
+ * A point-in-time floating-point gauge (derived metrics such as
+ * speedups and slowdowns, set once after a run rather than accumulated
+ * per cycle). Emitted through jsonDouble, so the JSON round-trips
+ * bit-exactly.
+ */
+class Value : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
 /** Running mean of sampled values (sum / count). */
 class Average : public StatBase
 {
@@ -180,6 +203,7 @@ class Group
      * (e.g. "dram.rowHits"). Returns nullptr when absent.
      */
     const Scalar *findScalar(const std::string &path) const;
+    const Value *findValue(const std::string &path) const;
     const Average *findAverage(const std::string &path) const;
     const Histogram *findHistogram(const std::string &path) const;
 

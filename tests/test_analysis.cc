@@ -352,6 +352,35 @@ TEST(LintSweepSpec, ShippedCampaignsAreClean)
     }
 }
 
+TEST(LintArenaCoverage, GoodFixtureIsClean)
+{
+    std::vector<Finding> findings;
+    checkArenaCoverage(kFixtures + "arena_good.sweep",
+                       "arena_good.sweep", findings);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front().message);
+}
+
+TEST(LintArenaCoverage, FlagsMissingScheduler)
+{
+    std::vector<Finding> findings;
+    checkArenaCoverage(kFixtures + "arena_bad_missing.sweep",
+                       "arena_bad_missing.sweep", findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "arena-coverage");
+    EXPECT_NE(findings[0].message.find("'bliss'"), std::string::npos);
+}
+
+TEST(LintArenaCoverage, ShippedArenaCoversRegistry)
+{
+    const std::string spec =
+        std::string(CRITMEM_REPO_ROOT) + "/specs/arena.sweep";
+    std::vector<Finding> findings;
+    checkArenaCoverage(spec, "specs/arena.sweep", findings);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front().message);
+}
+
 TEST(LintReport, FindingRenderAndOrder)
 {
     const Finding a{"wall-clock", Severity::Error, "a.cc", 3, "m"};

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "sched/ahb.hh"
+#include "sched/batch_cap_rr.hh"
+#include "sched/bliss.hh"
 #include "sched/crit_frfcfs.hh"
+#include "sched/dyn_thresh.hh"
 #include "sched/frfcfs.hh"
 #include "sched/morse.hh"
 #include "sched/parbs.hh"
@@ -313,8 +316,9 @@ TEST(Registry, BuildsEveryAlgorithm)
          {SchedAlgo::Fcfs, SchedAlgo::FrFcfs, SchedAlgo::CritCasRas,
           SchedAlgo::CasRasCrit, SchedAlgo::ParBs, SchedAlgo::Tcm,
           SchedAlgo::TcmCrit, SchedAlgo::Ahb, SchedAlgo::Morse,
-          SchedAlgo::CritRl, SchedAlgo::Atlas,
-          SchedAlgo::Minimalist}) {
+          SchedAlgo::CritRl, SchedAlgo::Atlas, SchedAlgo::Minimalist,
+          SchedAlgo::Bliss, SchedAlgo::BatchCapRr,
+          SchedAlgo::DynThreshCrit}) {
         SystemConfig cfg = SystemConfig::parallelDefault();
         cfg.sched.algo = algo;
         const auto sched = makeScheduler(cfg);
@@ -377,7 +381,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SchedAlgo::ParBs, SchedAlgo::Tcm,
                       SchedAlgo::TcmCrit, SchedAlgo::Ahb,
                       SchedAlgo::Morse, SchedAlgo::CritRl,
-                      SchedAlgo::Atlas, SchedAlgo::Minimalist));
+                      SchedAlgo::Atlas, SchedAlgo::Minimalist,
+                      SchedAlgo::Bliss, SchedAlgo::BatchCapRr,
+                      SchedAlgo::DynThreshCrit));
 
 TEST(Ahb, AdaptsTargetMixAcrossEpochs)
 {
@@ -442,4 +448,129 @@ TEST(CasRasCrit, WritebacksAreNonCriticalClass)
     SchedCandidate wb = cand(DramCmd::Write, 0, 0, kNoCore);
     SchedCandidate rd = cand(DramCmd::Read, 9, 3, 1);
     EXPECT_EQ(sched.pick(0, {wb, rd}, 100), 1);
+}
+
+TEST(Bliss, BlacklistsExactlyAtThreshold)
+{
+    BlissScheduler sched(1, 4, /*threshold=*/4, /*clearInterval=*/10000);
+    // Three consecutive CAS for core 0: one short of the threshold.
+    for (int i = 0; i < 3; ++i)
+        sched.onIssue(0, cand(DramCmd::Read, i, 0, 0), 10 + i);
+    EXPECT_FALSE(sched.isBlacklisted(0));
+    EXPECT_EQ(sched.streak(0), 3u);
+    // The tie-at-threshold issue: the fourth consecutive CAS is the
+    // boundary case and must trip the blacklist.
+    sched.onIssue(0, cand(DramCmd::Read, 3, 0, 0), 13);
+    EXPECT_TRUE(sched.isBlacklisted(0));
+    EXPECT_EQ(sched.streak(0), 0u); // streak restarts after the trip
+}
+
+TEST(Bliss, AlternatingCoresNeverBlacklist)
+{
+    BlissScheduler sched(1, 2, /*threshold=*/4, /*clearInterval=*/10000);
+    for (int i = 0; i < 40; ++i)
+        sched.onIssue(0, cand(DramCmd::Read, i, 0, i % 2), 10 + i);
+    EXPECT_FALSE(sched.isBlacklisted(0));
+    EXPECT_FALSE(sched.isBlacklisted(1));
+}
+
+TEST(Bliss, BlacklistedCoreLosesToOthers)
+{
+    BlissScheduler sched(1, 2, /*threshold=*/2, /*clearInterval=*/10000);
+    sched.onIssue(0, cand(DramCmd::Read, 0, 0, 0), 10);
+    sched.onIssue(0, cand(DramCmd::Read, 1, 0, 0), 11);
+    ASSERT_TRUE(sched.isBlacklisted(0));
+    // Older row hit from the blacklisted core vs younger row miss from
+    // core 1: the non-blacklisted request wins.
+    SchedCandidate hog = cand(DramCmd::Read, 2, 0, 0);
+    SchedCandidate other = cand(DramCmd::Act, 9, 0, 1);
+    EXPECT_EQ(sched.pick(0, {hog, other}, 20), 1);
+    // RAS commands never advance the streak.
+    sched.onIssue(0, other, 20);
+    EXPECT_EQ(sched.streak(0), 0u);
+}
+
+TEST(Bliss, ClearingIntervalWraparound)
+{
+    BlissScheduler sched(1, 2, /*threshold=*/2, /*clearInterval=*/100);
+    sched.onIssue(0, cand(DramCmd::Read, 0, 0, 0), 10);
+    sched.onIssue(0, cand(DramCmd::Read, 1, 0, 0), 11);
+    ASSERT_TRUE(sched.isBlacklisted(0));
+    EXPECT_EQ(sched.nextEventCycle(11), 100u);
+
+    // Before the boundary nothing clears.
+    sched.tick(99);
+    EXPECT_TRUE(sched.isBlacklisted(0));
+
+    // An event-driven cycle skip can land past several clearing
+    // boundaries at once; the next clear must re-arm strictly beyond
+    // `now`, not at a stale cycle in the past.
+    sched.tick(250);
+    EXPECT_FALSE(sched.isBlacklisted(0));
+    EXPECT_EQ(sched.nextClear(), 300u);
+    EXPECT_GT(sched.nextEventCycle(250), 250u);
+}
+
+TEST(BatchCapRr, RotatesAfterCap)
+{
+    BatchCapRrScheduler sched(1, 2, /*cap=*/2);
+    EXPECT_EQ(sched.activeCore(0), 0u);
+    // While core 0 holds the batch, its younger request beats core 1's
+    // older one.
+    SchedCandidate c0 = cand(DramCmd::Read, 9, 0, 0);
+    SchedCandidate c1 = cand(DramCmd::Read, 1, 0, 1);
+    EXPECT_EQ(sched.pick(0, {c1, c0}, 20), 1);
+
+    sched.onIssue(0, c0, 20);
+    EXPECT_EQ(sched.served(0), 1u);
+    sched.onIssue(0, c0, 21); // cap reached: rotate to core 1
+    EXPECT_EQ(sched.activeCore(0), 1u);
+    EXPECT_EQ(sched.served(0), 0u);
+    EXPECT_EQ(sched.pick(0, {c1, c0}, 22), 0);
+}
+
+TEST(BatchCapRr, RowHitsWinWithinTheActiveBatch)
+{
+    BatchCapRrScheduler sched(1, 2, /*cap=*/8);
+    SchedCandidate miss = cand(DramCmd::Act, 1, 0, 0);
+    SchedCandidate hit = cand(DramCmd::Read, 9, 0, 0);
+    EXPECT_EQ(sched.pick(0, {miss, hit}, 20), 1);
+}
+
+TEST(DynThreshCrit, CriticalCasOutranksTheRest)
+{
+    DynThreshCritScheduler sched(/*epoch=*/1000, /*targetPct=*/25);
+    // Threshold starts at 1, so crit=5 is critical and crit=0 is not.
+    SchedCandidate plain = cand(DramCmd::Read, 1, 0, 0);
+    SchedCandidate critical = cand(DramCmd::Read, 9, 5, 1);
+    SchedCandidate critRas = cand(DramCmd::Act, 0, 9, 2);
+    EXPECT_EQ(sched.pick(0, {plain, critical, critRas}, 20), 1);
+    // Non-critical CAS still beats a critical row command.
+    EXPECT_EQ(sched.pick(0, {plain, critRas}, 21), 0);
+}
+
+TEST(DynThreshCrit, ThresholdAdaptsTowardTargetMix)
+{
+    DynThreshCritScheduler sched(/*epoch=*/100, /*targetPct=*/25);
+    ASSERT_EQ(sched.threshold(), 1u);
+    // Epoch 1: every CAS lands in the critical class (100% > 25%), so
+    // the threshold doubles.
+    for (int i = 0; i < 8; ++i)
+        sched.onIssue(0, cand(DramCmd::Read, i, 1, 0), 10 + i);
+    EXPECT_EQ(sched.casIssued(), 8u);
+    EXPECT_EQ(sched.critIssued(), 8u);
+    sched.tick(100);
+    EXPECT_EQ(sched.threshold(), 2u);
+    EXPECT_EQ(sched.casIssued(), 0u); // counters reset per epoch
+
+    // Epoch 2: magnitude 1 is now below the threshold (0% < 25%), so
+    // the threshold halves back.
+    for (int i = 0; i < 8; ++i)
+        sched.onIssue(0, cand(DramCmd::Read, i, 1, 0), 110 + i);
+    EXPECT_EQ(sched.critIssued(), 0u);
+    // A skip past several epoch boundaries must still re-arm the next
+    // epoch strictly beyond `now`.
+    sched.tick(450);
+    EXPECT_EQ(sched.threshold(), 1u);
+    EXPECT_GT(sched.nextEventCycle(450), 450u);
 }

@@ -43,6 +43,24 @@ TEST(Stats, ScalarReset)
     EXPECT_EQ(s.value(), 0u);
 }
 
+TEST(Stats, ValueGaugeSetResetAndJson)
+{
+    Group root;
+    Value v(root, "v", "desc");
+    EXPECT_DOUBLE_EQ(v.value(), 0.0);
+    v.set(0.5);
+    EXPECT_DOUBLE_EQ(v.value(), 0.5);
+    EXPECT_EQ(root.findValue("v"), &v);
+    EXPECT_EQ(root.findScalar("v"), nullptr); // wrong type
+
+    std::ostringstream os;
+    root.printJson(os);
+    EXPECT_EQ(os.str(), "{\"v\":0.5}");
+
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.value(), 0.0);
+}
+
 TEST(Stats, AverageMeanOfSamples)
 {
     Group root;

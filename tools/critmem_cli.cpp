@@ -24,6 +24,8 @@
 #include <optional>
 #include <string>
 
+#include "fair/baseline_cache.hh"
+#include "fair/fairness_stats.hh"
 #include "sched/registry.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
@@ -58,6 +60,10 @@ usage()
         " skip-record (default 64)\n"
         "  --alone            run --app on core 0 with the other cores"
         " idle\n"
+        "  --fairness         (with --bundle) also run each bundle app\n"
+        "                     alone, derive weighted/harmonic speedup,\n"
+        "                     max slowdown and unfairness, and attach\n"
+        "                     them as the 'fair' stats group\n"
         "  --preset NAME      base config: parallel (default) |"
         " multiprog\n"
         "  --sched NAME       scheduling algorithm (default frfcfs;"
@@ -141,10 +147,21 @@ listWorkloads()
 void
 listSchedulers()
 {
+    // Column widths track the registry so long scheduler names
+    // (dyn-thresh-crit, ...) never squeeze the description off-grid.
+    int cliWidth = 0;
+    int displayWidth = 0;
+    for (const SchedInfo &info : schedulerRegistry()) {
+        cliWidth = std::max(cliWidth,
+                            static_cast<int>(std::strlen(info.cliName)));
+        displayWidth = std::max(
+            displayWidth,
+            static_cast<int>(std::strlen(info.displayName)));
+    }
     std::printf("schedulers (--sched):\n");
     for (const SchedInfo &info : schedulerRegistry()) {
-        std::printf("  %-12s %-12s %s\n", info.cliName,
-                    info.displayName, info.desc);
+        std::printf("  %-*s %-*s %s\n", cliWidth, info.cliName,
+                    displayWidth, info.displayName, info.desc);
     }
     std::printf("criticality predictors (--predictor):\n");
     for (const PredictorInfo &info : predictorRegistry())
@@ -177,6 +194,7 @@ main(int argc, char **argv)
     const char *perfEnv = std::getenv("CRITMEM_PERF");
     bool perfStats = perfEnv != nullptr && perfEnv[0] == '1';
     bool alone = false;
+    bool fairness = false;
     bool speedSet = false;
     DramSpeed speed = DramSpeed::DDR3_2133;
     // Trace sources register after the flag pass so the recovery
@@ -233,6 +251,8 @@ main(int argc, char **argv)
                                                  10);
         } else if (arg == "--alone") {
             alone = true;
+        } else if (arg == "--fairness") {
+            fairness = true;
         } else if (arg == "--preset") {
             const std::string preset = nextArg(i);
             if (preset != "parallel" && preset != "multiprog")
@@ -339,6 +359,8 @@ main(int argc, char **argv)
         usage(); // exactly one of --app / --bundle / a lone --trace
     if (alone && app.empty())
         fatal("--alone requires --app");
+    if (fairness && bundleName.empty())
+        fatal("--fairness requires --bundle");
 
     if (speedSet) {
         const DramConfig fresh = DramConfig::preset(speed);
@@ -439,6 +461,39 @@ main(int argc, char **argv)
                     static_cast<double>(
                         std::max<std::uint64_t>(r.coreCycles, 1)),
                 r.l2MissLatCrit, r.l2MissLatNonCrit);
+
+    // --fairness: run each bundle app alone (deduped through the
+    // baseline cache, so a bundle with repeated apps runs each
+    // baseline once), derive the fairness metrics against the shared
+    // run, and attach them to the stats tree before either dump.
+    std::optional<fair::FairnessStats> fairStats;
+    if (fairness) {
+        const Bundle &bundle = *findBundle(bundleName);
+        fair::AloneBaselineCache baselines;
+        std::vector<double> aloneIpc;
+        aloneIpc.reserve(bundle.apps.size());
+        for (const std::string &name : bundle.apps) {
+            aloneIpc.push_back(baselines.getOrCompute(
+                name, cfg, instrs, [&] {
+                    return runAlone(cfg, appParams(name), instrs);
+                }));
+        }
+        const fair::FairnessMetrics m = fair::computeFairness(
+            fair::sharedIpcs(r, instrs, cfg.numCores), aloneIpc);
+        fairStats.emplace(&sys->statsRoot(), cfg.numCores);
+        fairStats->set(m);
+        if (m.valid) {
+            std::printf("fair: ws=%.4f hs=%.4f maxslow=%.4f "
+                        "unfair=%.4f (%llu alone runs)\n",
+                        m.weightedSpeedup, m.harmonicSpeedup,
+                        m.maxSlowdown, m.unfairness,
+                        static_cast<unsigned long long>(
+                            baselines.runsExecuted()));
+        } else {
+            std::printf(
+                "fair: invalid (a core never reached its quota)\n");
+        }
+    }
 
     // Host-throughput group, opt-in (--perf / CRITMEM_PERF=1): these
     // values are wall-clock-dependent, so keeping them out of the

@@ -33,6 +33,7 @@
 #include <sys/stat.h>
 #include <vector>
 
+#include "exec/arena.hh"
 #include "exec/campaign.hh"
 #include "exec/console.hh"
 #include "exec/job_runner.hh"
@@ -98,6 +99,11 @@ usage()
         "                     after the run, print per-workload cycle\n"
         "                     speedups of every variant relative to\n"
         "                     variant BASE (figure-bench layout)\n"
+        "  --report arena     after the run, print the scheduler\n"
+        "                     leaderboard: per-workload rankings and\n"
+        "                     the overall table by the fairness\n"
+        "                     metrics (needs alone=1 bundle sweeps,\n"
+        "                     e.g. specs/arena.sweep)\n"
         "  --list             print the expanded job list and exit\n"
         "exit status: 0 all jobs ok, 2 some jobs failed permanently,\n"
         "             3 interrupted by SIGINT/SIGTERM (resumable with"
@@ -325,6 +331,14 @@ main(int argc, char **argv)
     opts.backoffBaseMs = 200;
     opts.backoffSeed = spec.campaignSeed;
 
+    // Fairness annotation runs on the aggregation thread in
+    // submission order, so every Bundle record is decorated after the
+    // alone-run baselines it needs (sweep expansion puts those first).
+    exec::FairnessAnnotator annotator;
+    opts.annotate = [&annotator](exec::JobRecord &rec) {
+        annotator(rec);
+    };
+
     exec::JobRunner runner(opts);
     const exec::CampaignSummary summary =
         runner.run(jobs, sinks, journal.get());
@@ -377,7 +391,9 @@ main(int argc, char **argv)
         return 3;
     }
 
-    if (report.rfind("speedup:", 0) == 0) {
+    if (report == "arena") {
+        exec::printArenaReport(spec, memory);
+    } else if (report.rfind("speedup:", 0) == 0) {
         const std::string baseVariant = report.substr(8);
         std::vector<std::string> columns;
         for (const exec::SweepVariant &variant : spec.variants) {
