@@ -65,3 +65,21 @@ arena_spec=$(dirname "$spec")/arena.sweep
 if [ -f "$arena_spec" ]; then
     "$(dirname "$0")/check_arena.sh" "$sweep" "$arena_spec"
 fi
+
+# 6. The lint tool itself must be deterministic: two critmem-lint
+#    --json runs over the same checkout (symbol index, call-graph
+#    rules, suppression bookkeeping and all) must emit byte-identical
+#    reports. The tool's own timing goes to stderr only, never into
+#    the JSON.
+lint=$(dirname "$sim")/critmem-lint
+if [ -x "$lint" ]; then
+    root=$(cd "$(dirname "$0")/.." && pwd)
+    "$lint" --root "$root" --json "$tmp/lint_a.json" >/dev/null 2>&1 || true
+    "$lint" --root "$root" --json "$tmp/lint_b.json" >/dev/null 2>&1 || true
+    if ! cmp -s "$tmp/lint_a.json" "$tmp/lint_b.json"; then
+        echo "FAIL: critmem-lint --json differs across identical runs" >&2
+        diff "$tmp/lint_a.json" "$tmp/lint_b.json" >&2 || true
+        exit 1
+    fi
+    echo "lint: two --json runs byte-identical"
+fi

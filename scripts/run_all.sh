@@ -11,9 +11,11 @@ cd "$(dirname "$0")/.."
 cmake -B build
 cmake --build build -j"$(nproc)"
 
-# Static analysis first: critmem-lint over the checkout (source rules
-# + timing-preset/sweep-spec data rules). Cheap, and a violation here
-# fails fast before any sanitizer rebuild.
+# Static analysis first: critmem-lint over the checkout (per-file
+# source rules, cross-TU semantic rules over the symbol index —
+# transitive determinism, clock domains, thread discipline — stale
+# suppressions, and the timing-preset/sweep-spec data rules). Cheap,
+# and a violation here fails fast before any sanitizer rebuild.
 cmake --build build --target lint
 
 ctest --test-dir build --output-on-failure | tee test_output.txt

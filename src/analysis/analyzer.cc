@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "analysis/symbol_index.hh"
 
 namespace critmem::analysis
 {
@@ -92,20 +95,113 @@ relativePath(const fs::path &root, const fs::path &file)
     return fs::relative(file, root).generic_string();
 }
 
+/**
+ * Per-file suppression bookkeeping: which AllowSites actually
+ * suppressed a finding this run (the rest become stale-suppression
+ * findings).
+ */
+struct SuppressionTracker
+{
+    std::vector<std::vector<bool>> used;
+
+    explicit SuppressionTracker(const std::vector<SourceFile> &files)
+    {
+        used.resize(files.size());
+        for (std::size_t i = 0; i < files.size(); ++i)
+            used[i].assign(files[i].allowSites.size(), false);
+    }
+
+    /**
+     * True when @p finding is suppressed in @p file; marks every
+     * covering site as used.
+     */
+    bool
+    filter(const SourceFile &file, std::size_t fileIndex,
+           const Finding &finding)
+    {
+        if (!file.suppressed(finding.rule, finding.line))
+            return false;
+        for (std::size_t s = 0; s < file.allowSites.size(); ++s) {
+            const AllowSite &site = file.allowSites[s];
+            if (site.rule != finding.rule)
+                continue;
+            if (site.wholeFile ||
+                std::find(site.applies.begin(), site.applies.end(),
+                          finding.line) != site.applies.end())
+                used[fileIndex][s] = true;
+        }
+        return true;
+    }
+
+    /**
+     * Append a stale-suppression finding for every unused site whose
+     * rule actually ran (@p ranRules). Sites naming the
+     * stale-suppression pseudo-rule are exempt (no recursion), and
+     * the finding itself honors lint:allow(stale-suppression).
+     */
+    void
+    reportStale(const std::vector<SourceFile> &files,
+                const std::set<std::string> &ranRules,
+                std::vector<Finding> &out)
+    {
+        const RuleMeta &meta = staleSuppressionMeta();
+        for (std::size_t i = 0; i < files.size(); ++i) {
+            const SourceFile &file = files[i];
+            for (std::size_t s = 0; s < file.allowSites.size();
+                 ++s) {
+                const AllowSite &site = file.allowSites[s];
+                if (used[i][s] || site.rule == meta.id ||
+                    !ranRules.count(site.rule))
+                    continue;
+                Finding finding{
+                    meta.id, meta.severity, file.path, site.line,
+                    std::string(site.wholeFile ? "lint:allow-file("
+                                               : "lint:allow(") +
+                        site.rule +
+                        ") suppresses nothing and must be removed",
+                    {}};
+                if (!filter(file, i, finding))
+                    out.push_back(std::move(finding));
+            }
+        }
+    }
+};
+
 } // namespace
 
 std::vector<Finding>
 analyzeFile(const SourceFile &file)
 {
+    const std::vector<SourceFile> files{file};
+    SuppressionTracker tracker(files);
+    std::set<std::string> ranRules;
     std::vector<Finding> findings;
+
     for (const SourceRule *rule : sourceRules()) {
+        ranRules.insert(rule->meta().id);
         std::vector<Finding> raw;
-        rule->check(file, raw);
+        rule->check(files.front(), raw);
         for (Finding &finding : raw) {
-            if (!file.suppressed(finding.rule, finding.line))
+            if (!tracker.filter(files.front(), 0, finding))
                 findings.push_back(std::move(finding));
         }
     }
+
+    SemanticModel model;
+    model.files = &files;
+    model.index = SymbolIndex::build(files);
+    for (const SemanticRule *rule : semanticRules()) {
+        ranRules.insert(rule->meta().id);
+        std::vector<Finding> raw;
+        rule->check(model, raw);
+        for (Finding &finding : raw) {
+            if (finding.path != files.front().path ||
+                !tracker.filter(files.front(), 0, finding))
+                findings.push_back(std::move(finding));
+        }
+    }
+
+    tracker.reportStale(files, ranRules, findings);
     return findings;
 }
 
@@ -124,7 +220,7 @@ runAnalysis(const AnalyzerOptions &opts, const Baseline &baseline)
     // Collect and sort the file list: directory iteration order is
     // filesystem-defined, and the lint report must be byte-identical
     // across runs and machines.
-    std::vector<fs::path> files;
+    std::vector<fs::path> paths;
     for (const std::string &dir : scannedDirs()) {
         const fs::path base = root / dir;
         if (!fs::is_directory(base))
@@ -132,28 +228,69 @@ runAnalysis(const AnalyzerOptions &opts, const Baseline &baseline)
         for (const auto &entry :
              fs::recursive_directory_iterator(base)) {
             if (entry.is_regular_file() && isCppSource(entry.path()))
-                files.push_back(entry.path());
+                paths.push_back(entry.path());
         }
     }
-    std::sort(files.begin(), files.end());
+    std::sort(paths.begin(), paths.end());
+
+    // Load everything up front: the semantic rules need the whole
+    // tree at once, and the source rules reuse the same parse.
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    std::map<std::string, std::size_t> fileByPath;
+    for (const fs::path &path : paths) {
+        files.push_back(loadSourceFile(path.string(),
+                                       relativePath(root, path)));
+        fileByPath[files.back().path] = files.size() - 1;
+    }
 
     Report report;
+    report.filesScanned = files.size();
+    SuppressionTracker tracker(files);
+    std::set<std::string> ranRules;
     std::vector<Finding> all;
-    for (const fs::path &path : files) {
-        const SourceFile file =
-            loadSourceFile(path.string(), relativePath(root, path));
-        ++report.filesScanned;
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
         for (const SourceRule *rule : sourceRules()) {
             if (!ruleEnabled(rule->meta()))
                 continue;
+            ranRules.insert(rule->meta().id);
             std::vector<Finding> raw;
-            rule->check(file, raw);
+            rule->check(files[i], raw);
             for (Finding &finding : raw) {
-                if (!file.suppressed(finding.rule, finding.line))
+                if (!tracker.filter(files[i], i, finding))
                     all.push_back(std::move(finding));
             }
         }
     }
+
+    const bool anySemantic = std::any_of(
+        semanticRules().begin(), semanticRules().end(),
+        [&](const SemanticRule *rule) {
+            return ruleEnabled(rule->meta());
+        });
+    if (anySemantic) {
+        SemanticModel model;
+        model.files = &files;
+        model.index = SymbolIndex::build(files);
+        for (const SemanticRule *rule : semanticRules()) {
+            if (!ruleEnabled(rule->meta()))
+                continue;
+            ranRules.insert(rule->meta().id);
+            std::vector<Finding> raw;
+            rule->check(model, raw);
+            for (Finding &finding : raw) {
+                const auto it = fileByPath.find(finding.path);
+                if (it == fileByPath.end() ||
+                    !tracker.filter(files[it->second], it->second,
+                                    finding))
+                    all.push_back(std::move(finding));
+            }
+        }
+    }
+
+    if (ruleEnabled(staleSuppressionMeta()))
+        tracker.reportStale(files, ranRules, all);
 
     if (!opts.sourceOnly) {
         const RepoContext repo{root.string()};
@@ -170,6 +307,89 @@ runAnalysis(const AnalyzerOptions &opts, const Baseline &baseline)
             .push_back(std::move(finding));
     }
     return report;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char kHex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xf];
+                out += kHex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendFindingJson(std::ostringstream &os, const Finding &finding,
+                  const char *indent)
+{
+    os << indent << "{\"rule\": \"" << jsonEscape(finding.rule)
+       << "\", \"severity\": \"" << toString(finding.severity)
+       << "\", \"path\": \"" << jsonEscape(finding.path)
+       << "\", \"line\": " << finding.line << ", \"message\": \""
+       << jsonEscape(finding.message) << "\", \"chain\": [";
+    for (std::size_t i = 0; i < finding.chain.size(); ++i) {
+        const ChainLink &link = finding.chain[i];
+        if (i > 0)
+            os << ", ";
+        os << "{\"symbol\": \"" << jsonEscape(link.symbol)
+           << "\", \"path\": \"" << jsonEscape(link.path)
+           << "\", \"line\": " << link.line << '}';
+    }
+    os << "]}";
+}
+
+void
+appendFindingsJson(std::ostringstream &os,
+                   const std::vector<Finding> &findings)
+{
+    if (findings.empty()) {
+        os << "[]";
+        return;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        appendFindingJson(os, findings[i], "    ");
+        os << (i + 1 < findings.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+}
+
+} // namespace
+
+std::string
+formatJson(const Report &report)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"filesScanned\": " << report.filesScanned << ",\n"
+       << "  \"clean\": " << (report.clean() ? "true" : "false")
+       << ",\n"
+       << "  \"findings\": ";
+    appendFindingsJson(os, report.findings);
+    os << ",\n  \"baselined\": ";
+    appendFindingsJson(os, report.baselined);
+    os << "\n}\n";
+    return os.str();
 }
 
 } // namespace critmem::analysis

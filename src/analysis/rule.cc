@@ -3,12 +3,24 @@
 namespace critmem::analysis
 {
 
+const RuleMeta &
+staleSuppressionMeta()
+{
+    static const RuleMeta kMeta{
+        "stale-suppression", Severity::Error,
+        "a lint:allow that suppresses nothing must be removed"};
+    return kMeta;
+}
+
 std::vector<RuleMeta>
 allRuleMetas()
 {
     std::vector<RuleMeta> metas;
     for (const SourceRule *rule : sourceRules())
         metas.push_back(rule->meta());
+    for (const SemanticRule *rule : semanticRules())
+        metas.push_back(rule->meta());
+    metas.push_back(staleSuppressionMeta());
     for (const DataRule *rule : dataRules())
         metas.push_back(rule->meta());
     return metas;

@@ -1,0 +1,552 @@
+/**
+ * @file
+ * The SemanticRule family of critmem-lint: whole-tree rules over the
+ * cross-TU symbol index and call graph (DESIGN.md section 13).
+ *
+ * transitive-determinism — nothing reachable from a scheduler, the
+ * simulation loop or a stats-emission entry point may reach a
+ * wall-clock / unseeded-random / unordered-iteration construct
+ * through ANY call chain; the finding carries the full chain.
+ *
+ * clock-domain — CPU-cycle and DRAM-cycle quantities (typed
+ * Cycle/DramCycle, named cpuCycle.. or dramCycle.., or marked with
+ * lint:domain(cpu|dram)) must not mix in one expression or cross a
+ * call boundary without an explicit conversion (a toCpu../toDram../
+ * cpuTo../dramTo.. call or a lint:domain(convert) marker).
+ *
+ * aggregation-thread-only — APIs documented single-aggregation-
+ * thread (ResultSink consume/begin/end, FairnessAnnotator, the fair-
+ * stats splice, anything marked lint:thread(aggregation)) must not
+ * be reachable from JobRunner worker-side code (functions marked
+ * lint:thread(worker)).
+ */
+
+#include <algorithm>
+#include <regex>
+#include <set>
+
+#include "analysis/rule.hh"
+#include "analysis/symbol_index.hh"
+
+namespace critmem::analysis
+{
+
+namespace
+{
+
+std::vector<ChainLink>
+toChainLinks(const std::vector<ChainStep> &steps)
+{
+    std::vector<ChainLink> links;
+    links.reserve(steps.size());
+    for (const ChainStep &step : steps)
+        links.push_back({step.qname, step.path, step.line});
+    return links;
+}
+
+/** Whether any line of the def's head carries the given marker. */
+bool
+defMarked(const SourceFile &file, const FunctionDef &def,
+          bool thread, const std::string &value)
+{
+    const int last = std::max(def.line, def.bodyBeginLine);
+    for (int line = def.headLine; line <= last; ++line) {
+        if (thread ? file.threadMarked(value, line)
+                   : file.domainMarked(value, line))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * transitive-determinism: multi-source reachability from the
+ * deterministic entry points (Scheduler family methods, System::run,
+ * stats emission: printJson / writeJsonFile / ResultSink
+ * consume/begin/end / FairnessAnnotator / spliceFairStats) to any
+ * line the wall-clock, unseeded-random or unordered-iter lexical
+ * rules flag. Direct findings already suppressed with their own
+ * lint:allow are trusted here too (the author stated a reason);
+ * a chain-specific allow naming this rule's id at the flagged line
+ * silences only the transitive finding.
+ */
+class TransitiveDeterminismRule : public SemanticRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "transitive-determinism", Severity::Error,
+            "no call chain from scheduler/emission entry points to "
+            "nondeterminism"};
+        return kMeta;
+    }
+
+    void
+    check(const SemanticModel &model,
+          std::vector<Finding> &out) const override
+    {
+        const SymbolIndex &index = model.index;
+        const std::vector<SourceFile> &files = *model.files;
+
+        const std::vector<int> entries = entryPoints(index);
+        if (entries.empty())
+            return;
+        std::set<int> reach;
+        for (const int id : index.reachable(entries))
+            reach.insert(id);
+
+        struct DirectRule
+        {
+            const SourceRule *rule;
+            const char *reason;
+        };
+        std::vector<DirectRule> direct;
+        for (const SourceRule *rule : sourceRules()) {
+            const std::string id = rule->meta().id;
+            if (id == "wall-clock")
+                direct.push_back({rule, "reads host time"});
+            else if (id == "unseeded-random")
+                direct.push_back(
+                    {rule, "draws irreproducible randomness"});
+            else if (id == "unordered-iter")
+                direct.push_back(
+                    {rule, "iterates an unordered container"});
+        }
+
+        std::set<std::string> seen;
+        for (std::size_t f = 0; f < files.size(); ++f) {
+            const SourceFile &file = files[f];
+            for (const DirectRule &d : direct) {
+                std::vector<Finding> raw;
+                d.rule->check(file, raw);
+                for (const Finding &taint : raw) {
+                    // An inline allow for the direct rule states a
+                    // reviewed reason; trust it transitively too.
+                    if (file.suppressed(taint.rule, taint.line))
+                        continue;
+                    const int fn = index.enclosingFunction(
+                        static_cast<int>(f), taint.line);
+                    if (fn < 0 || !reach.count(fn))
+                        continue;
+                    const std::string token = quoted(taint.message);
+                    const std::string key = file.path + "\t" +
+                        std::to_string(taint.line) + "\t" + token;
+                    if (!seen.insert(key).second)
+                        continue;
+                    const std::vector<ChainStep> steps =
+                        index.chain(entries, fn, files);
+                    Finding finding;
+                    finding.rule = meta().id;
+                    finding.severity = meta().severity;
+                    finding.path = file.path;
+                    finding.line = taint.line;
+                    finding.message = "'" + token + "' " + d.reason +
+                        " and is reachable from deterministic entry "
+                        "point '" +
+                        (steps.empty() ? std::string("?")
+                                       : steps.front().qname) +
+                        "' through the call graph";
+                    finding.chain = toChainLinks(steps);
+                    out.push_back(std::move(finding));
+                }
+            }
+        }
+    }
+
+  private:
+    /** First 'quoted' span of a direct finding's message. */
+    static std::string
+    quoted(const std::string &message)
+    {
+        const std::size_t open = message.find('\'');
+        if (open == std::string::npos)
+            return message;
+        const std::size_t close = message.find('\'', open + 1);
+        if (close == std::string::npos)
+            return message.substr(open + 1);
+        return message.substr(open + 1, close - open - 1);
+    }
+
+    static std::vector<int>
+    entryPoints(const SymbolIndex &index)
+    {
+        std::set<int> entries;
+        for (const int cls : index.family("Scheduler")) {
+            for (const int m : index.methods(cls))
+                entries.insert(m);
+        }
+        const int run = index.byQnameSuffix("System::run");
+        if (run >= 0)
+            entries.insert(run);
+        for (const int id : index.byShortName("printJson"))
+            entries.insert(id);
+        for (const int id : index.byShortName("writeJsonFile"))
+            entries.insert(id);
+        static const std::set<std::string> kSinkApi{"consume",
+                                                   "begin", "end"};
+        for (const int cls : index.family("ResultSink")) {
+            for (const int m : index.methods(cls)) {
+                if (kSinkApi.count(
+                        index.functions()
+                            [static_cast<std::size_t>(m)]
+                                .shortName))
+                    entries.insert(m);
+            }
+        }
+        const int annotator =
+            index.classByShortName("FairnessAnnotator");
+        if (annotator >= 0) {
+            for (const int m : index.methods(annotator))
+                entries.insert(m);
+        }
+        for (const int id : index.byShortName("spliceFairStats"))
+            entries.insert(id);
+        return {entries.begin(), entries.end()};
+    }
+};
+
+/** Clock domain of a declared type/name pair; "" when unknown. */
+std::string
+domainOf(const std::string &type, const std::string &name)
+{
+    static const std::regex kDram("\\bDramCycle\\b");
+    static const std::regex kCpu("\\bCycle\\b");
+    if (std::regex_search(type, kDram))
+        return "dram";
+    if (std::regex_search(type, kCpu))
+        return "cpu";
+    if (name.rfind("dramCycle", 0) == 0)
+        return "dram";
+    if (name.rfind("cpuCycle", 0) == 0)
+        return "cpu";
+    return "";
+}
+
+/** Converter by naming convention: toCpu../toDram../cpuTo../dramTo.. */
+bool
+converterName(const std::string &name)
+{
+    static const std::regex kConverter(
+        "^(to(Cpu|Dram)|cpuTo[A-Z]|dramTo[A-Z])");
+    return std::regex_search(name, kConverter);
+}
+
+/**
+ * clock-domain: flags (a) two differently-domained variables on one
+ * source line with no conversion call or lint:domain marker, and
+ * (b) passing a cpu-domain variable to a dram-domain parameter (or
+ * vice versa) across any resolved call edge. Single-line
+ * granularity for (a): a mix split across a multi-line statement is
+ * part of the documented false-negative envelope.
+ */
+class ClockDomainRule : public SemanticRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "clock-domain", Severity::Error,
+            "no CPU-cycle / DRAM-cycle mixing without an explicit "
+            "conversion"};
+        return kMeta;
+    }
+
+    void
+    check(const SemanticModel &model,
+          std::vector<Finding> &out) const override
+    {
+        const SymbolIndex &index = model.index;
+        const std::vector<SourceFile> &files = *model.files;
+
+        for (const FunctionNode &node : index.functions()) {
+            for (const FunctionDef &def : node.defs) {
+                const SourceFile &file =
+                    files[static_cast<std::size_t>(def.fileIndex)];
+                if (converterName(node.shortName) ||
+                    defMarked(file, def, false, "convert"))
+                    continue;
+                const std::map<std::string, std::string> vars =
+                    domainVars(index, node, def, files);
+                if (!vars.empty())
+                    checkLines(file, def, vars, out);
+                checkCalls(index, files, file, def, vars, out);
+            }
+        }
+    }
+
+  private:
+    /** name -> domain for everything visible in @p def. */
+    static std::map<std::string, std::string>
+    domainVars(const SymbolIndex &index, const FunctionNode &node,
+               const FunctionDef &def,
+               const std::vector<SourceFile> &files)
+    {
+        std::map<std::string, std::string> vars;
+        if (node.classId >= 0) {
+            const ClassInfo &cls =
+                index.classes()[static_cast<std::size_t>(
+                    node.classId)];
+            for (const auto &member : cls.members) {
+                std::string domain =
+                    domainOf(member.second.type, member.first);
+                // A lint:domain marker on the member's declaration
+                // line pins its domain, overriding conventions.
+                if (cls.fileIndex >= 0) {
+                    const SourceFile &clsFile =
+                        files[static_cast<std::size_t>(
+                            cls.fileIndex)];
+                    if (clsFile.domainMarked("cpu",
+                                             member.second.line))
+                        domain = "cpu";
+                    else if (clsFile.domainMarked(
+                                 "dram", member.second.line))
+                        domain = "dram";
+                }
+                if (!domain.empty())
+                    vars[member.first] = domain;
+            }
+        }
+        for (const auto &local : def.locals) {
+            const std::string domain =
+                domainOf(local.second, local.first);
+            if (!domain.empty())
+                vars[local.first] = domain;
+        }
+        return vars;
+    }
+
+    void
+    checkLines(const SourceFile &file, const FunctionDef &def,
+               const std::map<std::string, std::string> &vars,
+               std::vector<Finding> &out) const
+    {
+        static const std::regex kConvertCall(
+            "\\b(to(Cpu|Dram)\\w*|cpuTo\\w+|dramTo\\w+)\\s*\\(");
+        for (int line = def.bodyBeginLine; line <= def.bodyEndLine;
+             ++line) {
+            if (line < 1 ||
+                static_cast<std::size_t>(line) > file.code.size())
+                break;
+            const std::string &text =
+                file.code[static_cast<std::size_t>(line) - 1];
+            std::string cpuVar, dramVar;
+            std::size_t i = 0;
+            while (i < text.size()) {
+                if ((text[i] == '_' ||
+                     (text[i] >= 'a' && text[i] <= 'z') ||
+                     (text[i] >= 'A' && text[i] <= 'Z')) &&
+                    (i == 0 ||
+                     !(text[i - 1] == '_' ||
+                       (text[i - 1] >= '0' &&
+                        text[i - 1] <= '9') ||
+                       (text[i - 1] >= 'a' &&
+                        text[i - 1] <= 'z') ||
+                       (text[i - 1] >= 'A' &&
+                        text[i - 1] <= 'Z')))) {
+                    std::size_t j = i;
+                    while (j < text.size() &&
+                           (text[j] == '_' ||
+                            (text[j] >= '0' && text[j] <= '9') ||
+                            (text[j] >= 'a' && text[j] <= 'z') ||
+                            (text[j] >= 'A' && text[j] <= 'Z')))
+                        ++j;
+                    const std::string ident =
+                        text.substr(i, j - i);
+                    const auto it = vars.find(ident);
+                    if (it != vars.end()) {
+                        if (it->second == "cpu")
+                            cpuVar = ident;
+                        else
+                            dramVar = ident;
+                    }
+                    i = j;
+                } else {
+                    ++i;
+                }
+            }
+            if (cpuVar.empty() || dramVar.empty())
+                continue;
+            if (std::regex_search(text, kConvertCall))
+                continue;
+            if (file.domainMarked("convert", line) ||
+                file.domainMarked("cpu", line) ||
+                file.domainMarked("dram", line))
+                continue;
+            out.push_back({meta().id, meta().severity, file.path,
+                           line,
+                           "CPU-domain '" + cpuVar +
+                               "' and DRAM-domain '" + dramVar +
+                               "' mixed on one line without an "
+                               "explicit conversion (use a "
+                               "toCpu*/toDram* helper or mark the "
+                               "line lint:domain(convert))",
+                           {}});
+        }
+    }
+
+    void
+    checkCalls(const SymbolIndex &index,
+               const std::vector<SourceFile> &files,
+               const SourceFile &file, const FunctionDef &def,
+               const std::map<std::string, std::string> &vars,
+               std::vector<Finding> &out) const
+    {
+        for (const CallSite &call : def.calls) {
+            if (call.callee < 0 || call.args.empty())
+                continue;
+            const FunctionNode &callee =
+                index.functions()[static_cast<std::size_t>(
+                    call.callee)];
+            if (converterName(callee.shortName) ||
+                callee.defs.empty())
+                continue;
+            const FunctionDef &calleeDef = callee.defs.front();
+            if (defMarked(files[static_cast<std::size_t>(
+                              calleeDef.fileIndex)],
+                          calleeDef, false, "convert"))
+                continue;
+            const std::size_t n = std::min(
+                call.args.size(), calleeDef.params.size());
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::string &arg = call.args[k];
+                const auto it = vars.find(arg);
+                if (it == vars.end())
+                    continue; // not a bare domained variable
+                const Param &param = calleeDef.params[k];
+                const std::string paramDomain =
+                    domainOf(param.type, param.name);
+                if (paramDomain.empty() ||
+                    paramDomain == it->second)
+                    continue;
+                if (file.domainMarked("convert", call.line) ||
+                    file.domainMarked("cpu", call.line) ||
+                    file.domainMarked("dram", call.line))
+                    continue;
+                out.push_back(
+                    {meta().id, meta().severity, file.path,
+                     call.line,
+                     "passing " + it->second + "-domain '" + arg +
+                         "' to " + paramDomain + "-domain "
+                         "parameter '" +
+                         (param.name.empty() ? param.type
+                                             : param.name) +
+                         "' of '" + callee.qname +
+                         "' without an explicit conversion",
+                     {}});
+            }
+        }
+    }
+};
+
+/**
+ * aggregation-thread-only: functions marked lint:thread(worker)
+ * (the JobRunner worker side) must not reach, through any call
+ * chain, an API that is documented single-aggregation-thread:
+ * ResultSink consume/begin/end, FairnessAnnotator, spliceFairStats,
+ * or anything marked lint:thread(aggregation).
+ */
+class AggregationThreadOnlyRule : public SemanticRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "aggregation-thread-only", Severity::Error,
+            "worker-side code must not reach single-aggregation-"
+            "thread APIs"};
+        return kMeta;
+    }
+
+    void
+    check(const SemanticModel &model,
+          std::vector<Finding> &out) const override
+    {
+        const SymbolIndex &index = model.index;
+        const std::vector<SourceFile> &files = *model.files;
+
+        std::set<int> aggOnly;
+        static const std::set<std::string> kSinkApi{"consume",
+                                                   "begin", "end"};
+        for (const int cls : index.family("ResultSink")) {
+            for (const int m : index.methods(cls)) {
+                if (kSinkApi.count(
+                        index.functions()
+                            [static_cast<std::size_t>(m)]
+                                .shortName))
+                    aggOnly.insert(m);
+            }
+        }
+        const int annotator =
+            index.classByShortName("FairnessAnnotator");
+        if (annotator >= 0) {
+            for (const int m : index.methods(annotator))
+                aggOnly.insert(m);
+        }
+        for (const int id : index.byShortName("spliceFairStats"))
+            aggOnly.insert(id);
+
+        std::vector<int> workers;
+        for (std::size_t n = 0; n < index.functions().size();
+             ++n) {
+            const FunctionNode &node = index.functions()[n];
+            for (const FunctionDef &def : node.defs) {
+                const SourceFile &file =
+                    files[static_cast<std::size_t>(def.fileIndex)];
+                if (defMarked(file, def, true, "aggregation"))
+                    aggOnly.insert(static_cast<int>(n));
+                if (defMarked(file, def, true, "worker")) {
+                    workers.push_back(static_cast<int>(n));
+                    break;
+                }
+            }
+        }
+
+        for (const int worker : workers) {
+            const FunctionNode &node =
+                index.functions()[static_cast<std::size_t>(worker)];
+            for (const int id : index.reachable({worker})) {
+                if (!aggOnly.count(id) || id == worker)
+                    continue;
+                const FunctionNode &target =
+                    index.functions()[static_cast<std::size_t>(id)];
+                const FunctionDef &def = node.defs.front();
+                const SourceFile &file =
+                    files[static_cast<std::size_t>(def.fileIndex)];
+                const std::vector<ChainStep> steps =
+                    index.chain({worker}, id, files);
+                Finding finding;
+                finding.rule = meta().id;
+                finding.severity = meta().severity;
+                finding.path = file.path;
+                finding.line = def.headLine;
+                finding.message = "worker-side '" + node.qname +
+                    "' reaches single-aggregation-thread API '" +
+                    target.qname +
+                    "' through the call graph; only the "
+                    "aggregation thread may touch sinks, the "
+                    "fairness annotator or the stats splice";
+                finding.chain = toChainLinks(steps);
+                out.push_back(std::move(finding));
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const SemanticRule *> &
+semanticRules()
+{
+    static const TransitiveDeterminismRule transitiveDeterminism;
+    static const ClockDomainRule clockDomain;
+    static const AggregationThreadOnlyRule aggregationThreadOnly;
+    static const std::vector<const SemanticRule *> kRules{
+        &transitiveDeterminism, &clockDomain,
+        &aggregationThreadOnly};
+    return kRules;
+}
+
+} // namespace critmem::analysis

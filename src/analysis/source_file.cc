@@ -1,5 +1,6 @@
 #include "analysis/source_file.hh"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -31,38 +32,59 @@ splitLines(const std::string &text)
     return lines;
 }
 
-/** Append every `lint:allow(a,b)` rule list found in @p comment. */
-void
-parseAllow(const std::string &comment, std::set<std::string> &lineSet,
-           std::set<std::string> &fileSet)
+/** One `lint:<kind>(value,...)` marker parsed out of a comment. */
+struct Tag
 {
+    enum class Kind { Allow, AllowFile, Domain, Thread };
+    Kind kind;
+    std::string value;
+};
+
+/** Append every `lint:allow/domain/thread(...)` tag in @p comment. */
+void
+parseTags(const std::string &comment, std::vector<Tag> &out)
+{
+    static const struct
+    {
+        const char *prefix;
+        Tag::Kind kind;
+    } kKinds[] = {
+        // allow-file before allow: the latter is a prefix of it.
+        {"lint:allow-file", Tag::Kind::AllowFile},
+        {"lint:allow", Tag::Kind::Allow},
+        {"lint:domain", Tag::Kind::Domain},
+        {"lint:thread", Tag::Kind::Thread},
+    };
     std::size_t pos = 0;
-    while ((pos = comment.find("lint:allow", pos)) != std::string::npos) {
-        std::size_t p = pos + std::string("lint:allow").size();
-        bool wholeFile = false;
-        if (comment.compare(p, 5, "-file") == 0) {
-            wholeFile = true;
-            p += 5;
-        }
-        if (p >= comment.size() || comment[p] != '(') {
-            pos = p;
-            continue;
-        }
-        const std::size_t close = comment.find(')', p);
-        if (close == std::string::npos)
-            break;
-        std::string rules = comment.substr(p + 1, close - p - 1);
-        std::string rule;
-        std::istringstream in(rules);
-        while (std::getline(in, rule, ',')) {
-            const std::size_t b = rule.find_first_not_of(" \t");
-            const std::size_t e = rule.find_last_not_of(" \t");
-            if (b == std::string::npos)
+    while ((pos = comment.find("lint:", pos)) != std::string::npos) {
+        bool matched = false;
+        for (const auto &kind : kKinds) {
+            const std::size_t len = std::strlen(kind.prefix);
+            if (comment.compare(pos, len, kind.prefix) != 0)
                 continue;
-            (wholeFile ? fileSet : lineSet)
-                .insert(rule.substr(b, e - b + 1));
+            std::size_t p = pos + len;
+            if (p >= comment.size() || comment[p] != '(')
+                break; // "lint:allowance" etc: not a marker
+            const std::size_t close = comment.find(')', p);
+            if (close == std::string::npos)
+                return; // unterminated: ignore the rest
+            std::string values = comment.substr(p + 1, close - p - 1);
+            std::string value;
+            std::istringstream in(values);
+            while (std::getline(in, value, ',')) {
+                const std::size_t b = value.find_first_not_of(" \t");
+                const std::size_t e = value.find_last_not_of(" \t");
+                if (b == std::string::npos)
+                    continue;
+                out.push_back(
+                    {kind.kind, value.substr(b, e - b + 1)});
+            }
+            pos = close;
+            matched = true;
+            break;
         }
-        pos = close;
+        if (!matched)
+            pos += 5; // skip past "lint:"
     }
 }
 
@@ -93,6 +115,24 @@ SourceFile::suppressed(const std::string &rule, int line) const
     if (line < 1 || static_cast<std::size_t>(line) > allow.size())
         return false;
     return allow[static_cast<std::size_t>(line) - 1].count(rule) > 0;
+}
+
+bool
+SourceFile::domainMarked(const std::string &value, int line) const
+{
+    if (line < 1 || static_cast<std::size_t>(line) > domainMark.size())
+        return false;
+    return domainMark[static_cast<std::size_t>(line) - 1]
+               .count(value) > 0;
+}
+
+bool
+SourceFile::threadMarked(const std::string &value, int line) const
+{
+    if (line < 1 || static_cast<std::size_t>(line) > threadMark.size())
+        return false;
+    return threadMark[static_cast<std::size_t>(line) - 1]
+               .count(value) > 0;
 }
 
 std::string
@@ -128,14 +168,19 @@ makeSourceFile(std::string path, const std::string &text)
     file.lines = splitLines(text);
     file.code.reserve(file.lines.size());
     file.allow.resize(file.lines.size());
+    file.domainMark.resize(file.lines.size());
+    file.threadMark.resize(file.lines.size());
 
     enum class State { Code, LineComment, BlockComment, Str, Chr };
     State state = State::Code;
-    // Comment text accumulated for the line it ends on; suppressions
-    // in a comment with no code on its line carry forward to the
-    // next line that has code (so multi-line comments work).
+    // Comment text accumulated for the line it ends on. Suppressions
+    // and markers always guard the comment's own line; when the
+    // comment has no code on its line they additionally carry forward
+    // to the next line that has code (so stand-alone and multi-line
+    // comments work).
     std::string comment;
-    std::set<std::string> carry;
+    std::vector<std::size_t> carrySites;
+    std::set<std::string> carryDomain, carryThread;
 
     for (std::size_t li = 0; li < file.lines.size(); ++li) {
         const std::string &raw = file.lines[li];
@@ -196,16 +241,61 @@ makeSourceFile(std::string path, const std::string &text)
                 break;
         }
 
-        std::set<std::string> lineSet;
-        parseAllow(comment, lineSet, file.allowFile);
+        std::vector<Tag> tags;
+        parseTags(comment, tags);
+        const int lineNo = static_cast<int>(li + 1);
+        std::vector<std::size_t> lineSites;
+        std::set<std::string> lineDomain, lineThread;
+        for (const Tag &tag : tags) {
+            switch (tag.kind) {
+              case Tag::Kind::AllowFile:
+                file.allowFile.insert(tag.value);
+                file.allowSites.push_back(
+                    {tag.value, lineNo, true, {}});
+                break;
+              case Tag::Kind::Allow:
+                lineSites.push_back(file.allowSites.size());
+                file.allowSites.push_back(
+                    {tag.value, lineNo, false, {}});
+                break;
+              case Tag::Kind::Domain:
+                lineDomain.insert(tag.value);
+                break;
+              case Tag::Kind::Thread:
+                lineThread.insert(tag.value);
+                break;
+            }
+        }
+
+        // Every marker guards the comment's own line...
+        for (const std::size_t idx : lineSites) {
+            file.allow[li].insert(file.allowSites[idx].rule);
+            file.allowSites[idx].applies.push_back(lineNo);
+        }
+        file.domainMark[li].insert(lineDomain.begin(),
+                                   lineDomain.end());
+        file.threadMark[li].insert(lineThread.begin(),
+                                   lineThread.end());
+
         if (blankCode(code)) {
-            carry.insert(lineSet.begin(), lineSet.end());
+            // ...and a comment with no code on its line also carries
+            // forward to the next code line.
+            carrySites.insert(carrySites.end(), lineSites.begin(),
+                              lineSites.end());
+            carryDomain.insert(lineDomain.begin(), lineDomain.end());
+            carryThread.insert(lineThread.begin(), lineThread.end());
         } else {
-            // A trailing comment guards its own line; pending
-            // stand-alone suppressions land on this code line.
-            lineSet.insert(carry.begin(), carry.end());
-            carry.clear();
-            file.allow[li].insert(lineSet.begin(), lineSet.end());
+            for (const std::size_t idx : carrySites) {
+                file.allow[li].insert(file.allowSites[idx].rule);
+                file.allowSites[idx].applies.push_back(lineNo);
+            }
+            file.domainMark[li].insert(carryDomain.begin(),
+                                       carryDomain.end());
+            file.threadMark[li].insert(carryThread.begin(),
+                                       carryThread.end());
+            carrySites.clear();
+            carryDomain.clear();
+            carryThread.clear();
         }
         file.code.push_back(std::move(code));
     }

@@ -6,13 +6,21 @@
  * design); instead they pattern-match over a "code view" of the file
  * in which comments and string/character literals have been blanked
  * to spaces, so that a forbidden token inside a comment or a log
- * string can never fire a rule. Suppressions are read from the
- * comments while they are being blanked:
+ * string can never fire a rule. Suppressions and semantic markers
+ * are read from the comments while they are being blanked:
  *
  *   code();            // lint:allow(rule-a,rule-b): reason
- *   // lint:allow(rule-c): applies to the NEXT line when the
- *   //                     comment stands alone on its own line
+ *   // lint:allow(rule-c): guards this line AND the next code line
+ *   //                     when the comment stands alone
  *   // lint:allow-file(rule-d): applies to the whole file
+ *   // lint:domain(cpu|dram|convert): clock-domain marker for the
+ *   //                     clock-domain semantic rule
+ *   // lint:thread(worker|aggregation): thread-discipline marker for
+ *   //                     the aggregation-thread-only semantic rule
+ *
+ * Every lint:allow site is also recorded (with the lines it ends up
+ * guarding) so the analyzer can flag suppressions that no longer
+ * suppress anything (the stale-suppression finding).
  */
 
 #ifndef CRITMEM_ANALYSIS_SOURCE_FILE_HH
@@ -24,6 +32,19 @@
 
 namespace critmem::analysis
 {
+
+/** One lint:allow / lint:allow-file suppression site. */
+struct AllowSite
+{
+    /** Rule id named inside lint:allow(...). */
+    std::string rule;
+    /** 1-based line of the comment that declares the suppression. */
+    int line = 0;
+    /** True for lint:allow-file. */
+    bool wholeFile = false;
+    /** 1-based lines this site guards (empty for wholeFile). */
+    std::vector<int> applies;
+};
 
 /** One loaded source file plus its lint-relevant derived views. */
 struct SourceFile
@@ -38,12 +59,24 @@ struct SourceFile
     std::vector<std::set<std::string>> allow;
     /** File-wide suppressed rule ids. */
     std::set<std::string> allowFile;
+    /** Every suppression site, in source order (staleness check). */
+    std::vector<AllowSite> allowSites;
+    /** Per-line lint:domain(...) values: "cpu", "dram", "convert". */
+    std::vector<std::set<std::string>> domainMark;
+    /** Per-line lint:thread(...) values: "worker", "aggregation". */
+    std::vector<std::set<std::string>> threadMark;
 
     /** True for .hh/.h/.hpp files. */
     bool isHeader() const;
 
     /** True when @p rule is suppressed at 1-based @p line. */
     bool suppressed(const std::string &rule, int line) const;
+
+    /** True when lint:domain(@p value) marks 1-based @p line. */
+    bool domainMarked(const std::string &value, int line) const;
+
+    /** True when lint:thread(@p value) marks 1-based @p line. */
+    bool threadMarked(const std::string &value, int line) const;
 
     /** The whole code view joined with '\n' (for cross-line regexes). */
     std::string joinedCode() const;

@@ -41,7 +41,7 @@ flagPattern(const SourceFile &file, const RuleMeta &meta,
  * in the scanned tree risks results that change from run to run —
  * exactly what the --jobs N byte-identical contract forbids. Display
  * -only uses (progress ETA lines on stderr) carry an inline
- * lint:allow(wall-clock) with a reason.
+ * allow naming this rule, with a reason.
  */
 class WallClockRule : public SourceRule
 {
@@ -265,7 +265,7 @@ class UnorderedIterRule : public SourceRule
  * says it holds cycles wraps after ~4e9 cycles — about one second of
  * simulated time at DDR3-2133 — corrupting timing arithmetic without
  * any diagnostic. Bounded ratios/durations may carry an inline
- * lint:allow(narrow-cycle) with the bound in the reason.
+ * allow naming this rule, with the bound in the reason.
  */
 class NarrowCycleRule : public SourceRule
 {
@@ -451,7 +451,7 @@ class IncludeHygieneRule : public SourceRule
  * a truncated file behind on crash or SIGKILL — the failure mode the
  * crash-safe campaign work eliminated. Writers go through AtomicFile
  * (temp + fsync + rename; sim/atomic_file.hh), or carry an inline
- * lint:allow(durable-write) stating their own durability story
+ * allow naming this rule, stating their own durability story
  * (e.g. the campaign journal's append-plus-fsync protocol).
  * Read-mode fopen ("r", "rb") is fine.
  */
@@ -524,7 +524,7 @@ class DurableWriteRule : public SourceRule
  * buffers). Flags `new`, make_unique/make_shared, std::function
  * construction and local STL container declarations inside any
  * function whose name contains "tick". One-time or error-path
- * allocations may carry an inline lint:allow(hot-path-alloc) with
+ * allocations may carry an inline allow naming this rule, with
  * the justification.
  */
 class HotPathAllocRule : public SourceRule

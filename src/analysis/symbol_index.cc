@@ -1,0 +1,1616 @@
+#include "analysis/symbol_index.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <regex>
+#include <set>
+
+namespace critmem::analysis
+{
+
+namespace
+{
+
+/** C++ keywords (and cast/builtin names) that can never be callees
+ *  or declaration names the indexer should record. */
+const std::set<std::string> &
+keywordSet()
+{
+    static const std::set<std::string> kKeywords{
+        "alignas",     "alignof",   "assert",     "auto",
+        "bool",        "break",     "case",       "catch",
+        "char",        "class",     "co_await",   "co_return",
+        "co_yield",    "const",     "const_cast", "constexpr",
+        "continue",    "decltype",  "default",    "defined",
+        "delete",      "do",        "double",     "dynamic_cast",
+        "else",        "enum",      "explicit",   "extern",
+        "false",       "float",     "for",        "friend",
+        "goto",        "if",        "inline",     "int",
+        "long",        "mutable",   "namespace",  "new",
+        "noexcept",    "nullptr",   "operator",   "private",
+        "protected",   "public",    "register",   "reinterpret_cast",
+        "requires",    "return",    "short",      "signed",
+        "sizeof",      "static",    "static_assert",
+        "static_cast", "struct",    "switch",     "template",
+        "this",        "throw",     "true",       "try",
+        "typedef",     "typename",  "union",      "unsigned",
+        "using",       "virtual",   "void",       "volatile",
+        "while"};
+    return kKeywords;
+}
+
+/**
+ * Method names so common on std:: types that the unique-definer
+ * fallback would fabricate edges (e.g. `str.clear()` resolving to
+ * the one indexed class that happens to define clear()). Calls to
+ * these through an untyped receiver are never resolved.
+ */
+const std::set<std::string> &
+commonMethodNames()
+{
+    static const std::set<std::string> kCommon{
+        "append", "at",      "back",    "begin",   "c_str",
+        "clear",  "close",   "count",   "data",    "emplace",
+        "emplace_back",      "empty",   "end",     "eof",
+        "erase",  "fail",    "find",    "first",   "flush",
+        "front",  "get",     "good",    "insert",  "length",
+        "load",   "lock",    "open",    "pop",     "pop_back",
+        "pop_front",         "push",    "push_back",
+        "push_front",        "read",    "rbegin",  "release",
+        "rend",   "reserve", "reset",   "resize",  "second",
+        "seekg",  "size",    "state",   "store",   "str",
+        "substr", "swap",    "tellg",   "top",     "unlock",
+        "value",  "what",    "write"};
+    return kCommon;
+}
+
+bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+/** ALL_CAPS identifiers are treated as macros, never calls/defs. */
+bool
+macroLike(const std::string &name)
+{
+    if (name.size() < 2)
+        return false;
+    bool letter = false;
+    for (const char c : name) {
+        if (c >= 'a' && c <= 'z')
+            return false;
+        if (c >= 'A' && c <= 'Z')
+            letter = true;
+        else if (c != '_' && !(c >= '0' && c <= '9'))
+            return false;
+    }
+    return letter;
+}
+
+std::string
+trim(const std::string &text)
+{
+    const std::size_t b = text.find_first_not_of(" \t\n");
+    if (b == std::string::npos)
+        return "";
+    const std::size_t e = text.find_last_not_of(" \t\n");
+    return text.substr(b, e - b + 1);
+}
+
+/** Offset of the '}' matching the '{' at @p open; npos if none. */
+std::size_t
+matchBrace(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Offset of the ')' matching the '(' at @p open; npos if none. */
+std::size_t
+matchParen(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '(')
+            ++depth;
+        else if (text[i] == ')' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/**
+ * Offset of the '>' matching the '<' at @p open, looking at most
+ * @p window chars ahead (a lone less-than never closes; the bound
+ * keeps fuzzed inputs from going quadratic). npos if none.
+ */
+std::size_t
+matchAngle(const std::string &text, std::size_t open,
+           std::size_t window = 400)
+{
+    int depth = 0;
+    const std::size_t end = std::min(text.size(), open + window);
+    for (std::size_t i = open; i < end; ++i) {
+        if (text[i] == '<')
+            ++depth;
+        else if (text[i] == '>' && --depth == 0)
+            return i;
+        else if (text[i] == ';' || text[i] == '{')
+            return std::string::npos; // statements never span these
+    }
+    return std::string::npos;
+}
+
+/**
+ * The file's code view with preprocessor directives blanked (their
+ * text would otherwise corrupt brace matching), joined with '\n'.
+ * Offsets are 1:1 with SourceFile::joinedCode().
+ */
+std::string
+scanText(const SourceFile &file)
+{
+    std::string scan;
+    bool continuation = false;
+    for (const std::string &line : file.code) {
+        const std::size_t first = line.find_first_not_of(" \t");
+        const bool directive =
+            continuation ||
+            (first != std::string::npos && line[first] == '#');
+        const bool endsBackslash =
+            !line.empty() && line.back() == '\\';
+        continuation = directive && endsBackslash;
+        if (directive)
+            scan.append(line.size(), ' ');
+        else
+            scan += line;
+        scan += '\n';
+    }
+    return scan;
+}
+
+/**
+ * Blank (offset-preserving) the pieces of a head that confuse
+ * classification: access specifiers and template<...> preludes.
+ */
+std::string
+preprocessHead(std::string head)
+{
+    static const std::regex kAccess(
+        "\\b(public|protected|private)\\s*:(?!:)");
+    std::smatch match;
+    std::string rest = head;
+    // Blank access specifiers.
+    while (std::regex_search(rest, match, kAccess)) {
+        const std::size_t pos =
+            head.size() - rest.size() +
+            static_cast<std::size_t>(match.position());
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(match.length()); ++i)
+            head[pos + i] = ' ';
+        rest = head.substr(pos + match.length());
+    }
+    // Blank template<...> preludes (so `template <class T>` cannot
+    // be misread as a class definition of T).
+    static const std::regex kTemplate("\\btemplate\\b");
+    std::size_t from = 0;
+    while (true) {
+        const std::size_t pos = head.find("template", from);
+        if (pos == std::string::npos)
+            break;
+        if ((pos > 0 && isIdentChar(head[pos - 1])) ||
+            (pos + 8 < head.size() && isIdentChar(head[pos + 8]))) {
+            from = pos + 8;
+            continue;
+        }
+        std::size_t lt = head.find_first_not_of(" \t\n", pos + 8);
+        if (lt == std::string::npos || head[lt] != '<') {
+            from = pos + 8;
+            continue;
+        }
+        const std::size_t close = matchAngle(head, lt, head.size());
+        const std::size_t blankEnd =
+            close == std::string::npos ? head.size() : close + 1;
+        for (std::size_t i = pos; i < blankEnd; ++i)
+            head[i] = ' ';
+        from = blankEnd;
+    }
+    return head;
+}
+
+/** Offset of the first top-level single ':' at/after @p from. */
+std::size_t
+topLevelColon(const std::string &text, std::size_t from)
+{
+    int paren = 0;
+    for (std::size_t i = from; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '(' || c == '[')
+            ++paren;
+        else if (c == ')' || c == ']')
+            --paren;
+        else if (c == ':' && paren == 0) {
+            const bool prevColon = i > 0 && text[i - 1] == ':';
+            const bool nextColon =
+                i + 1 < text.size() && text[i + 1] == ':';
+            if (!prevColon && !nextColon)
+                return i;
+            if (nextColon)
+                ++i;
+        }
+    }
+    return std::string::npos;
+}
+
+/**
+ * True when the '{' this head runs up to belongs to a member
+ * initializer (`Foo::Foo(x) : member_` + '{'), not a function body.
+ */
+bool
+isInitListBrace(const std::string &head)
+{
+    const std::string t = trim(head);
+    if (t.empty() || !isIdentChar(t.back()))
+        return false;
+    const std::size_t lastParen = t.rfind(')');
+    if (lastParen == std::string::npos)
+        return false;
+    return topLevelColon(t, lastParen) != std::string::npos;
+}
+
+/** Split @p text on top-level commas (ignoring (), [], <> groups). */
+std::vector<std::string>
+splitTopLevel(const std::string &text)
+{
+    std::vector<std::string> parts;
+    int paren = 0, angle = 0;
+    std::string current;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '(' || c == '[')
+            ++paren;
+        else if (c == ')' || c == ']')
+            --paren;
+        else if (c == '<')
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        if (c == ',' && paren == 0 && angle == 0) {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    const std::string last = trim(current);
+    if (!last.empty() || !parts.empty())
+        parts.push_back(last);
+    return parts;
+}
+
+/** Last identifier in @p text that is not a C++ keyword. */
+std::string
+lastTypeIdentifier(const std::string &text)
+{
+    std::string best;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (isIdentStart(text[i]) &&
+            (i == 0 || !isIdentChar(text[i - 1]))) {
+            std::size_t j = i;
+            while (j < text.size() && isIdentChar(text[j]))
+                ++j;
+            const std::string ident = text.substr(i, j - i);
+            if (!keywordSet().count(ident))
+                best = ident;
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return best;
+}
+
+/** Qualified-name tail match: qname == suffix or ends ::suffix. */
+bool
+qnameEndsWith(const std::string &qname, const std::string &suffix)
+{
+    if (qname == suffix)
+        return true;
+    if (qname.size() <= suffix.size() + 2)
+        return false;
+    return qname.compare(qname.size() - suffix.size() - 2, 2, "::") ==
+               0 &&
+        qname.compare(qname.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+/** Remove every space from @p text (qualifier normalization). */
+std::string
+stripSpaces(std::string text)
+{
+    text.erase(std::remove_if(text.begin(), text.end(),
+                              [](char c) {
+                                  return c == ' ' || c == '\t' ||
+                                      c == '\n';
+                              }),
+               text.end());
+    return text;
+}
+
+/** A classified scope-opening head. */
+struct Head
+{
+    enum class Kind { None, Namespace, Class, Function };
+    Kind kind = Kind::None;
+    /** Namespace components ("" for anonymous). */
+    std::vector<std::string> namespaces;
+    /** Class short name / function name. */
+    std::string name;
+    /** Function: `A::B` qualifier before the name ("" if none). */
+    std::string qualifier;
+    /** Class: base-class short names. */
+    std::vector<std::string> bases;
+    /** Function: parameter-list text (inside the parens). */
+    std::string params;
+    /** Offset of the name inside the (preprocessed) head. */
+    std::size_t nameOffset = 0;
+};
+
+/** Can @p suffix legally follow a function's parameter list? */
+bool
+suffixIsQualifiers(const std::string &suffix)
+{
+    std::size_t i = 0;
+    while (i < suffix.size()) {
+        while (i < suffix.size() &&
+               (suffix[i] == ' ' || suffix[i] == '\t' ||
+                suffix[i] == '\n'))
+            ++i;
+        if (i >= suffix.size())
+            return true;
+        if (suffix[i] == ':' &&
+            (i + 1 >= suffix.size() || suffix[i + 1] != ':'))
+            return true; // constructor initializer list
+        if (suffix.compare(i, 2, "->") == 0)
+            return true; // trailing return type
+        if (suffix[i] == '&') {
+            ++i;
+            if (i < suffix.size() && suffix[i] == '&')
+                ++i;
+            continue;
+        }
+        if (isIdentStart(suffix[i])) {
+            std::size_t j = i;
+            while (j < suffix.size() && isIdentChar(suffix[j]))
+                ++j;
+            const std::string word = suffix.substr(i, j - i);
+            if (word == "const" || word == "override" ||
+                word == "final" || word == "mutable" ||
+                word == "try") {
+                i = j;
+                continue;
+            }
+            if (word == "noexcept") {
+                i = j;
+                while (i < suffix.size() &&
+                       (suffix[i] == ' ' || suffix[i] == '\t' ||
+                        suffix[i] == '\n'))
+                    ++i;
+                if (i < suffix.size() && suffix[i] == '(') {
+                    const std::size_t close =
+                        matchParen(suffix, i);
+                    if (close == std::string::npos)
+                        return false;
+                    i = close + 1;
+                }
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+    return true;
+}
+
+/** Parse the `A::B::name` tail ending at offset @p end of @p head. */
+bool
+matchFunctionName(const std::string &prefix, std::string &qualifier,
+                  std::string &name, std::size_t &nameOffset)
+{
+    static const std::regex kName(
+        "(?:([A-Za-z_]\\w*(?:\\s*::\\s*[A-Za-z_]\\w*)*)\\s*::\\s*)?"
+        "(~?[A-Za-z_]\\w*|operator\\s*(?:\\(\\s*\\)|\\[\\s*\\]|"
+        "[^\\s(A-Za-z0-9_]{1,3}))\\s*$");
+    std::smatch match;
+    if (!std::regex_search(prefix, match, kName))
+        return false;
+    qualifier = stripSpaces(match[1].str());
+    name = stripSpaces(match[2].str());
+    nameOffset = static_cast<std::size_t>(match.position(2));
+    if (name.empty())
+        return false;
+    const std::string bare =
+        name[0] == '~' ? name.substr(1) : name;
+    if (name.rfind("operator", 0) != 0 &&
+        (keywordSet().count(bare) || macroLike(bare)))
+        return false;
+    return true;
+}
+
+/** Classify one (preprocessed) scope-opening head. */
+Head
+classifyHead(const std::string &head)
+{
+    Head out;
+    const std::string t = trim(head);
+    if (t.empty())
+        return out;
+
+    // namespace [name[::name...]]
+    static const std::regex kNamespace(
+        "^(?:inline\\s+)?namespace\\b([\\s\\w:]*)$");
+    std::smatch ns;
+    if (std::regex_match(t, ns, kNamespace)) {
+        out.kind = Head::Kind::Namespace;
+        const std::string names = stripSpaces(ns[1].str());
+        if (names.empty()) {
+            out.namespaces.push_back("");
+        } else {
+            std::size_t pos = 0;
+            while (pos <= names.size()) {
+                const std::size_t sep = names.find("::", pos);
+                if (sep == std::string::npos) {
+                    out.namespaces.push_back(names.substr(pos));
+                    break;
+                }
+                out.namespaces.push_back(
+                    names.substr(pos, sep - pos));
+                pos = sep + 2;
+            }
+        }
+        return out;
+    }
+
+    // class/struct Name [final] [: bases]
+    static const std::regex kClass(
+        "(^|[^\\w])(class|struct)\\s+([A-Za-z_]\\w*)");
+    std::smatch cls;
+    if (std::regex_search(head, cls, kClass)) {
+        const std::size_t pos =
+            static_cast<std::size_t>(cls.position(2));
+        const std::size_t paren = head.find('(');
+        const std::size_t enumPos = head.find("enum");
+        const bool enumBefore =
+            enumPos != std::string::npos && enumPos < pos;
+        if ((paren == std::string::npos || paren > pos) &&
+            !enumBefore) {
+            out.kind = Head::Kind::Class;
+            out.name = cls[3];
+            out.nameOffset =
+                static_cast<std::size_t>(cls.position(3));
+            const std::size_t colon = topLevelColon(
+                head, out.nameOffset + out.name.size());
+            if (colon != std::string::npos) {
+                for (const std::string &base :
+                     splitTopLevel(head.substr(colon + 1))) {
+                    std::string b = base;
+                    static const std::regex kBaseAccess(
+                        "\\b(virtual|public|protected|private)\\b");
+                    b = std::regex_replace(b, kBaseAccess, " ");
+                    const std::size_t lt = b.find('<');
+                    if (lt != std::string::npos)
+                        b = b.substr(0, lt);
+                    const std::string name = lastTypeIdentifier(b);
+                    if (!name.empty())
+                        out.bases.push_back(name);
+                }
+            }
+            return out;
+        }
+    }
+
+    // function: the leftmost top-level paren group whose prefix ends
+    // in a plausible name and whose suffix is only qualifiers.
+    int depth = 0;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+        const char c = head[i];
+        if (c == ')') {
+            --depth;
+            continue;
+        }
+        if (c != '(')
+            continue;
+        if (depth++ != 0)
+            continue;
+        const std::size_t close = matchParen(head, i);
+        if (close == std::string::npos)
+            return out;
+        std::string qualifier, name;
+        std::size_t nameOffset = 0;
+        const std::string prefix = head.substr(0, i);
+        if (matchFunctionName(prefix, qualifier, name, nameOffset) &&
+            suffixIsQualifiers(head.substr(close + 1))) {
+            out.kind = Head::Kind::Function;
+            out.qualifier = qualifier;
+            out.name = name;
+            out.nameOffset = nameOffset;
+            out.params = head.substr(i + 1, close - i - 1);
+            return out;
+        }
+        // Skip past this group so `operator()`'s name parens (or a
+        // parenthesized return type) don't shadow the real one.
+        i = close;
+        --depth;
+    }
+    return out;
+}
+
+/** Read the identifier ending at @p end (exclusive) backwards. */
+std::string
+identEndingAt(const std::string &text, std::size_t end)
+{
+    std::size_t b = end;
+    while (b > 0 && isIdentChar(text[b - 1]))
+        --b;
+    if (b == end || !isIdentStart(text[b]))
+        return "";
+    return text.substr(b, end - b);
+}
+
+std::size_t
+skipWsBack(const std::string &text, std::size_t pos)
+{
+    while (pos > 0 &&
+           (text[pos - 1] == ' ' || text[pos - 1] == '\t' ||
+            text[pos - 1] == '\n'))
+        --pos;
+    return pos;
+}
+
+/**
+ * Whether the ')' at @p closeParen (1-based end, i.e. text[closeParen
+ * - 1] == ')') closes a control-statement header — `for (...)`,
+ * `if (...)`, `while (...)`, `switch (...)`, `catch (...)`. A
+ * receiver right after such a ')' starts a fresh statement and is NOT
+ * part of a chained expression. The backward scan is bounded; an
+ * unmatched or too-distant '(' reads as "not a control header".
+ */
+bool
+closesControlHeader(const std::string &text, std::size_t closeParen)
+{
+    if (closeParen == 0 || text[closeParen - 1] != ')')
+        return false;
+    static const std::set<std::string> kControl{
+        "for", "if", "while", "switch", "catch"};
+    int depth = 0;
+    const std::size_t floor =
+        closeParen > 2000 ? closeParen - 2000 : 0;
+    for (std::size_t p = closeParen; p > floor; --p) {
+        const char c = text[p - 1];
+        if (c == ')') {
+            ++depth;
+        } else if (c == '(') {
+            if (--depth == 0) {
+                const std::size_t w = skipWsBack(text, p - 1);
+                return kControl.count(identEndingAt(text, w)) > 0;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+SymbolIndex::classByShortName(const std::string &shortName) const
+{
+    const auto it = classesByShort_.find(shortName);
+    if (it == classesByShort_.end() || it->second.size() != 1)
+        return -1;
+    return it->second.front();
+}
+
+int
+SymbolIndex::classOfType(const std::string &type) const
+{
+    // Collect identifiers left to right, then try the rightmost
+    // first: `std::vector<std::unique_ptr<Core>>` names Core.
+    std::vector<std::string> idents;
+    std::size_t i = 0;
+    while (i < type.size()) {
+        if (isIdentStart(type[i]) &&
+            (i == 0 || !isIdentChar(type[i - 1]))) {
+            std::size_t j = i;
+            while (j < type.size() && isIdentChar(type[j]))
+                ++j;
+            const std::string ident = type.substr(i, j - i);
+            if (!keywordSet().count(ident))
+                idents.push_back(ident);
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+        const int cls = classByShortName(*it);
+        if (cls >= 0)
+            return cls;
+    }
+    return -1;
+}
+
+std::vector<int>
+SymbolIndex::family(const std::string &rootShortName) const
+{
+    std::set<std::string> names{rootShortName};
+    std::set<int> ids;
+    const int root = classByShortName(rootShortName);
+    if (root >= 0)
+        ids.insert(root);
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (std::size_t c = 0; c < classes_.size(); ++c) {
+            if (ids.count(static_cast<int>(c)))
+                continue;
+            for (const std::string &base : classes_[c].bases) {
+                if (!names.count(base))
+                    continue;
+                ids.insert(static_cast<int>(c));
+                names.insert(classes_[c].shortName);
+                grew = true;
+                break;
+            }
+        }
+    }
+    return {ids.begin(), ids.end()};
+}
+
+int
+SymbolIndex::methodNoWalk(int classId, const std::string &name) const
+{
+    if (classId < 0 ||
+        static_cast<std::size_t>(classId) >= classes_.size())
+        return -1;
+    const auto it = nodeByQname_.find(
+        classes_[static_cast<std::size_t>(classId)].qname +
+        "::" + name);
+    return it == nodeByQname_.end() ? -1 : it->second;
+}
+
+int
+SymbolIndex::method(int classId, const std::string &name) const
+{
+    std::set<int> visited;
+    std::deque<int> queue{classId};
+    while (!queue.empty()) {
+        const int c = queue.front();
+        queue.pop_front();
+        if (c < 0 || !visited.insert(c).second)
+            continue;
+        const int m = methodNoWalk(c, name);
+        if (m >= 0)
+            return m;
+        for (const std::string &base :
+             classes_[static_cast<std::size_t>(c)].bases)
+            queue.push_back(classByShortName(base));
+    }
+    return -1;
+}
+
+std::vector<int>
+SymbolIndex::methods(int classId) const
+{
+    std::vector<int> out;
+    for (std::size_t n = 0; n < functions_.size(); ++n) {
+        if (functions_[n].classId == classId)
+            out.push_back(static_cast<int>(n));
+    }
+    return out;
+}
+
+int
+SymbolIndex::byQnameSuffix(const std::string &suffix) const
+{
+    int found = -1;
+    for (std::size_t n = 0; n < functions_.size(); ++n) {
+        if (!qnameEndsWith(functions_[n].qname, suffix))
+            continue;
+        if (found >= 0)
+            return -1; // ambiguous
+        found = static_cast<int>(n);
+    }
+    return found;
+}
+
+std::vector<int>
+SymbolIndex::byShortName(const std::string &shortName) const
+{
+    const auto it = nodesByShort_.find(shortName);
+    return it == nodesByShort_.end() ? std::vector<int>{}
+                                     : it->second;
+}
+
+int
+SymbolIndex::enclosingFunction(int fileIndex, int line) const
+{
+    int best = -1;
+    int bestSpan = 0;
+    for (std::size_t n = 0; n < functions_.size(); ++n) {
+        for (const FunctionDef &def : functions_[n].defs) {
+            if (def.fileIndex != fileIndex || line < def.headLine ||
+                line > def.bodyEndLine)
+                continue;
+            const int span = def.bodyEndLine - def.headLine;
+            if (best < 0 || span < bestSpan) {
+                best = static_cast<int>(n);
+                bestSpan = span;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<int>
+SymbolIndex::reachable(const std::vector<int> &entries) const
+{
+    std::set<int> seen;
+    std::deque<int> queue;
+    for (const int id : entries) {
+        if (id >= 0 && seen.insert(id).second)
+            queue.push_back(id);
+    }
+    while (!queue.empty()) {
+        const int id = queue.front();
+        queue.pop_front();
+        for (const Edge &edge :
+             functions_[static_cast<std::size_t>(id)].edges) {
+            if (seen.insert(edge.callee).second)
+                queue.push_back(edge.callee);
+        }
+    }
+    return {seen.begin(), seen.end()};
+}
+
+std::vector<ChainStep>
+SymbolIndex::chain(const std::vector<int> &entries, int target,
+                   const std::vector<SourceFile> &files) const
+{
+    std::set<int> starts(entries.begin(), entries.end());
+    starts.erase(-1);
+    std::map<int, std::pair<int, const Edge *>> parent;
+    std::deque<int> queue;
+    for (const int id : starts) {
+        parent.emplace(id, std::make_pair(-1, nullptr));
+        queue.push_back(id);
+    }
+    bool found = starts.count(target) > 0;
+    while (!queue.empty() && !found) {
+        const int id = queue.front();
+        queue.pop_front();
+        for (const Edge &edge :
+             functions_[static_cast<std::size_t>(id)].edges) {
+            if (parent.count(edge.callee))
+                continue;
+            parent.emplace(edge.callee,
+                           std::make_pair(id, &edge));
+            if (edge.callee == target) {
+                found = true;
+                break;
+            }
+            queue.push_back(edge.callee);
+        }
+    }
+    if (!found)
+        return {};
+
+    std::vector<int> path;
+    std::vector<const Edge *> via;
+    for (int id = target; id >= 0;) {
+        const auto &p = parent.at(id);
+        path.push_back(id);
+        via.push_back(p.second);
+        id = p.first;
+    }
+    std::reverse(path.begin(), path.end());
+    std::reverse(via.begin(), via.end());
+
+    std::vector<ChainStep> steps;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        const FunctionNode &node =
+            functions_[static_cast<std::size_t>(path[i])];
+        ChainStep step;
+        step.qname = node.qname;
+        if (via[i] != nullptr) {
+            step.path =
+                files[static_cast<std::size_t>(via[i]->fileIndex)]
+                    .path;
+            step.line = via[i]->line;
+        } else if (!node.defs.empty()) {
+            step.path =
+                files[static_cast<std::size_t>(
+                          node.defs.front().fileIndex)]
+                    .path;
+            step.line = node.defs.front().line;
+        }
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+namespace
+{
+
+/** Strip a `= default-value` tail (top level) from a declarator. */
+std::string
+stripDefault(const std::string &text)
+{
+    int paren = 0, angle = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '(' || c == '[')
+            ++paren;
+        else if (c == ')' || c == ']')
+            --paren;
+        else if (c == '<')
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '=' && paren == 0 && angle == 0 &&
+                 (i == 0 || (text[i - 1] != '=' &&
+                             text[i - 1] != '!' &&
+                             text[i - 1] != '<' &&
+                             text[i - 1] != '>')) &&
+                 (i + 1 >= text.size() || text[i + 1] != '='))
+            return trim(text.substr(0, i));
+    }
+    return trim(text);
+}
+
+/** Parse `Type name` out of one declarator; "" name when unnamed. */
+bool
+splitTypeName(const std::string &declarator, std::string &type,
+              std::string &name)
+{
+    const std::string d = stripDefault(declarator);
+    if (d.empty() || d == "void")
+        return false;
+    static const std::regex kTail("([A-Za-z_]\\w*)\\s*$");
+    std::smatch tail;
+    if (!std::regex_search(d, tail, kTail)) {
+        type = d;
+        name = "";
+        return true;
+    }
+    std::string prefix =
+        trim(d.substr(0, static_cast<std::size_t>(tail.position())));
+    // Unnamed declarators: `std::uint64_t` (tail belongs to the
+    // type) and `const Foo` (cv-qualifier cannot end a type-name
+    // sequence, so the tail IS the type).
+    bool unnamed = prefix.empty();
+    if (!unnamed && prefix.size() >= 2 &&
+        prefix.compare(prefix.size() - 2, 2, "::") == 0)
+        unnamed = true;
+    if (!unnamed) {
+        const std::string lastWord = identEndingAt(
+            prefix, prefix.find_last_not_of(" \t\n") + 1);
+        if (lastWord == "const" || lastWord == "volatile")
+            unnamed = true;
+    }
+    if (unnamed) {
+        type = d;
+        name = "";
+        return true;
+    }
+    while (!prefix.empty() &&
+           (prefix.back() == '&' || prefix.back() == '*'))
+        prefix = trim(prefix.substr(0, prefix.size() - 1));
+    type = prefix;
+    name = tail[1];
+    return true;
+}
+
+void
+parseParams(const std::string &text, FunctionDef &def)
+{
+    for (const std::string &part : splitTopLevel(text)) {
+        if (part.empty())
+            continue;
+        std::string type, name;
+        if (!splitTypeName(part, type, name))
+            continue;
+        def.params.push_back({type, name});
+        if (!name.empty())
+            def.locals.emplace(name, type);
+    }
+}
+
+/** Member-statement keywords that disqualify a member-var parse. */
+bool
+memberDisqualified(const std::string &stmt)
+{
+    static const std::regex kBad(
+        "\\b(using|typedef|friend|static_assert|enum|operator|"
+        "return|throw|template|goto|case)\\b|\\(");
+    return std::regex_search(stmt, kBad);
+}
+
+} // namespace
+
+/** Build-time implementation helpers with access to the index. */
+struct IndexBuilder
+{
+    SymbolIndex &index;
+    const std::vector<SourceFile> &files;
+
+    void
+    registerClassShort(int id)
+    {
+        index.classesByShort_[index.classes_[
+            static_cast<std::size_t>(id)].shortName]
+            .push_back(id);
+    }
+
+    int
+    ensureNode(const std::string &qname,
+               const std::string &shortName, int classId)
+    {
+        const auto it = index.nodeByQname_.find(qname);
+        if (it != index.nodeByQname_.end())
+            return it->second;
+        const int id = static_cast<int>(index.functions_.size());
+        FunctionNode node;
+        node.qname = qname;
+        node.shortName = shortName;
+        node.classId = classId;
+        index.functions_.push_back(std::move(node));
+        index.nodeByQname_.emplace(qname, id);
+        index.nodesByShort_[shortName].push_back(id);
+        return id;
+    }
+
+    /** Parse one class-scope statement as a member variable. */
+    void
+    parseMember(const std::string &stmt, int classId, int line)
+    {
+        std::string cleaned = trim(stmt);
+        static const std::regex kStorage(
+            "^(?:(?:static|mutable|constexpr|inline)\\s+)+");
+        cleaned = std::regex_replace(cleaned, kStorage, "");
+        if (cleaned.empty() || memberDisqualified(cleaned))
+            return;
+        std::string type, name;
+        if (!splitTypeName(cleaned, type, name) || name.empty())
+            return;
+        if (keywordSet().count(name) || macroLike(name))
+            return;
+        ClassInfo &cls =
+            index.classes_[static_cast<std::size_t>(classId)];
+        cls.members.emplace(name, MemberVar{type, line});
+    }
+
+    /** Locals: `Type name` declarations at statement starts. */
+    void
+    extractLocals(const std::string &body, std::size_t base,
+                  const SourceFile &file, int classId,
+                  FunctionDef &def)
+    {
+        // The separator between type and name must be real
+        // (whitespace or ref/pointer tokens): without it, `now_ =
+        // to` would parse as type `now` + name `_`, and `for`/`if`
+        // would split into fake one-letter locals.
+        static const std::regex kDecl(
+            "^\\s*(?:(?:const|constexpr|static|auto&?)\\s+)*"
+            "((?:[A-Za-z_]\\w*\\s*::\\s*)*[A-Za-z_]\\w*"
+            "(?:\\s*<[^;{}]*>)?)((?:\\s*[&*])+\\s*|\\s+)"
+            "([A-Za-z_]\\w*)\\s*(?:[;=({\\[]|$)");
+        std::size_t start = 0;
+        for (std::size_t i = 0; i <= body.size(); ++i) {
+            const char c = i < body.size() ? body[i] : ';';
+            if (c != ';' && c != '{' && c != '}')
+                continue;
+            const std::string stmt =
+                body.substr(start, i - start);
+            start = i + 1;
+            std::smatch m;
+            if (!std::regex_search(stmt, m, kDecl))
+                continue;
+            const std::string type = trim(m[1].str());
+            const std::string name = m[3];
+            if (keywordSet().count(type) ||
+                keywordSet().count(name) || macroLike(name) ||
+                type == "auto")
+                continue;
+            def.locals.emplace(name, type);
+        }
+
+        // Range-for element declarations, with container-element
+        // inference for `auto` from member/local container types.
+        static const std::regex kRangeFor(
+            "\\bfor\\s*\\(\\s*(?:const\\s+)?"
+            "(auto|(?:[A-Za-z_]\\w*\\s*::\\s*)*[A-Za-z_]\\w*"
+            "(?:\\s*<[^;()]*>)?)((?:\\s*[&*])+\\s*|\\s+)"
+            "([A-Za-z_]\\w*)\\s*:\\s*([^();]+)\\)");
+        for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                            kRangeFor);
+             it != std::sregex_iterator(); ++it) {
+            const std::string type = trim((*it)[1].str());
+            const std::string name = (*it)[3];
+            const std::string cont = trim((*it)[4].str());
+            if (type != "auto") {
+                def.locals.emplace(name, type);
+                continue;
+            }
+            std::string contType;
+            const auto local = def.locals.find(cont);
+            if (local != def.locals.end()) {
+                contType = local->second;
+            } else if (classId >= 0) {
+                const auto &members =
+                    index.classes_[static_cast<std::size_t>(
+                                       classId)]
+                        .members;
+                const auto member = members.find(cont);
+                if (member != members.end())
+                    contType = member->second.type;
+            }
+            if (contType.empty())
+                continue;
+            const std::size_t lt = contType.find('<');
+            if (lt == std::string::npos)
+                continue;
+            const std::size_t gt =
+                matchAngle(contType, lt, contType.size());
+            if (gt == std::string::npos)
+                continue;
+            const std::vector<std::string> args = splitTopLevel(
+                contType.substr(lt + 1, gt - lt - 1));
+            if (!args.empty() && !args.front().empty())
+                def.locals.emplace(name, args.front());
+        }
+        (void)base;
+        (void)file;
+    }
+
+    /** Call sites: identifier(...) occurrences, classified. */
+    void
+    extractCalls(const std::string &body, std::size_t base,
+                 const SourceFile &file, FunctionDef &def)
+    {
+        for (std::size_t i = 0; i < body.size();) {
+            if (!isIdentStart(body[i]) ||
+                (i > 0 && isIdentChar(body[i - 1]))) {
+                ++i;
+                continue;
+            }
+            std::size_t j = i;
+            while (j < body.size() && isIdentChar(body[j]))
+                ++j;
+            const std::string ident = body.substr(i, j - i);
+            std::size_t k = j;
+            while (k < body.size() &&
+                   (body[k] == ' ' || body[k] == '\t' ||
+                    body[k] == '\n'))
+                ++k;
+            std::string templateArgs;
+            if (k < body.size() && body[k] == '<') {
+                const std::size_t close = matchAngle(body, k);
+                if (close == std::string::npos) {
+                    i = j;
+                    continue;
+                }
+                std::size_t after = close + 1;
+                while (after < body.size() &&
+                       (body[after] == ' ' || body[after] == '\t' ||
+                        body[after] == '\n'))
+                    ++after;
+                if (after >= body.size() || body[after] != '(') {
+                    i = j;
+                    continue;
+                }
+                templateArgs =
+                    body.substr(k + 1, close - k - 1);
+                k = after;
+            }
+            if (k >= body.size() || body[k] != '(') {
+                i = j;
+                continue;
+            }
+            if (keywordSet().count(ident) || macroLike(ident)) {
+                i = j;
+                continue;
+            }
+
+            CallSite call;
+            call.line = file.lineOfOffset(base + i);
+            const std::size_t close = matchParen(body, k);
+            if (close != std::string::npos) {
+                for (const std::string &arg : splitTopLevel(
+                         body.substr(k + 1, close - k - 1))) {
+                    if (!arg.empty())
+                        call.args.push_back(arg);
+                }
+            }
+
+            // Walk back: qualifier chain, then receiver/context.
+            std::size_t p = skipWsBack(body, i);
+            std::vector<std::string> chain;
+            while (p >= 2 && body[p - 1] == ':' &&
+                   body[p - 2] == ':') {
+                p = skipWsBack(body, p - 2);
+                const std::string tok = identEndingAt(body, p);
+                if (tok.empty())
+                    break; // leading `::` (global qualifier)
+                chain.insert(chain.begin(), tok);
+                p = skipWsBack(body, p - tok.size());
+            }
+            for (std::size_t ci = 0; ci < chain.size(); ++ci) {
+                if (ci)
+                    call.qualifier += "::";
+                call.qualifier += chain[ci];
+            }
+
+            bool declMatched = false;
+            if (call.qualifier.empty() && p > 0) {
+                const char prev = body[p - 1];
+                auto receiverAt = [&](std::size_t end) {
+                    const std::size_t r = skipWsBack(body, end);
+                    const std::string recv =
+                        identEndingAt(body, r);
+                    const std::size_t before =
+                        skipWsBack(body, r - recv.size());
+                    // `foo(x).bar()` / `arr[i].bar()` /
+                    // `p->q->bar()` receivers are complex
+                    // expressions — except a ')' that merely closes
+                    // a `for (...)` / `if (...)` header, which
+                    // starts a fresh statement.
+                    const bool chained = recv.empty() ||
+                        (before > 0 &&
+                         (body[before - 1] == '.' ||
+                          body[before - 1] == ']' ||
+                          (body[before - 1] == ')' &&
+                           !closesControlHeader(body, before)) ||
+                          (before > 1 && body[before - 1] == '>' &&
+                           body[before - 2] == '-')));
+                    call.receiver = chained ? "?" : recv;
+                };
+                if (prev == '.') {
+                    receiverAt(p - 1);
+                } else if (prev == '>' && p > 1 &&
+                           body[p - 2] == '-') {
+                    receiverAt(p - 2);
+                } else if (isIdentChar(prev)) {
+                    // `Type name(args)`: a declaration, not a call
+                    // of `name` — record a constructor invocation
+                    // of Type (plus the local) instead.
+                    const std::string prevTok =
+                        identEndingAt(body, p);
+                    if (prevTok == "new") {
+                        call.ctor = true;
+                        call.name = ident;
+                        declMatched = true;
+                    } else if (!prevTok.empty() &&
+                               !keywordSet().count(prevTok) &&
+                               !macroLike(prevTok)) {
+                        call.ctor = true;
+                        call.name = prevTok;
+                        def.locals.emplace(ident, prevTok);
+                        declMatched = true;
+                    }
+                } else if (prev == '>') {
+                    // `vector<T> name(...)`: declaration with a
+                    // templated type; skip (no reliable callee).
+                    i = j;
+                    continue;
+                }
+            }
+
+            if (!declMatched) {
+                if ((ident == "make_unique" ||
+                     ident == "make_shared") &&
+                    !templateArgs.empty()) {
+                    const std::vector<std::string> targs =
+                        splitTopLevel(templateArgs);
+                    const std::string cls = targs.empty()
+                        ? std::string()
+                        : lastTypeIdentifier(targs.front());
+                    if (cls.empty()) {
+                        i = j;
+                        continue;
+                    }
+                    call.ctor = true;
+                    call.qualifier.clear();
+                    call.name = cls;
+                } else {
+                    call.name = ident;
+                }
+            }
+            def.calls.push_back(std::move(call));
+            i = j;
+        }
+    }
+
+    void
+    indexFile(const SourceFile &file, int fileIndex)
+    {
+        const std::string scan = scanText(file);
+        struct Scope
+        {
+            bool isClass;
+            std::string name;
+            int classId;
+        };
+        std::vector<Scope> stack;
+        auto scopeQname = [&](const std::string &extra) {
+            std::string qname;
+            for (const Scope &scope : stack) {
+                if (scope.name.empty())
+                    continue;
+                if (!qname.empty())
+                    qname += "::";
+                qname += scope.name;
+            }
+            if (!extra.empty()) {
+                if (!qname.empty())
+                    qname += "::";
+                qname += extra;
+            }
+            return qname;
+        };
+
+        std::size_t headStart = 0;
+        std::size_t i = 0;
+        while (i < scan.size()) {
+            const char c = scan[i];
+            if (c == ';') {
+                if (!stack.empty() && stack.back().isClass)
+                    parseMember(
+                        scan.substr(headStart, i - headStart),
+                        stack.back().classId,
+                        file.lineOfOffset(headStart));
+                headStart = ++i;
+                continue;
+            }
+            if (c == '}') {
+                if (!stack.empty())
+                    stack.pop_back();
+                headStart = ++i;
+                continue;
+            }
+            if (c != '{') {
+                ++i;
+                continue;
+            }
+
+            const std::string rawHead =
+                scan.substr(headStart, i - headStart);
+            if (isInitListBrace(rawHead)) {
+                // Member-initializer brace: fold it into the head
+                // and keep looking for the body brace.
+                const std::size_t close = matchBrace(scan, i);
+                if (close == std::string::npos)
+                    break;
+                i = close + 1;
+                continue;
+            }
+            const std::string head = preprocessHead(rawHead);
+            const Head parsed = classifyHead(head);
+            const std::size_t close = matchBrace(scan, i);
+
+            if (parsed.kind == Head::Kind::Namespace) {
+                // One scope entry per brace, even for `namespace
+                // A::B {` — a single '}' closes the whole chain.
+                std::string joined;
+                for (const std::string &name : parsed.namespaces) {
+                    const std::string effective = name.empty()
+                        ? "(anon@" + std::to_string(fileIndex) + ")"
+                        : name;
+                    if (!joined.empty())
+                        joined += "::";
+                    joined += effective;
+                }
+                stack.push_back({false, joined, -1});
+                headStart = ++i;
+                continue;
+            }
+
+            if (parsed.kind == Head::Kind::Class) {
+                const std::string qname = scopeQname(parsed.name);
+                int classId = -1;
+                for (std::size_t ci = 0;
+                     ci < index.classes_.size(); ++ci) {
+                    if (index.classes_[ci].qname == qname) {
+                        classId = static_cast<int>(ci);
+                        break;
+                    }
+                }
+                if (classId < 0) {
+                    classId =
+                        static_cast<int>(index.classes_.size());
+                    ClassInfo cls;
+                    cls.qname = qname;
+                    cls.shortName = parsed.name;
+                    cls.bases = parsed.bases;
+                    cls.fileIndex = fileIndex;
+                    cls.line = file.lineOfOffset(
+                        headStart + parsed.nameOffset);
+                    index.classes_.push_back(std::move(cls));
+                    registerClassShort(classId);
+                }
+                stack.push_back({true, parsed.name, classId});
+                headStart = ++i;
+                continue;
+            }
+
+            if (parsed.kind == Head::Kind::Function &&
+                close != std::string::npos) {
+                int classId = -1;
+                std::string qname;
+                if (!parsed.qualifier.empty()) {
+                    // Out-of-line member: bind the qualifier to the
+                    // first known class whose qname ends in it
+                    // (classes_ order is deterministic).
+                    for (std::size_t ci = 0;
+                         ci < index.classes_.size() && classId < 0;
+                         ++ci) {
+                        if (qnameEndsWith(index.classes_[ci].qname,
+                                          parsed.qualifier))
+                            classId = static_cast<int>(ci);
+                    }
+                    if (classId >= 0) {
+                        qname = index.classes_
+                                    [static_cast<std::size_t>(
+                                         classId)]
+                                        .qname +
+                            "::" + parsed.name;
+                    } else {
+                        qname = scopeQname(parsed.qualifier +
+                                           "::" + parsed.name);
+                    }
+                } else if (!stack.empty() &&
+                           stack.back().isClass) {
+                    classId = stack.back().classId;
+                    qname = index.classes_
+                                [static_cast<std::size_t>(classId)]
+                                    .qname +
+                        "::" + parsed.name;
+                } else {
+                    qname = scopeQname(parsed.name);
+                }
+
+                const int nodeId =
+                    ensureNode(qname, parsed.name, classId);
+                FunctionDef def;
+                def.fileIndex = fileIndex;
+                const std::size_t effStart =
+                    headStart +
+                    std::min(rawHead.find_first_not_of(" \t\n"),
+                             rawHead.size());
+                def.headLine = file.lineOfOffset(effStart);
+                def.line = file.lineOfOffset(headStart +
+                                             parsed.nameOffset);
+                def.bodyBeginLine = file.lineOfOffset(i);
+                def.bodyEndLine = file.lineOfOffset(close);
+                parseParams(parsed.params, def);
+                const std::string body =
+                    scan.substr(i + 1, close - i - 1);
+                extractLocals(body, i + 1, file, classId, def);
+                extractCalls(body, i + 1, file, def);
+                index.functions_[static_cast<std::size_t>(nodeId)]
+                    .defs.push_back(std::move(def));
+                i = close + 1;
+                headStart = i;
+                continue;
+            }
+
+            // Anything else that opens a brace (enum, initializer,
+            // lambda at file scope, unparseable head): record a
+            // possible member declaration, then skip the group.
+            if (!stack.empty() && stack.back().isClass)
+                parseMember(rawHead, stack.back().classId,
+                            file.lineOfOffset(headStart));
+            if (close == std::string::npos)
+                break;
+            i = close + 1;
+            headStart = i;
+        }
+    }
+
+    void
+    link()
+    {
+        for (std::size_t n = 0; n < index.functions_.size(); ++n) {
+            FunctionNode &node = index.functions_[n];
+            std::map<int, Edge> edges;
+            for (FunctionDef &def : node.defs) {
+                for (CallSite &call : def.calls) {
+                    call.callee =
+                        index.resolveCall(node, def, call, files);
+                    if (call.callee < 0)
+                        continue;
+                    edges.emplace(
+                        call.callee,
+                        Edge{call.callee, def.fileIndex,
+                             call.line});
+                }
+            }
+            node.edges.clear();
+            node.edges.reserve(edges.size());
+            for (const auto &entry : edges)
+                node.edges.push_back(entry.second);
+        }
+    }
+};
+
+int
+SymbolIndex::resolveCall(const FunctionNode &caller,
+                         const FunctionDef &def,
+                         const CallSite &call,
+                         const std::vector<SourceFile> &files) const
+{
+    (void)files;
+    if (call.ctor) {
+        const int cls = classByShortName(call.name);
+        if (cls < 0)
+            return -1;
+        return methodNoWalk(
+            cls, classes_[static_cast<std::size_t>(cls)].shortName);
+    }
+
+    if (!call.qualifier.empty()) {
+        // Class-qualified (base/static) call, then an exact
+        // namespace-qualified function.
+        int cls = -1;
+        for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
+            if (qnameEndsWith(classes_[ci].qname, call.qualifier)) {
+                if (cls >= 0) {
+                    cls = -1;
+                    break; // ambiguous
+                }
+                cls = static_cast<int>(ci);
+            }
+        }
+        if (cls >= 0) {
+            const int m = method(cls, call.name);
+            if (m >= 0)
+                return m;
+        }
+        return byQnameSuffix(call.qualifier + "::" + call.name);
+    }
+
+    if (call.receiver.empty() || call.receiver == "this") {
+        if (caller.classId >= 0) {
+            const int m = method(caller.classId, call.name);
+            if (m >= 0)
+                return m;
+        }
+        if (call.receiver == "this")
+            return -1;
+        // Enclosing namespaces, innermost first.
+        std::string prefix = caller.qname;
+        while (true) {
+            const std::size_t sep = prefix.rfind("::");
+            if (sep == std::string::npos)
+                break;
+            prefix = prefix.substr(0, sep);
+            const auto it =
+                nodeByQname_.find(prefix + "::" + call.name);
+            if (it != nodeByQname_.end() &&
+                functions_[static_cast<std::size_t>(it->second)]
+                        .classId < 0)
+                return it->second;
+        }
+        const auto global = nodeByQname_.find(call.name);
+        if (global != nodeByQname_.end() &&
+            functions_[static_cast<std::size_t>(global->second)]
+                    .classId < 0)
+            return global->second;
+        // A unique free function anywhere.
+        const auto it = nodesByShort_.find(call.name);
+        if (it != nodesByShort_.end()) {
+            int found = -1;
+            for (const int id : it->second) {
+                if (functions_[static_cast<std::size_t>(id)]
+                        .classId >= 0)
+                    continue;
+                if (found >= 0)
+                    return -1;
+                found = id;
+            }
+            if (found >= 0)
+                return found;
+        }
+        return -1;
+    }
+
+    // Receiver expression: type it if we can.
+    std::string type;
+    if (call.receiver != "?") {
+        const auto local = def.locals.find(call.receiver);
+        if (local != def.locals.end()) {
+            type = local->second;
+        } else if (caller.classId >= 0) {
+            // Member variable, walking base classes.
+            std::set<int> visited;
+            std::deque<int> queue{caller.classId};
+            while (!queue.empty() && type.empty()) {
+                const int c = queue.front();
+                queue.pop_front();
+                if (c < 0 || !visited.insert(c).second)
+                    continue;
+                const ClassInfo &cls =
+                    classes_[static_cast<std::size_t>(c)];
+                const auto member =
+                    cls.members.find(call.receiver);
+                if (member != cls.members.end()) {
+                    type = member->second.type;
+                    break;
+                }
+                for (const std::string &base : cls.bases)
+                    queue.push_back(classByShortName(base));
+            }
+        }
+    }
+    if (!type.empty()) {
+        const int cls = classOfType(type);
+        if (cls >= 0)
+            return method(cls, call.name);
+    }
+
+    // Unknown receiver type: resolve only when exactly one indexed
+    // class defines the method, and the name is not a common std::
+    // method (no false edges from `str.clear()` and friends).
+    if (commonMethodNames().count(call.name))
+        return -1;
+    const auto it = nodesByShort_.find(call.name);
+    if (it == nodesByShort_.end())
+        return -1;
+    int found = -1;
+    for (const int id : it->second) {
+        if (functions_[static_cast<std::size_t>(id)].classId < 0)
+            continue;
+        if (found >= 0)
+            return -1;
+        found = id;
+    }
+    return found;
+}
+
+SymbolIndex
+SymbolIndex::build(const std::vector<SourceFile> &files)
+{
+    SymbolIndex index;
+    IndexBuilder builder{index, files};
+    // Headers first: class member types must be on record before a
+    // .cc's bodies are scanned, or range-for element inference (and
+    // any other member-type lookup made during body extraction)
+    // would depend on the lexicographic file order, where "x.cc"
+    // sorts before "x.hh".
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        if (files[f].isHeader())
+            builder.indexFile(files[f], static_cast<int>(f));
+    }
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        if (!files[f].isHeader())
+            builder.indexFile(files[f], static_cast<int>(f));
+    }
+    builder.link();
+    return index;
+}
+
+} // namespace critmem::analysis

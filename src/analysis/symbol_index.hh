@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-translation-unit symbol index and call graph for the
+ * SemanticRule family of critmem-lint (DESIGN.md section 13).
+ *
+ * Built on the same blanked-code view the lexical rules use — still
+ * no libclang. A brace-driven scope scanner finds namespace, class
+ * and function definitions; call sites inside each body are resolved
+ * to graph nodes by scope heuristics (own class, base classes,
+ * enclosing namespaces, receiver-type inference from member/param/
+ * local declarations). Resolution is deliberately precision-first:
+ * when a call cannot be attributed unambiguously, NO edge is added —
+ * a false edge would fabricate a lint finding, a missing edge only
+ * narrows coverage (the false-negative envelope is documented in
+ * DESIGN.md). Overloads share one node, so overload ambiguity never
+ * fabricates an edge either.
+ */
+
+#ifndef CRITMEM_ANALYSIS_SYMBOL_INDEX_HH
+#define CRITMEM_ANALYSIS_SYMBOL_INDEX_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.hh"
+
+namespace critmem::analysis
+{
+
+/** One member-variable declaration inside a class. */
+struct MemberVar
+{
+    std::string type;
+    int line = 0;
+};
+
+/** One indexed class/struct definition. */
+struct ClassInfo
+{
+    /** Fully qualified name, e.g. "critmem::sched::Bliss". */
+    std::string qname;
+    /** Last component of qname, e.g. "Bliss". */
+    std::string shortName;
+    /** Base-class short names, as resolved from the base list. */
+    std::vector<std::string> bases;
+    /** Member variables: name -> declared type. */
+    std::map<std::string, MemberVar> members;
+    int fileIndex = -1;
+    int line = 0;
+};
+
+/** One parameter of a function definition. */
+struct Param
+{
+    std::string type;
+    std::string name;
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    /** Callee identifier as written (last component). */
+    std::string name;
+    /** "A::B" qualifier text before the name ("" when none). */
+    std::string qualifier;
+    /** "", "this", a simple variable name, or "?" (complex expr). */
+    std::string receiver;
+    /** Top-level argument expressions, trimmed. */
+    std::vector<std::string> args;
+    /** True for constructor invocations (decl, new, make_unique). */
+    bool ctor = false;
+    int line = 0;
+    /** Resolved callee node id, -1 when unresolved. */
+    int callee = -1;
+};
+
+/** One definition (body) of a function; overloads each get one. */
+struct FunctionDef
+{
+    int fileIndex = -1;
+    /** First line of the head (the return-type line). */
+    int headLine = 0;
+    /** Line holding the function name. */
+    int line = 0;
+    int bodyBeginLine = 0;
+    int bodyEndLine = 0;
+    std::vector<Param> params;
+    /** Local/param declarations: name -> declared type. */
+    std::map<std::string, std::string> locals;
+    std::vector<CallSite> calls;
+};
+
+/** One resolved call-graph edge (first witness per callee). */
+struct Edge
+{
+    int callee = -1;
+    /** Where the witnessing call site lives. */
+    int fileIndex = -1;
+    int line = 0;
+};
+
+/** One call-graph node: a function, overloads merged by qname. */
+struct FunctionNode
+{
+    /** Fully qualified name, e.g. "critmem::Scheduler::pick". */
+    std::string qname;
+    /** Last component, e.g. "pick". */
+    std::string shortName;
+    /** Owning class id, -1 for a free function. */
+    int classId = -1;
+    std::vector<FunctionDef> defs;
+    /** Resolved outgoing edges, sorted by callee id, unique. */
+    std::vector<Edge> edges;
+};
+
+/** One step of a reconstructed call chain (for findings). */
+struct ChainStep
+{
+    /** Qualified name of the function entered at this step. */
+    std::string qname;
+    /** Call site (or definition, for the entry) location. */
+    std::string path;
+    int line = 0;
+};
+
+/** The cross-TU index: every class and function, linked. */
+class SymbolIndex
+{
+  public:
+    /** Index @p files (the analyzer's loaded tree) and link calls. */
+    static SymbolIndex build(const std::vector<SourceFile> &files);
+
+    const std::vector<ClassInfo> &classes() const { return classes_; }
+    const std::vector<FunctionNode> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Class id with @p shortName; -1 when absent or ambiguous. */
+    int classByShortName(const std::string &shortName) const;
+
+    /**
+     * Class id a declared-type string refers to: the last identifier
+     * (digging through template arguments, pointers, references)
+     * that names exactly one indexed class. -1 otherwise.
+     */
+    int classOfType(const std::string &type) const;
+
+    /**
+     * Ids of @p rootShortName's class and every class transitively
+     * derived from it (by short-name base matching).
+     */
+    std::vector<int> family(const std::string &rootShortName) const;
+
+    /**
+     * Node id of method @p name on @p classId, walking base classes
+     * when the class itself lacks it. -1 when not found.
+     */
+    int method(int classId, const std::string &name) const;
+
+    /** Node ids of every method defined on @p classId (no bases). */
+    std::vector<int> methods(int classId) const;
+
+    /** Node id whose qname equals or ends in "::@p suffix"; unique. */
+    int byQnameSuffix(const std::string &suffix) const;
+
+    /** Node ids of every function with @p shortName. */
+    std::vector<int> byShortName(const std::string &shortName) const;
+
+    /** Innermost function definition covering @p line; -1 if none. */
+    int enclosingFunction(int fileIndex, int line) const;
+
+    /**
+     * Multi-source shortest call chain from any node in @p entries
+     * to @p target, as (function, call-site) steps starting at the
+     * entry's definition. Empty when @p target is unreachable.
+     */
+    std::vector<ChainStep>
+    chain(const std::vector<int> &entries, int target,
+          const std::vector<SourceFile> &files) const;
+
+    /** Node ids reachable from @p entries (including the entries). */
+    std::vector<int> reachable(const std::vector<int> &entries) const;
+
+  private:
+    std::vector<ClassInfo> classes_;
+    std::vector<FunctionNode> functions_;
+    /** shortName -> class ids. */
+    std::map<std::string, std::vector<int>> classesByShort_;
+    /** shortName -> node ids. */
+    std::map<std::string, std::vector<int>> nodesByShort_;
+    /** qname -> node id. */
+    std::map<std::string, int> nodeByQname_;
+
+    int resolveCall(const FunctionNode &caller,
+                    const FunctionDef &def, const CallSite &call,
+                    const std::vector<SourceFile> &files) const;
+    int methodNoWalk(int classId, const std::string &name) const;
+    friend struct IndexBuilder;
+};
+
+/** What a SemanticRule may inspect: the loaded tree plus its index. */
+struct SemanticModel
+{
+    const std::vector<SourceFile> *files = nullptr;
+    SymbolIndex index;
+};
+
+} // namespace critmem::analysis
+
+#endif // CRITMEM_ANALYSIS_SYMBOL_INDEX_HH

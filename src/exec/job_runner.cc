@@ -233,6 +233,8 @@ struct Campaign
         idleCv.notify_all();
     }
 
+    // lint:thread(worker): runs on a pool thread; must never reach
+    // the sinks, the fairness annotator or the stats splice.
     void
     workerLoop(unsigned worker)
     {
@@ -277,6 +279,7 @@ struct Campaign
         return !stopping();
     }
 
+    // lint:thread(worker): runs on a pool thread via workerLoop.
     void
     execute(unsigned worker, Task task)
     {
@@ -408,6 +411,8 @@ struct Campaign
         watchdogCv.notify_all();
     }
 
+    // lint:thread(aggregation): the single thread allowed to feed
+    // ResultSinks and splice fairness stats.
     CampaignSummary
     aggregate(const std::vector<ResultSink *> &sinks)
     {

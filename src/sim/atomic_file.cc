@@ -1,5 +1,3 @@
-// lint:allow-file(durable-write): this file IS the durable-write
-// helper every other writer is required to use.
 
 #include "sim/atomic_file.hh"
 

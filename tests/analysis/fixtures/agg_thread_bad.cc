@@ -1,0 +1,41 @@
+// Aggregation-thread-only bad fixture: a function marked as
+// worker-side reaches ResultSink::consume through an intermediate
+// helper. Never compiled; lint input only.
+
+namespace fixture
+{
+
+class ResultSink
+{
+  public:
+    void
+    consume(int value)
+    {
+        total_ += value;
+    }
+
+  private:
+    int total_ = 0;
+};
+
+class Pool
+{
+  public:
+    // lint:thread(worker): runs on a pool thread.
+    void
+    workerLoop()
+    {
+        finishJob(3);
+    }
+
+    void
+    finishJob(int value)
+    {
+        sink_.consume(value);
+    }
+
+  private:
+    ResultSink sink_;
+};
+
+} // namespace fixture

@@ -1,0 +1,43 @@
+// Aggregation-thread-only good fixture: the worker does its own
+// bookkeeping; only the aggregation-marked function touches the
+// sink. Never compiled; lint input only.
+
+namespace fixture
+{
+
+class ResultSink
+{
+  public:
+    void
+    consume(int value)
+    {
+        total_ += value;
+    }
+
+  private:
+    int total_ = 0;
+};
+
+class Pool
+{
+  public:
+    // lint:thread(worker): runs on a pool thread.
+    void
+    workerLoop()
+    {
+        local_ += 1;
+    }
+
+    // lint:thread(aggregation): sole consumer of the sink.
+    void
+    aggregate()
+    {
+        sink_.consume(local_);
+    }
+
+  private:
+    ResultSink sink_;
+    int local_ = 0;
+};
+
+} // namespace fixture

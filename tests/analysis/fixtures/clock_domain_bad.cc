@@ -1,0 +1,42 @@
+// Clock-domain bad fixture: CPU-cycle and DRAM-cycle quantities mix
+// in one expression and cross a call boundary without a conversion.
+// Never compiled; lint input only.
+
+namespace fixture
+{
+
+class Mixer
+{
+  public:
+    std::uint64_t
+    skew() const
+    {
+        return cpuNow_ + dramNow_;
+    }
+
+    void
+    feed()
+    {
+        advance(cpuNow_);
+    }
+
+    void
+    advance(DramCycle now)
+    {
+        dramNow_ = now;
+    }
+
+    std::uint64_t
+    conventionSkew() const
+    {
+        return cpuCycleEstimate_ - dramCycleEstimate_;
+    }
+
+  private:
+    Cycle cpuNow_ = 0;
+    DramCycle dramNow_ = 0;
+    std::uint64_t cpuCycleEstimate_ = 0;
+    std::uint64_t dramCycleEstimate_ = 0;
+};
+
+} // namespace fixture

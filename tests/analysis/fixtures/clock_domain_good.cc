@@ -1,0 +1,48 @@
+// Clock-domain good fixture: every cross-domain interaction goes
+// through a named converter, a lint:domain marker, or stays within
+// one domain. Never compiled; lint input only.
+
+namespace fixture
+{
+
+class Clean
+{
+  public:
+    Cycle
+    skew() const
+    {
+        return cpuNow_ - toCpuCycles(dramNow_);
+    }
+
+    std::uint64_t
+    markedSkew() const
+    {
+        // lint:domain(convert): ratio of the two clocks, unitless.
+        return cpuNow_ * 1000 / (dramNow_ + 1);
+    }
+
+    void
+    feed()
+    {
+        advance(dramNow_);
+    }
+
+    void
+    advance(DramCycle now)
+    {
+        dramNow_ = now;
+    }
+
+    Cycle
+    toCpuCycles(DramCycle dc) const
+    {
+        return dc * ratio_;
+    }
+
+  private:
+    Cycle cpuNow_ = 0;
+    DramCycle dramNow_ = 0;
+    Cycle ratio_ = 2;
+};
+
+} // namespace fixture

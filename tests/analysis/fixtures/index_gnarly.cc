@@ -1,0 +1,82 @@
+// Symbol-indexer stress fixture: overloads, templates, out-of-line
+// members, nested namespaces, member-initializer lists, macro-like
+// calls, anonymous namespaces. The indexer tests assert that the
+// call graph built from this file has NO false edge and that
+// indexing never crashes. Never compiled; lint input only.
+#include <string>
+
+#define LOG_THING(x) record(x)
+
+namespace outer
+{
+namespace inner
+{
+
+template <typename T>
+class Box
+{
+  public:
+    T
+    get() const
+    {
+        return value_;
+    }
+
+  private:
+    T value_;
+};
+
+class Gnarly
+{
+  public:
+    Gnarly() : value_(0), label_("gnarly") {}
+
+    int run(int a);
+    int run(double b);
+    int helper() const;
+
+  private:
+    int value_;
+    std::string label_;
+};
+
+} // namespace inner
+} // namespace outer
+
+int
+outer::inner::Gnarly::run(int a)
+{
+    return helper() + a;
+}
+
+int
+outer::inner::Gnarly::run(double b)
+{
+    LOG_THING(b);
+    return helper() + static_cast<int>(b);
+}
+
+int
+outer::inner::Gnarly::helper() const
+{
+    std::string copy = label_;
+    copy.clear();
+    return value_ + static_cast<int>(copy.size());
+}
+
+namespace
+{
+
+int
+fileLocal()
+{
+    return 7;
+}
+
+} // namespace
+
+int
+useAnon()
+{
+    return fileLocal();
+}

@@ -1,0 +1,44 @@
+// Transitive-determinism bad fixture: the forbidden wall-clock read
+// sits TWO call hops away from the Scheduler entry point, so only
+// the call-graph rule (not the per-file lexical rule alone) can tie
+// it back to the scheduler. Never compiled; lint input only.
+#include <chrono>
+
+namespace fixture
+{
+
+class HelperB
+{
+  public:
+    long
+    stamp() const
+    {
+        return std::chrono::steady_clock::now()
+            .time_since_epoch()
+            .count();
+    }
+};
+
+class HelperA
+{
+  public:
+    long
+    viaB() const
+    {
+        HelperB b;
+        return b.stamp();
+    }
+};
+
+class BadSched : public Scheduler
+{
+  public:
+    long
+    pick()
+    {
+        HelperA a;
+        return a.viaB();
+    }
+};
+
+} // namespace fixture

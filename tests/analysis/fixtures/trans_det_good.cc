@@ -1,0 +1,35 @@
+// Transitive-determinism good fixture: the scheduler's call chain
+// reaches a wall-clock read that carries an inline allow with a
+// stated reason — a reviewed suppression is trusted transitively,
+// so the semantic rule stays silent. Never compiled; lint input.
+#include <chrono>
+
+namespace fixture
+{
+
+class Telemetry
+{
+  public:
+    long
+    etaMs() const
+    {
+        // lint:allow(wall-clock): stderr progress display only,
+        // never enters any simulated result.
+        return std::chrono::steady_clock::now()
+            .time_since_epoch()
+            .count();
+    }
+};
+
+class GoodSched : public Scheduler
+{
+  public:
+    long
+    pick()
+    {
+        Telemetry t;
+        return t.etaMs() & 1;
+    }
+};
+
+} // namespace fixture

@@ -381,6 +381,88 @@ TEST(LintArenaCoverage, ShippedArenaCoversRegistry)
         << (findings.empty() ? "" : findings.front().message);
 }
 
+TEST(LintStaleSuppression, FlagsAllowThatSuppressesNothing)
+{
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "int clean() { return 0; } "
+        "// lint:allow(wall-clock): nothing here reads a clock\n");
+    const auto findings = analyzeFile(file);
+    ASSERT_EQ(countRule(findings, "stale-suppression"), 1u);
+    const Finding &f = findings.front();
+    EXPECT_EQ(f.line, 1);
+    EXPECT_NE(f.message.find("lint:allow(wall-clock)"),
+              std::string::npos);
+    EXPECT_NE(f.message.find("suppresses nothing"),
+              std::string::npos);
+}
+
+TEST(LintStaleSuppression, FlagsStaleWholeFileAllow)
+{
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "// lint:allow-file(unseeded-random)\n"
+        "int clean() { return 0; }\n");
+    const auto findings = analyzeFile(file);
+    ASSERT_EQ(countRule(findings, "stale-suppression"), 1u);
+    EXPECT_NE(findings.front().message.find("lint:allow-file"),
+              std::string::npos);
+}
+
+TEST(LintStaleSuppression, UsedAllowIsNotStale)
+{
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "#include <random>\n"
+        "std::mt19937 gen; // lint:allow(unseeded-random): fixture\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "stale-suppression"), 0u);
+}
+
+TEST(LintStaleSuppression, ItselfSuppressible)
+{
+    // A knowingly-dormant allow can be kept with an explicit
+    // stale-suppression allow on the same line.
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "int clean() { return 0; } "
+        "// lint:allow(wall-clock): future use "
+        "lint:allow(stale-suppression): kept on purpose\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "stale-suppression"), 0u);
+}
+
+TEST(LintJson, DeterministicEscapedOutput)
+{
+    Report report;
+    report.filesScanned = 2;
+    Finding f{"wall-clock", Severity::Error, "a.cc", 3,
+              "'steady_clock' reads \"host\" time\tnow"};
+    f.chain.push_back({"Sched::pick", "a.cc", 10});
+    report.findings.push_back(f);
+    report.baselined.push_back(
+        {"narrow-cycle", Severity::Error, "b.cc", 1, "m"});
+
+    const std::string once = formatJson(report);
+    EXPECT_EQ(once, formatJson(report));
+    EXPECT_NE(once.find("\"filesScanned\": 2"), std::string::npos);
+    EXPECT_NE(once.find("\"clean\": false"), std::string::npos);
+    // Quotes and tabs inside messages must round-trip escaped.
+    EXPECT_NE(once.find("\\\"host\\\" time\\tnow"),
+              std::string::npos);
+    EXPECT_NE(once.find("\"symbol\": \"Sched::pick\""),
+              std::string::npos);
+    EXPECT_NE(once.find("\"baselined\""), std::string::npos);
+    EXPECT_EQ(once.back(), '\n');
+}
+
+TEST(LintJson, EmptyReportIsClean)
+{
+    Report report;
+    report.filesScanned = 1;
+    const std::string json = formatJson(report);
+    EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
 TEST(LintReport, FindingRenderAndOrder)
 {
     const Finding a{"wall-clock", Severity::Error, "a.cc", 3, "m"};

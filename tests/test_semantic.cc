@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Semantic-lint tests: the cross-TU symbol indexer on gnarly inputs
+ * (overloads, templates, out-of-line members, nested and anonymous
+ * namespaces, macro-like calls — proving no false edge and no
+ * crash), the three SemanticRules on their bad/good fixture twins —
+ * including the acceptance canary: a wall-clock read TWO call hops
+ * from a Scheduler entry point must be caught with its full chain —
+ * and a deterministic mutant-fuzz loop over every C++ fixture.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "analysis/symbol_index.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace critmem;
+using namespace critmem::analysis;
+
+const std::string kFixtures =
+    std::string(CRITMEM_REPO_ROOT) + "/tests/analysis/fixtures/";
+
+SourceFile
+loadFixture(const std::string &name)
+{
+    return loadSourceFile(kFixtures + name,
+                          "tests/analysis/fixtures/" + name);
+}
+
+std::vector<Finding>
+lintFixture(const std::string &name)
+{
+    return analyzeFile(loadFixture(name));
+}
+
+std::vector<Finding>
+ruleFindings(const std::vector<Finding> &findings,
+             const std::string &rule)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : findings) {
+        if (f.rule == rule)
+            out.push_back(f);
+    }
+    return out;
+}
+
+int
+nodeByQname(const SymbolIndex &index, const std::string &suffix)
+{
+    return index.byQnameSuffix(suffix);
+}
+
+// ---------------------------------------------------------------------------
+// transitive-determinism
+
+TEST(SemanticTransDet, CatchesTwoHopChainFromScheduler)
+{
+    const auto findings = lintFixture("trans_det_bad.cc");
+    const auto hits =
+        ruleFindings(findings, "transitive-determinism");
+    ASSERT_EQ(hits.size(), 1u);
+    const Finding &f = hits.front();
+    EXPECT_NE(f.message.find("steady_clock"), std::string::npos);
+    EXPECT_NE(f.message.find("BadSched::pick"), std::string::npos);
+    // Full chain: entry point, intermediate hop, tainted function.
+    ASSERT_EQ(f.chain.size(), 3u);
+    EXPECT_NE(f.chain[0].symbol.find("BadSched::pick"),
+              std::string::npos);
+    EXPECT_NE(f.chain[1].symbol.find("HelperA::viaB"),
+              std::string::npos);
+    EXPECT_NE(f.chain[2].symbol.find("HelperB::stamp"),
+              std::string::npos);
+    // The direct lexical finding still fires alongside.
+    EXPECT_EQ(ruleFindings(findings, "wall-clock").size(), 1u);
+}
+
+TEST(SemanticTransDet, TrustsReviewedInlineSuppression)
+{
+    const auto findings = lintFixture("trans_det_good.cc");
+    // The allow silences the direct rule, is trusted transitively,
+    // and is not stale (it suppressed a real finding).
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+TEST(SemanticTransDet, ChainRenderedInTextReport)
+{
+    const auto findings = lintFixture("trans_det_bad.cc");
+    const auto hits =
+        ruleFindings(findings, "transitive-determinism");
+    ASSERT_EQ(hits.size(), 1u);
+    std::ostringstream os;
+    os << hits.front();
+    EXPECT_NE(os.str().find("\n    via "), std::string::npos);
+    EXPECT_NE(os.str().find("HelperA::viaB"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// clock-domain
+
+TEST(SemanticClockDomain, FiresOnMixesAndCrossCalls)
+{
+    const auto findings = lintFixture("clock_domain_bad.cc");
+    const auto hits = ruleFindings(findings, "clock-domain");
+    ASSERT_EQ(hits.size(), 3u);
+    // Typed member mixing on one line.
+    EXPECT_NE(hits[0].message.find("cpuNow_"), std::string::npos);
+    EXPECT_NE(hits[0].message.find("dramNow_"), std::string::npos);
+    // Cross-call argument/parameter mismatch, with the callee named.
+    EXPECT_NE(hits[1].message.find("Mixer::advance"),
+              std::string::npos);
+    // Naming-convention variables mix too.
+    EXPECT_NE(hits[2].message.find("cpuCycleEstimate_"),
+              std::string::npos);
+}
+
+TEST(SemanticClockDomain, SilentWithConvertersAndMarkers)
+{
+    const auto findings = lintFixture("clock_domain_good.cc");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------------
+// aggregation-thread-only
+
+TEST(SemanticAggThread, FiresWhenWorkerReachesSink)
+{
+    const auto findings = lintFixture("agg_thread_bad.cc");
+    const auto hits =
+        ruleFindings(findings, "aggregation-thread-only");
+    ASSERT_EQ(hits.size(), 1u);
+    const Finding &f = hits.front();
+    EXPECT_NE(f.message.find("Pool::workerLoop"),
+              std::string::npos);
+    EXPECT_NE(f.message.find("ResultSink::consume"),
+              std::string::npos);
+    ASSERT_EQ(f.chain.size(), 3u);
+    EXPECT_NE(f.chain[1].symbol.find("Pool::finishJob"),
+              std::string::npos);
+}
+
+TEST(SemanticAggThread, SilentWhenOnlyAggregationTouchesSink)
+{
+    const auto findings = lintFixture("agg_thread_good.cc");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------------
+// symbol indexer on gnarly inputs
+
+TEST(SemanticIndex, GnarlyOverloadsShareOneNode)
+{
+    const std::vector<SourceFile> files{
+        loadFixture("index_gnarly.cc")};
+    const SymbolIndex index = SymbolIndex::build(files);
+    const int run = nodeByQname(index, "Gnarly::run");
+    ASSERT_GE(run, 0);
+    const FunctionNode &node =
+        index.functions()[static_cast<std::size_t>(run)];
+    EXPECT_EQ(node.qname, "outer::inner::Gnarly::run");
+    EXPECT_EQ(node.defs.size(), 2u);
+}
+
+TEST(SemanticIndex, GnarlyNoFalseEdges)
+{
+    const std::vector<SourceFile> files{
+        loadFixture("index_gnarly.cc")};
+    const SymbolIndex index = SymbolIndex::build(files);
+
+    // run -> helper is the ONLY edge out of run: the macro-like
+    // LOG_THING(...) call and static_cast must not produce edges.
+    const int run = nodeByQname(index, "Gnarly::run");
+    const int helper = nodeByQname(index, "Gnarly::helper");
+    ASSERT_GE(run, 0);
+    ASSERT_GE(helper, 0);
+    const FunctionNode &runNode =
+        index.functions()[static_cast<std::size_t>(run)];
+    ASSERT_EQ(runNode.edges.size(), 1u);
+    EXPECT_EQ(runNode.edges.front().callee, helper);
+
+    // helper's std::string method calls (clear, size) must not be
+    // attributed to any indexed function.
+    const FunctionNode &helperNode =
+        index.functions()[static_cast<std::size_t>(helper)];
+    EXPECT_TRUE(helperNode.edges.empty());
+}
+
+TEST(SemanticIndex, GnarlyAnonymousNamespaceStaysFileLocal)
+{
+    const std::vector<SourceFile> files{
+        loadFixture("index_gnarly.cc")};
+    const SymbolIndex index = SymbolIndex::build(files);
+    const int fileLocal = nodeByQname(index, "fileLocal");
+    ASSERT_GE(fileLocal, 0);
+    EXPECT_NE(index.functions()
+                  [static_cast<std::size_t>(fileLocal)]
+                      .qname.find("(anon@"),
+              std::string::npos);
+    const int useAnon = nodeByQname(index, "useAnon");
+    ASSERT_GE(useAnon, 0);
+    const FunctionNode &node =
+        index.functions()[static_cast<std::size_t>(useAnon)];
+    ASSERT_EQ(node.edges.size(), 1u);
+    EXPECT_EQ(node.edges.front().callee, fileLocal);
+}
+
+TEST(SemanticIndex, GnarlyTemplatesAndCtorsIndexed)
+{
+    const std::vector<SourceFile> files{
+        loadFixture("index_gnarly.cc")};
+    const SymbolIndex index = SymbolIndex::build(files);
+    EXPECT_GE(nodeByQname(index, "Box::get"), 0);
+    // The member-initializer-list constructor must index as a
+    // definition, not swallow the rest of the file.
+    EXPECT_GE(nodeByQname(index, "Gnarly::Gnarly"), 0);
+    EXPECT_GE(index.classByShortName("Gnarly"), 0);
+}
+
+TEST(SemanticIndex, EnclosingFunctionFindsTaintedBody)
+{
+    const std::vector<SourceFile> files{
+        loadFixture("trans_det_bad.cc")};
+    const SymbolIndex index = SymbolIndex::build(files);
+    // Line 16 is the steady_clock read inside HelperB::stamp.
+    const int fn = index.enclosingFunction(0, 16);
+    ASSERT_GE(fn, 0);
+    EXPECT_EQ(index.functions()[static_cast<std::size_t>(fn)]
+                  .qname,
+              "fixture::HelperB::stamp");
+}
+
+// ---------------------------------------------------------------------------
+// mutant fuzz: indexing arbitrary mutations of real inputs must
+// never crash or throw (mirrors the tracefuzz harness for traces).
+
+TEST(SemanticFuzz, FixtureMutantsNeverCrash)
+{
+    const std::vector<std::string> seeds{
+        "trans_det_bad.cc",    "trans_det_good.cc",
+        "clock_domain_bad.cc", "clock_domain_good.cc",
+        "agg_thread_bad.cc",   "agg_thread_good.cc",
+        "index_gnarly.cc",     "wall_clock_bad.cc",
+        "hot_path_alloc_bad.cc"};
+    static const char kNoise[] = "{}();:<>,*&=\"'/\\#";
+    Rng rng(0xc0ffee5eedULL);
+
+    for (const std::string &name : seeds) {
+        const SourceFile original = loadFixture(name);
+        std::string text;
+        for (const std::string &line : original.lines)
+            text += line + "\n";
+
+        for (int mutant = 0; mutant < 40; ++mutant) {
+            std::string mutated = text;
+            const int edits =
+                1 + static_cast<int>(rng.below(4));
+            for (int e = 0; e < edits && !mutated.empty(); ++e) {
+                const std::size_t pos = static_cast<std::size_t>(
+                    rng.below(mutated.size()));
+                switch (rng.below(4)) {
+                  case 0: // delete a span
+                    mutated.erase(
+                        pos, 1 + static_cast<std::size_t>(
+                                     rng.below(20)));
+                    break;
+                  case 1: // duplicate a span
+                    mutated.insert(
+                        pos,
+                        mutated.substr(
+                            pos, 1 + static_cast<std::size_t>(
+                                         rng.below(20))));
+                    break;
+                  case 2: // structural noise
+                    mutated[pos] = kNoise[rng.below(
+                        sizeof(kNoise) - 1)];
+                    break;
+                  default: // truncate
+                    mutated.resize(pos);
+                    break;
+                }
+            }
+            EXPECT_NO_THROW({
+                const SourceFile file =
+                    makeSourceFile("fuzz/" + name, mutated);
+                const std::vector<SourceFile> files{file};
+                const SymbolIndex index =
+                    SymbolIndex::build(files);
+                (void)index.functions();
+                (void)analyzeFile(file);
+            }) << name
+               << " mutant " << mutant;
+        }
+    }
+}
+
+} // namespace

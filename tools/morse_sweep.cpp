@@ -34,7 +34,9 @@ static RunResult runMorse(const SystemConfig& cfg, const AppParams& app,
                              rng.chance(0.12) ? LineState::Modified : LineState::Exclusive);
         }
     }
-    Cycle cyc = 0; std::uint64_t acc = 0; DramCycle dc = 0;
+    Cycle cyc = 0;
+    std::uint64_t acc = 0;
+    DramCycle dc = 0;
     auto tick = [&] {
         ++cyc; hier.tick(cyc);
         for (auto& c2 : cores) c2->tick(cyc);
