@@ -66,7 +66,17 @@ if [ -f "$arena_spec" ]; then
     "$(dirname "$0")/check_arena.sh" "$sweep" "$arena_spec"
 fi
 
-# 6. The lint tool itself must be deterministic: two critmem-lint
+# 6. Process isolation is determinism across fork(): --isolate must
+#    produce byte-identical result files, injected process faults
+#    must be contained as classified records, and a SIGKILLed
+#    worker/supervisor pair must resume byte-identically.
+isolation_spec=$(dirname "$spec")/isolation.sweep
+if [ -f "$isolation_spec" ]; then
+    "$(dirname "$0")/check_isolation.sh" "$sweep" "$isolation_spec" \
+        "$spec"
+fi
+
+# 7. The lint tool itself must be deterministic: two critmem-lint
 #    --json runs over the same checkout (symbol index, call-graph
 #    rules, suppression bookkeeping and all) must emit byte-identical
 #    reports. The tool's own timing goes to stderr only, never into

@@ -38,6 +38,13 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
 ./scripts/check_arena.sh ./build/examples/critmem-sweep \
     specs/arena.sweep
 
+# Crash containment: --isolate must contain an injected SIGSEGV and a
+# memory hog as classified records, keep results byte-identical to
+# in-process execution, and survive SIGKILL of worker + supervisor
+# with a byte-identical --resume.
+./scripts/check_isolation.sh ./build/examples/critmem-sweep \
+    specs/isolation.sweep specs/fig10.sweep
+
 # ASan+UBSan pass: the whole suite again under the sanitizers
 # (includes TraceFuzz.Corpus, so the 10k-mutant seed-1 fuzz run
 # happens under ASan/UBSan too), plus a second fuzz run on a
@@ -51,6 +58,13 @@ if [ "${CRITMEM_SKIP_ASAN:-0}" != "1" ]; then
     ./build-asan/examples/critmem-tracefuzz \
         --corpus tests/trace/fixtures --iterations 10000 --seed 2 \
         --scratch build-asan/tracefuzz.scratch --quiet
+    # Crash containment under ASan as well: the script disables the
+    # sanitizer's SIGSEGV interception for the fault legs so the
+    # worker dies with the real signal, and allocator_may_return_null
+    # turns the RLIMIT_AS hit into the std::bad_alloc the oom
+    # classification expects.
+    ./scripts/check_isolation.sh ./build-asan/examples/critmem-sweep \
+        specs/isolation.sweep specs/fig10.sweep
 fi
 
 # TSan pass: the execution engine's worker pool and a parallel sweep

@@ -478,9 +478,12 @@ class DurableWriteRule : public SourceRule
         static const std::regex kOfstream("\\bofstream\\b");
         static const std::regex kFopen("\\bfopen\\s*\\(");
         // The mode is a string literal, blanked in the code view:
-        // sniff it from the raw line.
-        static const std::regex kFopenMode(
-            "\\bfopen\\s*\\([^\"]*\"([^\"]*)\"");
+        // sniff it from the raw line. It is the quoted string sitting
+        // directly before a closing paren — matching the *first*
+        // literal instead would misread fopen("/proc/...", "r"), and
+        // anchoring on the call's own parens breaks on nested calls
+        // like fopen(path.c_str(), "rb").
+        static const std::regex kFopenMode("\"([^\"]*)\"\\s*\\)");
         for (std::size_t li = 0; li < file.code.size(); ++li) {
             std::smatch match;
             if (std::regex_search(file.code[li], match, kOfstream)) {
@@ -623,6 +626,78 @@ class HotPathAllocRule : public SourceRule
     }
 };
 
+/**
+ * no-terminate: library code must never terminate the process. The
+ * campaign layer's whole failure contract is that a broken job
+ * becomes a classified record (crashed / oom / timeout / error) and
+ * the run continues — one exit()/abort() buried in a scheduler or
+ * sink turns a recoverable per-job failure into a dead campaign and
+ * an empty result file. Calls to the exit family and abort anywhere
+ * under src/, bench/ or examples/ are flagged; tools/ (CLI argument
+ * handling, usage()) is exempt by path, and the two legitimate
+ * terminators — panic()/fatal() in sim/log.hh and the post-fork
+ * worker child in exec/worker.cc, which must _exit() instead of
+ * returning into the supervisor's stack — carry inline allows naming
+ * this rule with their justification.
+ */
+class NoTerminateRule : public SourceRule
+{
+  public:
+    const RuleMeta &
+    meta() const override
+    {
+        static const RuleMeta kMeta{
+            "no-terminate", Severity::Error,
+            "library code must not call the exit()/abort() family"};
+        return kMeta;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out)
+        const override
+    {
+        // Process termination is the CLI layer's prerogative.
+        if (file.path.rfind("tools/", 0) == 0)
+            return;
+        // Word-boundary match on the termination family, optionally
+        // std:: / :: qualified. The leading capture rejects member
+        // calls (obj.exit(), p->abort()) and other-namespace
+        // qualification (foo::exit matches neither branch: the bare
+        // name is preceded by ':', the '::' prefix by a word char).
+        static const std::regex kPattern(
+            "(^|[^.\\w>:])((?:(?:std\\s*)?::\\s*)?"
+            "(?:exit|_exit|_Exit|quick_exit|abort)\\s*\\()");
+        // A *declaration* of a function that merely shares the name
+        // (`void exit();` in some wrapper class) is preceded by its
+        // return type: text ending in an identifier before the match
+        // is not a call site.
+        static const std::regex kDeclPrefix("[\\w\\]]\\s*$");
+        for (std::size_t li = 0; li < file.code.size(); ++li) {
+            for (auto it = std::sregex_iterator(file.code[li].begin(),
+                                                file.code[li].end(),
+                                                kPattern);
+                 it != std::sregex_iterator(); ++it) {
+                const std::string pre = file.code[li].substr(
+                    0, static_cast<std::size_t>(it->position(2)));
+                if (std::regex_search(pre, kDeclPrefix))
+                    continue;
+                out.push_back(
+                    {meta().id, meta().severity, file.path,
+                     static_cast<int>(li + 1),
+                     "'" + (*it)[2].str() +
+                         ")' terminates the process from library "
+                         "code; a failure here must surface as an "
+                         "exception / classified job record, not "
+                         "kill the campaign. Throw instead, move the "
+                         "call to tools/, or add "
+                         "lint:allow(no-terminate) with why this "
+                         "path may terminate"});
+                break;
+            }
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<const SourceRule *> &
@@ -636,10 +711,11 @@ sourceRules()
     static const IncludeHygieneRule includeHygiene;
     static const DurableWriteRule durableWrite;
     static const HotPathAllocRule hotPathAlloc;
+    static const NoTerminateRule noTerminate;
     static const std::vector<const SourceRule *> kRules{
         &wallClock,      &unseededRandom, &unorderedIter,
         &narrowCycle,    &configValidate, &includeHygiene,
-        &durableWrite,   &hotPathAlloc};
+        &durableWrite,   &hotPathAlloc,   &noTerminate};
     return kRules;
 }
 

@@ -1,5 +1,10 @@
 #include "check/fault_injector.hh"
 
+#include <csignal>
+#include <new>
+
+#include <sys/mman.h>
+
 namespace critmem
 {
 
@@ -7,6 +12,12 @@ ScriptedFaultInjector::ScriptedFaultInjector(const CheckConfig &cfg)
     : kind_(cfg.fault), period_(cfg.faultPeriod),
       victim_(cfg.faultVictim), rng_(cfg.faultSeed)
 {
+}
+
+ScriptedFaultInjector::~ScriptedFaultInjector()
+{
+    for (void *region : hog_)
+        ::munmap(region, kHogChunkBytes);
 }
 
 bool
@@ -32,10 +43,50 @@ ScriptedFaultInjector::dropCompletion(const MemRequest &req,
     return true;
 }
 
+void
+ScriptedFaultInjector::processFault()
+{
+    if (++opportunities_ != period_)
+        return;
+    ++injections_;
+    if (kind_ == FaultKind::CrashWorker) {
+        // A deterministic "segfault": raising the signal directly
+        // (instead of dereferencing null) keeps sanitizer runtimes
+        // out of the picture, so an isolated worker dies with
+        // WTERMSIG == SIGSEGV under ASan/TSan exactly as in a plain
+        // build. Containment is the supervisor's job (exec/worker.cc).
+        std::raise(SIGSEGV);
+        return;
+    }
+    // HogMemory: grab address space until the per-job budget
+    // (RLIMIT_AS, set by --job-mem-mb) is exhausted, then throw
+    // bad_alloc so the isolated worker records status=oom. Raw mmap
+    // instead of operator new keeps sanitizer runtimes out of the
+    // failure path: ASan aborts (or deadlocks, when another thread
+    // held its allocator lock across fork) on an internal mmap
+    // failure before bad_alloc is reachable, so the heap route would
+    // make the oom classification runtime-dependent. Without a budget
+    // this really does try to exhaust memory — it exists to prove
+    // containment, never run it outside --isolate --job-mem-mb.
+    for (;;) {
+        void *region = ::mmap(nullptr, kHogChunkBytes,
+                              PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (region == MAP_FAILED)
+            throw std::bad_alloc();
+        hog_.push_back(region);
+    }
+}
+
 std::uint32_t
 ScriptedFaultInjector::casSlack(DramCycle now)
 {
     (void)now;
+    if (kind_ == FaultKind::CrashWorker ||
+        kind_ == FaultKind::HogMemory) {
+        processFault();
+        return 0;
+    }
     if (kind_ != FaultKind::EarlyCas || !roll())
         return 0;
     ++injections_;

@@ -9,7 +9,9 @@
 #ifndef CRITMEM_CHECK_FAULT_INJECTOR_HH
 #define CRITMEM_CHECK_FAULT_INJECTOR_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "dram/observer.hh"
 #include "sim/config.hh"
@@ -23,6 +25,7 @@ class ScriptedFaultInjector : public FaultInjector
 {
   public:
     explicit ScriptedFaultInjector(const CheckConfig &cfg);
+    ~ScriptedFaultInjector() override;
 
     bool dropCompletion(const MemRequest &req, DramCycle now) override;
     std::uint32_t casSlack(DramCycle now) override;
@@ -37,11 +40,27 @@ class ScriptedFaultInjector : public FaultInjector
     /** One Bernoulli(1/faultPeriod) draw; period <= 1 always fires. */
     bool roll();
 
+    /**
+     * Process-level faults (CrashWorker / HogMemory) trigger exactly
+     * once, on the faultPeriod-th opportunity — a deterministic
+     * countdown rather than a Bernoulli draw, so the crash point (and
+     * hence the journal/record bytes of an isolated campaign) is
+     * reproducible run to run. Called from the casSlack hook, the
+     * most frequently consulted injection point.
+     */
+    void processFault();
+
+    /** Size of one HogMemory mmap region (1 MiB). */
+    static constexpr std::size_t kHogChunkBytes = std::size_t{1} << 20;
+
     FaultKind kind_;
     std::uint64_t period_;
     CoreId victim_;
     Rng rng_;
     std::uint64_t injections_ = 0;
+    std::uint64_t opportunities_ = 0;
+    /** HogMemory ballast: anonymous mmap regions (see processFault). */
+    std::vector<void *> hog_;
 };
 
 } // namespace critmem

@@ -452,6 +452,34 @@ encodeJournalRecord(const JobRecord &rec)
         hashHex(lineChecksum(payload)) + ' ' + payload + '\n';
 }
 
+JobRecord
+decodeJournalRecord(const std::string &rawLine, std::uint64_t offset)
+{
+    std::string line = rawLine;
+    if (!line.empty() && line.back() == '\n')
+        line.pop_back();
+    const std::size_t headerLen = std::strlen(kRecordMagic) + 1 + 16 + 1;
+    std::uint64_t want = 0;
+    if (line.size() < headerLen ||
+        line.compare(0, std::strlen(kRecordMagic), kRecordMagic) != 0 ||
+        line[std::strlen(kRecordMagic)] != ' ' ||
+        line[headerLen - 1] != ' ' ||
+        !parseHex64(line.substr(std::strlen(kRecordMagic) + 1, 16),
+                    want)) {
+        throw CampaignError("journal record does not start with '" +
+                            std::string(kRecordMagic) +
+                            " <checksum> '", offset);
+    }
+    const std::string payload = line.substr(headerLen);
+    if (lineChecksum(payload) != want) {
+        throw CampaignError(
+            "journal record fails its checksum (expected " +
+            hashHex(want) + ", computed " +
+            hashHex(lineChecksum(payload)) + ")", offset);
+    }
+    return decodePayload(payload, offset);
+}
+
 JournalLoad
 loadJournal(const std::string &path, bool strict)
 {
@@ -523,8 +551,12 @@ loadJournal(const std::string &path, bool strict)
 
 CampaignJournal::~CampaignJournal()
 {
+    // A destructor cannot surface failures; it does not need to. The
+    // close result is deliberately ignored because record() already
+    // fflush'd and fsync'd every line before returning — there is no
+    // buffered data left for fclose to lose.
     if (file_ != nullptr)
-        std::fclose(file_);
+        static_cast<void>(std::fclose(file_));
 }
 
 std::unique_ptr<CampaignJournal>
@@ -538,8 +570,8 @@ CampaignJournal::create(const std::string &path)
     // lint:allow(durable-write): see above.
     journal->file_ = std::fopen(path.c_str(), "wb");
     if (journal->file_ == nullptr) {
-        throw std::runtime_error("cannot create campaign journal '" +
-                                 path + "': " + std::strerror(errno));
+        throw CampaignError("cannot create campaign journal '" +
+                            path + "': " + std::strerror(errno), 0);
     }
     fsyncParentDir(path);
     return journal;
@@ -559,17 +591,19 @@ CampaignJournal::resume(const std::string &path)
         // record boundary before we start appending after it.
         if (::truncate(path.c_str(),
                        static_cast<off_t>(load.validBytes)) != 0) {
-            throw std::runtime_error(
+            throw CampaignError(
                 "cannot truncate torn campaign journal '" + path +
-                "': " + std::strerror(errno));
+                "': " + std::strerror(errno), load.validBytes);
         }
         fsyncPath(path);
     }
+    journal->offset_ = load.validBytes;
     // lint:allow(durable-write): append-only log, fsync'd per record.
     journal->file_ = std::fopen(path.c_str(), "ab");
     if (journal->file_ == nullptr) {
-        throw std::runtime_error("cannot reopen campaign journal '" +
-                                 path + "': " + std::strerror(errno));
+        throw CampaignError("cannot reopen campaign journal '" +
+                            path + "': " + std::strerror(errno),
+                            load.validBytes);
     }
     return journal;
 }
@@ -617,12 +651,23 @@ CampaignJournal::record(const JobRecord &rec)
 {
     const std::string line = encodeJournalRecord(rec);
     std::lock_guard<std::mutex> lock(mutex_);
-    if (std::fwrite(line.data(), 1, line.size(), file_) !=
-            line.size() ||
-        std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
-        throw std::runtime_error("cannot append to campaign journal '" +
-                                 path_ + "': " + std::strerror(errno));
-    }
+    // Every I/O step is checked individually and surfaced as a
+    // CampaignError carrying the append offset: a journal that can no
+    // longer absorb records durably must stop the campaign, not
+    // silently continue past an unrecorded result.
+    const auto ioError = [this](const char *what) {
+        throw CampaignError(
+            std::string("cannot append to campaign journal '") +
+            path_ + "': " + what + " failed: " +
+            std::strerror(errno), offset_);
+    };
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+        ioError("write");
+    if (std::fflush(file_) != 0)
+        ioError("flush");
+    if (::fsync(fileno(file_)) != 0)
+        ioError("fsync");
+    offset_ += line.size();
 }
 
 std::string

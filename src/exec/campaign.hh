@@ -109,6 +109,17 @@ void writeManifest(
 /** Serialize one completed job as a journal line (incl. newline). */
 std::string encodeJournalRecord(const JobRecord &rec);
 
+/**
+ * Decode one journal line (`r1 <checksum> <payload>`, trailing
+ * newline optional) back into a JobRecord. The isolated-worker pipe
+ * protocol (exec/worker.hh) reuses the journal encoding as its wire
+ * format — the checksum turns a record torn by a worker crash into a
+ * detected failure instead of silent corruption. Throws CampaignError
+ * carrying @p offset on any structural or field damage.
+ */
+JobRecord decodeJournalRecord(const std::string &line,
+                              std::uint64_t offset = 0);
+
 /** Result of loading a journal file. */
 struct JournalLoad
 {
@@ -173,6 +184,14 @@ class CampaignJournal : public CampaignLog
     /** resume() found and truncated a torn final line. */
     bool tornTailTruncated() const { return tornTail_; }
 
+    /**
+     * Byte offset the next record will be appended at (== the bytes
+     * of intact records currently on disk). A failed append throws
+     * CampaignError carrying this offset, so forensics can point at
+     * exactly where the journal stopped being writable.
+     */
+    std::uint64_t appendOffset() const { return offset_; }
+
   private:
     CampaignJournal() = default;
 
@@ -183,6 +202,7 @@ class CampaignJournal : public CampaignLog
     std::vector<std::uint64_t> offsets_;
     std::vector<const JobRecord *> byIndex_;
     bool tornTail_ = false;
+    std::uint64_t offset_ = 0;
 };
 
 /** manifest.txt / journal.txt paths inside a campaign directory. */

@@ -32,6 +32,9 @@ toString(JobStatus status)
       case JobStatus::TraceError:     return "trace_error";
       case JobStatus::Error:          return "error";
       case JobStatus::Timeout:        return "timeout";
+      case JobStatus::Crashed:        return "crashed";
+      case JobStatus::Oom:            return "oom";
+      case JobStatus::Exit:           return "exit";
     }
     return "?";
 }
@@ -41,7 +44,8 @@ parseJobStatus(const std::string &name, JobStatus &out)
 {
     for (const JobStatus status :
          {JobStatus::Ok, JobStatus::CheckViolation,
-          JobStatus::TraceError, JobStatus::Error, JobStatus::Timeout}) {
+          JobStatus::TraceError, JobStatus::Error, JobStatus::Timeout,
+          JobStatus::Crashed, JobStatus::Oom, JobStatus::Exit}) {
         if (name == toString(status)) {
             out = status;
             return true;

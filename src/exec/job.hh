@@ -44,6 +44,9 @@ enum class JobStatus
     TraceError,     ///< a trace file failed to parse
     Error,          ///< any other exception (bad spec, ...)
     Timeout,        ///< cooperatively aborted at the wall-clock limit
+    Crashed,        ///< isolated worker died on a signal (--isolate)
+    Oom,            ///< per-job memory budget exhausted (--job-mem-mb)
+    Exit,           ///< isolated worker exited nonzero without a record
 };
 
 /** Parse a toString(JobStatus) name back; false on unknown names. */

@@ -11,6 +11,7 @@
 
 #include "check/check.hh"
 #include "exec/console.hh"
+#include "exec/worker.hh"
 #include "sim/random.hh"
 #include "trace/trace_file.hh"
 
@@ -25,19 +26,25 @@ namespace
 // serialized into result files (see JobRecord).
 using Clock = std::chrono::steady_clock;
 
-/** Why a job's cooperative cancel flag was raised. */
-enum class CancelReason : int
-{
-    None = 0,
-    Timeout = 1, ///< per-job wall-clock budget exceeded
-    Drain = 2,   ///< graceful-shutdown drain deadline expired
-};
+// CancelReason lives in exec/worker.hh: the isolated-worker monitor
+// interprets the same flags the watchdog raises for in-thread jobs.
+
+/**
+ * An externally SIGKILLed worker is re-dispatched at the same attempt
+ * number (the execution "never happened"), but only this many times:
+ * a job that keeps attracting SIGKILL — e.g. the kernel OOM killer
+ * with no --job-mem-mb budget set — must eventually be recorded as
+ * crashed instead of looping forever.
+ */
+constexpr std::uint32_t kMaxRespawns = 3;
 
 /** One queued execution: which job and which attempt this is. */
 struct Task
 {
     std::size_t index;
     std::uint32_t attempt;
+    /** External-SIGKILL re-dispatches of this attempt so far. */
+    std::uint32_t respawns = 0;
 };
 
 /** A worker's deque: owner pops the back, thieves pop the front. */
@@ -88,7 +95,13 @@ struct Campaign
     std::atomic<std::size_t> queuedTasks{0};
     std::atomic<std::size_t> unfinishedJobs{0};
     std::atomic<std::size_t> retries{0};
+    std::atomic<std::size_t> respawns{0};
     std::atomic<unsigned> activeWorkers{0};
+
+    // Circuit breaker (--max-failures): once enough jobs have failed
+    // permanently, dispatch stops exactly like a graceful shutdown.
+    std::atomic<std::size_t> permanentFailures{0};
+    std::atomic<bool> breakerTripped{false};
 
     // Watchdog shutdown handshake.
     std::mutex watchdogMutex;
@@ -117,8 +130,33 @@ struct Campaign
     bool
     stopping() const
     {
-        return opts.stopRequested != nullptr &&
-            opts.stopRequested->load(std::memory_order_relaxed) != 0;
+        return breakerTripped.load(std::memory_order_relaxed) ||
+            (opts.stopRequested != nullptr &&
+             opts.stopRequested->load(std::memory_order_relaxed) != 0);
+    }
+
+    /** Count one permanent failure and trip the breaker at the
+     *  configured count or percentage threshold. */
+    void
+    noteFailure()
+    {
+        const std::size_t failures =
+            permanentFailures.fetch_add(1) + 1;
+        const bool overCount =
+            opts.maxFailures != 0 && failures >= opts.maxFailures;
+        const bool overPct = opts.maxFailuresPct != 0 &&
+            !jobs.empty() &&
+            failures * 100 >=
+                static_cast<std::size_t>(opts.maxFailuresPct) *
+                    jobs.size();
+        if ((overCount || overPct) && !breakerTripped.exchange(true)) {
+            Console::instance().line(
+                "circuit breaker: " + std::to_string(failures) +
+                " permanent failure(s) reached the --max-failures "
+                "threshold; aborting dispatch");
+            idleCv.notify_all();
+            recordCv.notify_one();
+        }
     }
 
     /**
@@ -223,12 +261,15 @@ struct Campaign
         // interrupted run had not emitted yet.
         if (log != nullptr)
             log->record(record);
+        const bool failed = !record.ok();
         {
             std::lock_guard<std::mutex> lock(recordMutex);
             records[index] =
                 std::make_unique<JobRecord>(std::move(record));
         }
         unfinishedJobs.fetch_sub(1);
+        if (failed)
+            noteFailure();
         recordCv.notify_one();
         idleCv.notify_all();
     }
@@ -299,24 +340,77 @@ struct Campaign
         slot.jobIndex.store(task.index);
 
         const Clock::time_point start = Clock::now();
-        try {
-            record.result =
-                executeJob(spec, &record.statsJson, &slot.cancel);
-            record.status = JobStatus::Ok;
-        } catch (const CheckViolation &err) {
-            record.status = JobStatus::CheckViolation;
-            record.error = err.what();
-        } catch (const TraceError &err) {
-            record.status = JobStatus::TraceError;
-            record.error = err.what();
-        } catch (const std::exception &err) {
-            record.status = JobStatus::Error;
-            record.error = err.what();
+        bool abandoned = false;
+        bool externalKill = false;
+        if (opts.isolate) {
+            // Out-of-process: the job runs in a forked worker; a
+            // crash, OOM or wedge is contained to that process and
+            // comes back as a classified record. The watchdog's
+            // cancel flags steer the worker monitor exactly like the
+            // in-thread cooperative cancel.
+            WorkerLimits limits;
+            limits.memMb = opts.jobMemMb;
+            if (opts.jobTimeoutMs != 0)
+                limits.cpuSeconds = opts.jobTimeoutMs / 1000 * 2 + 5;
+            IsolatedRun run = runJobIsolated(
+                spec, task.index, task.attempt, limits, &slot.cancel,
+                &slot.reason);
+            abandoned = run.abandoned;
+            externalKill = run.externalKill;
+            if (!abandoned)
+                record = std::move(run.record);
+        } else {
+            try {
+                record.result =
+                    executeJob(spec, &record.statsJson, &slot.cancel);
+                record.status = JobStatus::Ok;
+            } catch (const CheckViolation &err) {
+                record.status = JobStatus::CheckViolation;
+                record.error = err.what();
+            } catch (const TraceError &err) {
+                record.status = JobStatus::TraceError;
+                record.error = err.what();
+            } catch (const std::bad_alloc &) {
+                // Same taxonomy as an isolated worker that hit its
+                // budget, minus the RLIMIT (in-thread jobs share the
+                // supervisor's address space).
+                record.status = JobStatus::Oom;
+                record.error =
+                    "std::bad_alloc (no --job-mem-mb budget set)";
+            } catch (const std::exception &err) {
+                record.status = JobStatus::Error;
+                record.error = err.what();
+            }
         }
         record.wallMs = std::chrono::duration<double, std::milli>(
                             Clock::now() - start)
                             .count();
         slot.jobIndex.store(WorkerSlot::kIdle);
+
+        if (abandoned) {
+            // Drain deadline killed the worker: not a result at all
+            // (mirrors the in-thread CancelReason::Drain path below).
+            return;
+        }
+        if (externalKill && task.respawns < kMaxRespawns &&
+            !stopping()) {
+            // An external SIGKILL (operator, kernel OOM killer) is an
+            // environmental event, not a property of the job:
+            // re-dispatch at the same attempt number so the final
+            // record — and the result files — are byte-identical to a
+            // run where nobody interfered.
+            respawns.fetch_add(1);
+            if (opts.progress) {
+                Console::instance().line(
+                    "respawn " + spec.name +
+                    " (worker killed externally, respawn " +
+                    std::to_string(task.respawns + 1) + "/" +
+                    std::to_string(kMaxRespawns) + ")");
+            }
+            push(worker, {task.index, task.attempt,
+                          task.respawns + 1});
+            return;
+        }
 
         if (!record.ok() && slot.cancel.load()) {
             const auto reason =
@@ -355,6 +449,17 @@ struct Campaign
             }
             // Shutdown arrived mid-backoff: the retry will not run;
             // record the failure we already have.
+        }
+        if (!record.ok() && opts.maxAttempts > 1 &&
+            task.attempt >= opts.maxAttempts &&
+            (record.status == JobStatus::Crashed ||
+             record.status == JobStatus::Oom ||
+             record.status == JobStatus::Exit)) {
+            // Repeat offender: every allowed attempt died at the
+            // process level. The record is permanent — this run will
+            // never dispatch the job again — and says so.
+            record.error += "; quarantined after " +
+                std::to_string(task.attempt) + " failed attempts";
         }
         finish(task.index, std::move(record));
     }
@@ -484,6 +589,8 @@ struct Campaign
         summary.pending = jobs.size() - consumed;
         summary.interrupted = summary.pending != 0 && stopping();
         summary.retries = retries.load();
+        summary.respawned = respawns.load();
+        summary.breakerTripped = breakerTripped.load();
         summary.wallMs = std::chrono::duration<double, std::milli>(
                              Clock::now() - start)
                              .count();
@@ -527,7 +634,8 @@ JobRunner::run(const std::vector<JobSpec> &jobs,
             [&campaign, w] { campaign.workerLoop(w); });
 
     std::thread watchdog;
-    if (opts.jobTimeoutMs != 0 || opts.stopRequested != nullptr)
+    if (opts.jobTimeoutMs != 0 || opts.stopRequested != nullptr ||
+        opts.maxFailures != 0 || opts.maxFailuresPct != 0)
         watchdog = std::thread([&campaign] {
             campaign.watchdogLoop();
         });

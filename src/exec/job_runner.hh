@@ -107,6 +107,32 @@ struct RunnerOptions
      * is deterministic). The arena fairness annotator hooks in here.
      */
     std::function<void(JobRecord &)> annotate;
+
+    /**
+     * Run each job in a forked, resource-governed worker process
+     * (exec/worker.hh): a crash, runaway allocation or wedge is
+     * contained to that job and classified (crashed/oom/timeout/
+     * exit) instead of taking the campaign down. Result files stay
+     * byte-identical to in-thread execution.
+     */
+    bool isolate = false;
+    /**
+     * Per-job address-space budget in MiB (RLIMIT_AS inside the
+     * worker, relative to the pre-fork baseline); 0 = unlimited.
+     * Only meaningful with isolate.
+     */
+    std::uint64_t jobMemMb = 0;
+    /**
+     * Circuit breaker: stop dispatching once this many jobs have
+     * failed permanently (0 = off). The campaign drains like a
+     * graceful shutdown and the summary reports breakerTripped, so a
+     * broken build aborts in seconds instead of burning hours —
+     * resumable once fixed.
+     */
+    std::size_t maxFailures = 0;
+    /** Circuit breaker, percent form: trip once permanent failures
+     *  reach this percentage of the total job count (0 = off). */
+    unsigned maxFailuresPct = 0;
 };
 
 /** Campaign-level accounting returned by JobRunner::run(). */
@@ -121,8 +147,13 @@ struct CampaignSummary
     std::size_t pending = 0;
     /** Extra executions spent on retries (attempts beyond the first). */
     std::size_t retries = 0;
+    /** Isolated workers killed by an external SIGKILL and
+     *  re-dispatched at the same attempt number. */
+    std::size_t respawned = 0;
     /** True when a stop request cut the campaign short. */
     bool interrupted = false;
+    /** The --max-failures circuit breaker aborted dispatch. */
+    bool breakerTripped = false;
     double wallMs = 0.0;
 };
 

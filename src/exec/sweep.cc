@@ -130,6 +130,16 @@ applySetting(SystemConfig &cfg, const std::string &key,
         cfg.numCores = static_cast<std::uint32_t>(parseUint(key, value));
     } else if (key == "seed") {
         cfg.seed = parseUint(key, value);
+    } else if (key == "inject") {
+        const auto fault = findFaultKind(value);
+        if (!fault)
+            bad("unknown fault kind '" + value + "'");
+        cfg.check.fault = *fault;
+        // Mirror critmem-sim --inject, which implies --check, so the
+        // failure record's repro command reproduces the same config.
+        cfg.check.enabled = true;
+    } else if (key == "inject-period") {
+        cfg.check.faultPeriod = parseUint(key, value);
     } else {
         bad("unknown setting '" + key + "'");
     }

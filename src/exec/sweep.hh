@@ -71,7 +71,8 @@ struct TraceDecl
 /**
  * Apply one spec setting to a job under construction. Supported keys:
  * sched, predictor, entries, reset, ranks, channels, speed, lq,
- * prefetch, closed-page, split-wq, morse-cmds, cores, seed.
+ * prefetch, closed-page, split-wq, morse-cmds, cores, seed, inject,
+ * inject-period (fault injection, mirroring critmem-sim --inject).
  * Throws std::runtime_error on unknown keys or unparsable values.
  */
 void applySetting(SystemConfig &cfg, const std::string &key,

@@ -36,7 +36,10 @@ syncFd(const std::string &path, int oflags)
         errno = err;
         fail("fsync failed for", path);
     }
-    ::close(fd);
+    // A failed close after a successful fsync can still mean the
+    // kernel dropped deferred writeback errors; surface it.
+    if (::close(fd) != 0)
+        fail("close failed after fsync for", path);
 }
 
 std::string
@@ -104,6 +107,13 @@ AtomicFile::commit()
         fail("write failed for temp file", tmpPath_);
     }
     out_.close();
+    // close() reports failure through the stream state; a file that
+    // did not close cleanly must never be renamed over the target.
+    if (out_.fail()) {
+        ::unlink(tmpPath_.c_str());
+        discarded_ = true;
+        fail("close failed for temp file", tmpPath_);
+    }
     try {
         fsyncPath(tmpPath_);
     } catch (...) {

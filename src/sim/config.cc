@@ -149,6 +149,8 @@ toString(FaultKind kind)
       case FaultKind::SkipRefresh:    return "skip-refresh";
       case FaultKind::StarveCore:     return "starve-core";
       case FaultKind::FlipCrit:       return "flip-crit";
+      case FaultKind::CrashWorker:    return "crash-worker";
+      case FaultKind::HogMemory:      return "hog-memory";
     }
     return "?";
 }
@@ -159,7 +161,8 @@ findFaultKind(const std::string &name)
     for (const FaultKind kind :
          {FaultKind::DropCompletion, FaultKind::EarlyCas,
           FaultKind::SkipRefresh, FaultKind::StarveCore,
-          FaultKind::FlipCrit}) {
+          FaultKind::FlipCrit, FaultKind::CrashWorker,
+          FaultKind::HogMemory}) {
         if (name == toString(kind))
             return kind;
     }

@@ -311,6 +311,8 @@ enum class FaultKind
     SkipRefresh,     ///< silently skip a due refresh
     StarveCore,      ///< never schedule requests from a victim core
     FlipCrit,        ///< zero a criticality level during promotion
+    CrashWorker,     ///< raise SIGSEGV mid-simulation (containment test)
+    HogMemory,       ///< allocate unboundedly mid-simulation (oom test)
 };
 
 const char *toString(FaultKind kind);

@@ -41,6 +41,9 @@ template <typename... Args>
 panic(Args &&...args)
 {
     detail::emit("panic", detail::format(std::forward<Args>(args)...));
+    // lint:allow(no-terminate): panic() is the process-fatal exit of
+    // last resort for can-never-happen invariant breaks; abort() keeps
+    // the core dump. Everything recoverable throws instead.
     std::abort();
 }
 
@@ -53,6 +56,10 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     detail::emit("fatal", detail::format(std::forward<Args>(args)...));
+    // lint:allow(no-terminate): fatal() is the documented process
+    // exit for unrecoverable *user* errors (bad CLI flags, malformed
+    // specs) and is called from tools' argument handling before any
+    // campaign state exists. Library failure paths throw.
     std::exit(1);
 }
 

@@ -1,0 +1,35 @@
+// Fixture: library code that terminates the process. critmem-lint's
+// no-terminate rule must flag every call of the exit()/abort()
+// family here — qualified or not — because each one turns a
+// recoverable per-job failure into a dead campaign.
+#include <cstdlib>
+
+void
+giveUp()
+{
+    std::abort(); // BAD: kills the whole campaign
+}
+
+void
+bailOut(int rc)
+{
+    std::exit(rc); // BAD: library code must throw instead
+}
+
+void
+hardStop()
+{
+    ::_exit(2); // BAD: POSIX-qualified form
+}
+
+void
+fastStop()
+{
+    _Exit(3); // BAD: unqualified form
+}
+
+void
+quickStop()
+{
+    quick_exit(4); // BAD: quick_exit is still termination
+}

@@ -1,0 +1,49 @@
+// Fixture: code the no-terminate rule must stay silent on — thrown
+// failures, member functions that merely *look* like the exit
+// family, other-namespace qualification, an allowed terminator with
+// its justification, and exit mentions in comments / string literals.
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+struct Session
+{
+    void exit() {}
+    void abort() {}
+};
+
+namespace shell
+{
+void exit(int);
+}
+
+void
+failProperly(bool broken)
+{
+    if (broken)
+        throw std::runtime_error("job failed"); // OK: recoverable
+}
+
+void
+leaveSession(Session &s, Session *p)
+{
+    s.exit();   // OK: member call, not process termination
+    p->abort(); // OK: member call through a pointer
+    shell::exit(0); // OK: other-namespace function
+    std::atexit(nullptr); // OK: registers a handler, does not exit
+}
+
+[[noreturn]] void
+workerChildDone()
+{
+    // lint:allow(no-terminate): post-fork worker child; returning
+    // would run the supervisor's stack a second time.
+    ::_exit(0);
+}
+
+// "call exit(1)" in a comment is fine, as is one in a literal:
+std::string
+describe()
+{
+    return "exit(1) and abort() are banned in library code";
+}

@@ -190,6 +190,35 @@ TEST(LintHotPathAlloc, IgnoresNonTickFunctions)
     EXPECT_EQ(countRule(analyzeFile(file), "hot-path-alloc"), 0u);
 }
 
+TEST(LintNoTerminate, FiresOnBadFixture)
+{
+    const auto findings = lintFixture("no_terminate_bad.cc");
+    // std::abort, std::exit, ::_exit, _Exit, quick_exit: five calls.
+    EXPECT_EQ(countRule(findings, "no-terminate"), 5u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.severity, Severity::Error);
+}
+
+TEST(LintNoTerminate, SilentOnGoodFixture)
+{
+    // Thrown failures, exit/abort member functions, other-namespace
+    // qualification, atexit(), a justified lint:allow, and mentions
+    // in comments / string literals: all clean.
+    EXPECT_EQ(lintFixture("no_terminate_good.cc").size(), 0u);
+}
+
+TEST(LintNoTerminate, ToolsAreExempt)
+{
+    // The same terminating code reported under tools/ must pass:
+    // process exit is the CLI layer's prerogative (usage(), fatal
+    // argument errors).
+    const SourceFile file = makeSourceFile(
+        "tools/x.cc",
+        "#include <cstdlib>\n"
+        "void usage() { std::exit(1); }\n");
+    EXPECT_EQ(countRule(analyzeFile(file), "no-terminate"), 0u);
+}
+
 TEST(LintSuppression, TrailingCommentGuardsItsLine)
 {
     const SourceFile file = makeSourceFile(

@@ -106,7 +106,12 @@ usage()
         "  --inject KIND      inject faults (implies --check):\n"
         "                     drop-completion | early-cas |"
         " skip-refresh |\n"
-        "                     starve-core | flip-crit\n"
+        "                     starve-core | flip-crit |"
+        " crash-worker |\n"
+        "                     hog-memory (the last two fault the"
+        " process\n"
+        "                     itself — for critmem-sweep --isolate"
+        " drills)\n"
         "  --inject-period N  mean opportunities between faults"
         " (default 64)\n");
     std::exit(1);

@@ -21,6 +21,7 @@
  * either the old file or the complete new one, never a torn write.
  */
 
+#include <array>
 #include <atomic>
 #include <cerrno>
 #include <csignal>
@@ -28,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <sys/stat.h>
@@ -39,6 +41,7 @@
 #include "exec/job_runner.hh"
 #include "exec/sweep.hh"
 #include "exec/table.hh"
+#include "exec/worker.hh"
 #include "sim/atomic_file.hh"
 #include "sim/log.hh"
 
@@ -57,8 +60,13 @@ std::atomic<int> gStop{0};
 extern "C" void
 onStopSignal(int)
 {
-    if (gStop.fetch_add(1) != 0)
+    if (gStop.fetch_add(1) != 0) {
+        // Hard abort: take any outstanding isolated workers down with
+        // the supervisor so a double ^C never leaks orphan processes
+        // still burning CPU against the terminal. Async-signal-safe.
+        exec::killWorkerGroups();
         std::_Exit(130);
+    }
 }
 
 [[noreturn]] void
@@ -87,6 +95,23 @@ usage()
         " jobs are\n"
         "                     cancelled and recorded as"
         " status=timeout\n"
+        "  --isolate          run each job in a forked worker process:"
+        " a crash,\n"
+        "                     runaway allocation or wedge is contained"
+        " to that\n"
+        "                     job (status=crashed/oom/timeout/exit)"
+        " and the\n"
+        "                     campaign keeps going; result files stay\n"
+        "                     byte-identical to in-process execution\n"
+        "  --job-mem-mb N     per-job address-space budget in MiB"
+        " (RLIMIT_AS\n"
+        "                     inside the worker; needs --isolate)\n"
+        "  --max-failures N[%%]\n"
+        "                     circuit breaker: abort dispatch once N"
+        " jobs (or\n"
+        "                     N%% of the campaign) have failed"
+        " permanently;\n"
+        "                     resumable with --resume once fixed\n"
         "  --campaign DIR     checkpoint into DIR: an atomic manifest"
         " plus a\n"
         "                     per-record fsync'd completion journal\n"
@@ -104,6 +129,11 @@ usage()
         "                     the overall table by the fairness\n"
         "                     metrics (needs alone=1 bundle sweeps,\n"
         "                     e.g. specs/arena.sweep)\n"
+        "  --report failures  after the run, print the failure"
+        " summary table\n"
+        "                     (status x variant x workload) plus a"
+        " repro line\n"
+        "                     per permanently failed job\n"
         "  --list             print the expanded job list and exit\n"
         "exit status: 0 all jobs ok, 2 some jobs failed permanently,\n"
         "             3 interrupted by SIGINT/SIGTERM (resumable with"
@@ -171,6 +201,18 @@ main(int argc, char **argv)
         } else if (arg == "--timeout") {
             opts.jobTimeoutMs = 1000 *
                 std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--isolate") {
+            opts.isolate = true;
+        } else if (arg == "--job-mem-mb") {
+            opts.jobMemMb = std::strtoull(nextArg(i), nullptr, 10);
+        } else if (arg == "--max-failures") {
+            const std::string value = nextArg(i);
+            if (!value.empty() && value.back() == '%')
+                opts.maxFailuresPct =
+                    static_cast<unsigned>(std::atoi(value.c_str()));
+            else
+                opts.maxFailures = static_cast<std::size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
         } else if (arg == "--campaign") {
             campaignDir = nextArg(i);
         } else if (arg == "--resume") {
@@ -367,6 +409,10 @@ main(int argc, char **argv)
                       ? summary.total * 1000.0 / summary.wallMs
                       : 0.0);
     console.line(buffer);
+    if (summary.respawned != 0)
+        console.line("respawned: " +
+                     std::to_string(summary.respawned) +
+                     " worker(s) killed externally and re-dispatched");
     for (const exec::JobRecord &rec : memory.records()) {
         if (!rec.ok()) {
             console.line("failed: " + rec.spec.name + " [" +
@@ -376,6 +422,10 @@ main(int argc, char **argv)
                          "\n  repro: " + exec::reproCommand(rec.spec));
         }
     }
+
+    if (summary.breakerTripped)
+        console.line("circuit breaker: the --max-failures threshold "
+                     "was reached; dispatch was aborted");
 
     if (summary.interrupted) {
         console.line(
@@ -393,6 +443,40 @@ main(int argc, char **argv)
 
     if (report == "arena") {
         exec::printArenaReport(spec, memory);
+    } else if (report == "failures") {
+        // Deterministic for any --jobs: memory.records() is in
+        // submission order and the map sorts the summary cells, so
+        // two runs of the same campaign print identical bytes.
+        std::map<std::array<std::string, 3>, std::size_t> cells;
+        std::size_t failures = 0;
+        for (const exec::JobRecord &rec : memory.records()) {
+            if (rec.ok())
+                continue;
+            ++failures;
+            const auto tag = rec.spec.tags.find("variant");
+            ++cells[{toString(rec.status),
+                     tag != rec.spec.tags.end() ? tag->second : "-",
+                     rec.spec.workload}];
+        }
+        if (failures == 0) {
+            std::printf("# failures: none\n");
+        } else {
+            std::printf("# failures: %zu of %zu job(s)\n", failures,
+                        summary.total);
+            std::printf("%-10s %-14s %-16s %s\n", "status",
+                        "variant", "workload", "count");
+            for (const auto &cell : cells)
+                std::printf("%-10s %-14s %-16s %zu\n",
+                            cell.first[0].c_str(),
+                            cell.first[1].c_str(),
+                            cell.first[2].c_str(), cell.second);
+            std::printf("# repro\n");
+            for (const exec::JobRecord &rec : memory.records()) {
+                if (!rec.ok())
+                    std::printf(
+                        "%s\n", exec::reproCommand(rec.spec).c_str());
+            }
+        }
     } else if (report.rfind("speedup:", 0) == 0) {
         const std::string baseVariant = report.substr(8);
         std::vector<std::string> columns;
